@@ -1,0 +1,90 @@
+"""Ablation benchmarks — trusted-anchor schemes (fam-aoa vs alternatives).
+
+Report form: ``python -m repro.bench ablations``.  Kernels: the same random
+verification against each anchor scheme on an 8K-journal ledger.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.hashing import leaf_hash
+from repro.merkle.bim import BimLedger, LightClient
+from repro.merkle.fam import AnchorStore, FamAccumulator
+from repro.merkle.tim import TimAccumulator
+
+SIZE = 1 << 13
+
+
+@pytest.fixture(scope="module")
+def world():
+    digests = [leaf_hash(i.to_bytes(4, "big")) for i in range(SIZE)]
+    fam = FamAccumulator(6)
+    tim = TimAccumulator()
+    for digest in digests:
+        fam.append(digest)
+        tim.append_digest(digest)
+    anchors = AnchorStore()
+    for epoch in range(fam.num_epochs - 1):
+        anchors.add(epoch, fam.epoch_root(epoch))
+    bim = BimLedger(block_capacity=64)
+    positions = [bim.append(b"tx-%d" % i) for i in range(SIZE)]
+    bim.commit_block()
+    light = LightClient()
+    light.sync_headers(bim.headers())
+    rng = random.Random(17)
+    jsns = [rng.randrange(SIZE) for _ in range(256)]
+    return {
+        "digests": digests, "fam": fam, "tim": tim, "anchors": anchors,
+        "bim": bim, "positions": positions, "light": light, "jsns": jsns,
+    }
+
+
+def _cycle(values):
+    index = iter(range(10**9))
+    return lambda: values[next(index) % len(values)]
+
+
+def test_fam_aoa_verification(benchmark, world):
+    next_jsn = _cycle(world["jsns"])
+
+    def verify():
+        jsn = next_jsn()
+        proof = world["fam"].get_proof(jsn, anchored=True)
+        return world["fam"].verify_with_anchors(world["digests"][jsn], proof, world["anchors"])
+
+    assert benchmark(verify)
+
+
+def test_fam_full_chain_verification(benchmark, world):
+    next_jsn = _cycle(world["jsns"])
+    root = world["fam"].current_root()
+
+    def verify():
+        jsn = next_jsn()
+        proof = world["fam"].get_proof(jsn, anchored=False)
+        return FamAccumulator.verify_full(world["digests"][jsn], proof, root)
+
+    assert benchmark(verify)
+
+
+def test_tim_verification(benchmark, world):
+    next_jsn = _cycle(world["jsns"])
+    root = world["tim"].root()
+
+    def verify():
+        jsn = next_jsn()
+        return world["tim"].get_proof(jsn).verify(world["digests"][jsn], root)
+
+    assert benchmark(verify)
+
+
+def test_bim_spv_verification(benchmark, world):
+    next_jsn = _cycle(world["jsns"])
+
+    def verify():
+        jsn = next_jsn()
+        height, index = world["positions"][jsn]
+        return world["light"].verify(b"tx-%d" % jsn, world["bim"].get_proof(height, index))
+
+    assert benchmark(verify)

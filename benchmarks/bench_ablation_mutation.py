@@ -1,0 +1,99 @@
+"""Ablation benchmarks — mutation operations (occult modes, purge, audit).
+
+Report form: ``python -m repro.bench ablations``.
+"""
+
+import pytest
+
+from repro.core import ClientRequest, Ledger, LedgerConfig, OccultMode, dasein_audit
+from repro.crypto import KeyPair, MultiSignature, Role
+
+
+def build_deployment(journal_count=48):
+    ledger = Ledger(LedgerConfig(uri="ledger://mut-bench", fractal_height=4, block_size=8))
+    user = KeyPair.generate(seed="mut-user")
+    dba = KeyPair.generate(seed="mut-dba")
+    regulator = KeyPair.generate(seed="mut-reg")
+    ledger.registry.register("user", Role.USER, user.public)
+    ledger.registry.register("dba", Role.DBA, dba.public)
+    ledger.registry.register("reg", Role.REGULATOR, regulator.public)
+    for i in range(journal_count):
+        request = ClientRequest.build(
+            "ledger://mut-bench", "user", b"payload-%03d" % i, nonce=bytes([i])
+        ).signed_by(user)
+        ledger.append(request)
+    ledger.commit_block()
+    return ledger, user, dba, regulator
+
+
+def occult_approvals(ledger, dba, regulator, record):
+    approvals = MultiSignature(digest=record.approval_digest())
+    approvals.add("dba", dba.sign(record.approval_digest()))
+    approvals.add("reg", regulator.sign(record.approval_digest()))
+    return approvals
+
+
+@pytest.mark.parametrize("mode", [OccultMode.SYNC, OccultMode.ASYNC])
+def test_occult_execution(benchmark, mode):
+    state = {}
+
+    def setup():
+        ledger, _user, dba, regulator = build_deployment()
+        record = ledger.prepare_occult(5, mode, reason="bench")
+        state["args"] = (ledger, record, occult_approvals(ledger, dba, regulator, record))
+        return (), {}
+
+    def execute():
+        ledger, record, approvals = state["args"]
+        ledger.execute_occult(record, approvals)
+
+    benchmark.pedantic(execute, setup=setup, rounds=5, iterations=1)
+
+
+def test_reorganize_after_async_occults(benchmark):
+    state = {}
+
+    def setup():
+        ledger, _user, dba, regulator = build_deployment()
+        for jsn in (3, 5, 7, 9):
+            record = ledger.prepare_occult(jsn, OccultMode.ASYNC, reason="bench")
+            ledger.execute_occult(record, occult_approvals(ledger, dba, regulator, record))
+        state["ledger"] = ledger
+        return (), {}
+
+    benchmark.pedantic(lambda: state["ledger"].reorganize(), setup=setup, rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("erase_fam", [False, True])
+def test_purge_execution(benchmark, erase_fam):
+    state = {}
+
+    def setup():
+        ledger, user, dba, _regulator = build_deployment()
+        boundary = ledger.blocks[2].end_jsn
+        pseudo, record = ledger.prepare_purge(boundary, erase_fam_nodes=erase_fam)
+        approvals = MultiSignature(digest=record.approval_digest())
+        for member in ledger.purge_required_signers(boundary):
+            keypair = {"user": user, "dba": dba}.get(member) or ledger._lsp_keypair
+            approvals.add(member, keypair.sign(record.approval_digest()))
+        state["args"] = (ledger, pseudo, record, approvals)
+        return (), {}
+
+    def execute():
+        ledger, pseudo, record, approvals = state["args"]
+        ledger.execute_purge(pseudo, record, approvals)
+
+    benchmark.pedantic(execute, setup=setup, rounds=5, iterations=1)
+
+
+def test_audit_cost_after_mutations(benchmark):
+    ledger, user, dba, regulator = build_deployment()
+    record = ledger.prepare_occult(5, OccultMode.SYNC, reason="bench")
+    ledger.execute_occult(record, occult_approvals(ledger, dba, regulator, record))
+    view = ledger.export_view()
+
+    def audit():
+        return dasein_audit(view, verify_client_signatures=False)
+
+    report = benchmark(audit)
+    assert report.passed

@@ -1,0 +1,79 @@
+"""Figure 10 benchmarks — application-level kernels vs Fabric.
+
+Full series: ``python -m repro.bench fig10``.  These cases time the real
+in-process work: LedgerDB appends (full pipeline incl. pure-Python ECDSA),
+LedgerDB clue verification, and the Fabric simulator's endorse/validate
+crypto (its modelled batching delay is excluded from wall time by design —
+the simulator *accounts* it rather than sleeping).
+"""
+
+import pytest
+
+from repro.baselines.fabric import FabricNetwork
+from repro.core import ClientRequest, Ledger, LedgerConfig
+from repro.crypto import KeyPair, Role
+
+
+@pytest.fixture(scope="module")
+def app_ledger():
+    ledger = Ledger(LedgerConfig(uri="ledger://app-bench", fractal_height=8, block_size=64))
+    user = KeyPair.generate(seed="app-user")
+    ledger.registry.register("user", Role.USER, user.public)
+    for i in range(64):
+        request = ClientRequest.build(
+            "ledger://app-bench", "user", b"x" * 256,
+            clues=("HOT-CLUE",) if i % 2 == 0 else (),
+            nonce=i.to_bytes(4, "big"),
+        ).signed_by(user)
+        ledger.append(request)
+    return ledger, user
+
+
+def test_ledgerdb_append_full_pipeline(benchmark, app_ledger):
+    ledger, user = app_ledger
+    counter = iter(range(10**9))
+
+    def append_one():
+        request = ClientRequest.build(
+            "ledger://app-bench", "user", b"x" * 256,
+            nonce=next(counter).to_bytes(8, "big"),
+        ).signed_by(user)
+        return ledger.append(request)
+
+    benchmark(append_one)
+
+
+def test_ledgerdb_notarization_verify(benchmark, app_ledger):
+    ledger, _user = app_ledger
+    journal = ledger.get_journal(5)
+    benchmark(lambda: ledger.verify_journal(journal))
+
+
+def test_ledgerdb_lineage_verify(benchmark, app_ledger):
+    ledger, _user = app_ledger
+    jsns = ledger.list_tx("HOT-CLUE")
+    journals = [ledger.get_journal(j) for j in jsns]
+
+    def verify_lineage():
+        proof = ledger.prove_clue("HOT-CLUE")
+        digests = {i: j.tx_hash() for i, j in enumerate(journals)}
+        return proof.verify(digests, ledger.state_root())
+
+    assert benchmark(verify_lineage)
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    network = FabricNetwork()
+    for i in range(20):
+        network.invoke("bench-asset", b"v%d" % i)
+    return network
+
+
+def test_fabric_invoke_crypto(benchmark, fabric):
+    counter = iter(range(10**9))
+    benchmark(lambda: fabric.invoke("bench-asset", b"v-%d" % next(counter)))
+
+
+def test_fabric_history_verification(benchmark, fabric):
+    benchmark(lambda: fabric.verify_history("bench-asset"))

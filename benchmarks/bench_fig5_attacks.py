@@ -1,0 +1,29 @@
+"""Figure 5 benchmarks — attack-scenario simulation kernels.
+
+Report form: ``python -m repro.bench fig5``.  Benchmarked here because the
+attack harness runs inside the audit hot path of security regressions: if
+a change makes the protocol simulations meaningfully slower (or changes
+their outcomes — asserted below), these catch it.
+"""
+
+from repro.timeauth import (
+    run_one_way_amplification,
+    run_tledger_stale_submission,
+    run_two_way_window,
+)
+
+
+def test_one_way_amplification_scenario(benchmark):
+    result = benchmark(lambda: run_one_way_amplification(3600.0))
+    assert result.malicious_window > 3600.0  # unbounded growth
+
+
+def test_two_way_window_scenario(benchmark):
+    result = benchmark(lambda: run_two_way_window(3600.0, peg_interval=1.0))
+    assert result.bounded
+    assert result.malicious_window <= 2.0 + 1e-9
+
+
+def test_tledger_stale_rejection_scenario(benchmark):
+    accepted = benchmark(lambda: run_tledger_stale_submission(hold_back=5.0))
+    assert not accepted

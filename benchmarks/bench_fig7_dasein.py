@@ -1,0 +1,94 @@
+"""Figure 7 benchmarks — per-factor Dasein verification kernels.
+
+Full breakdown: ``python -m repro.bench fig7``.  These cases time the unit
+work behind each bar: one *what* (fam path + payload hash), one *who*
+(ECDSA verify), and one *when* (TSA token vs T-Ledger evidence).
+"""
+
+import pytest
+
+from repro.crypto.hashing import leaf_hash, sha256
+from repro.crypto.keys import KeyPair
+from repro.merkle.fam import FamAccumulator
+from repro.timeauth.clock import SimClock
+from repro.timeauth.tledger import TimeLedger
+from repro.timeauth.tsa import TimeStampAuthority
+
+
+@pytest.fixture(scope="module")
+def dasein_world():
+    fam = FamAccumulator(8)
+    payloads = [bytes([i % 256]) * 256 for i in range(512)]
+    digests = [leaf_hash(p) for p in payloads]
+    for digest in digests:
+        fam.append(digest)
+    keypair = KeyPair.generate(seed="fig7-bench")
+    request_digest = sha256(payloads[100])
+    signature = keypair.sign(request_digest)
+    clock = SimClock()
+    tsa = TimeStampAuthority("tsa", clock)
+    token = tsa.stamp(fam.current_root())
+    tledger = TimeLedger(clock, tsa, finalize_interval=1.0, admission_tolerance=2.0)
+    clock.advance(0.5)
+    receipt = tledger.submit("ledger", fam.current_root(), clock.now())
+    clock.advance(1.0)
+    evidence = tledger.get_evidence(receipt.seq)
+    return {
+        "fam": fam,
+        "payloads": payloads,
+        "digests": digests,
+        "keypair": keypair,
+        "request_digest": request_digest,
+        "signature": signature,
+        "tsa": tsa,
+        "token": token,
+        "evidence": evidence,
+    }
+
+
+def test_what_single_journal(benchmark, dasein_world):
+    world = dasein_world
+    fam = world["fam"]
+    root = fam.current_root()
+
+    def verify_what():
+        payload = world["payloads"][100]
+        digest = leaf_hash(payload)  # re-hash the payload
+        proof = fam.get_proof(100, anchored=False)
+        return FamAccumulator.verify_full(digest, proof, root)
+
+    assert benchmark(verify_what)
+
+
+def test_who_single_signature(benchmark, dasein_world):
+    world = dasein_world
+
+    def verify_who():
+        assert sha256(world["payloads"][100]) == world["request_digest"]
+        return world["keypair"].public.verify(world["request_digest"], world["signature"])
+
+    assert benchmark(verify_who)
+
+
+def test_when_tsa_token(benchmark, dasein_world):
+    world = dasein_world
+    result = benchmark(lambda: world["token"].verify(world["tsa"].public_key))
+    assert result
+
+
+def test_when_tledger_evidence(benchmark, dasein_world):
+    world = dasein_world
+    result = benchmark(lambda: world["evidence"].verify(world["tsa"]))
+    assert result
+
+
+def test_when_tledger_inclusion_only(benchmark, dasein_world):
+    """The amortised part of TL-10: membership without a fresh TSA verify."""
+    world = dasein_world
+    evidence = world["evidence"]
+    result = benchmark(
+        lambda: evidence.inclusion.verify(
+            evidence.entry.leaf_digest(), evidence.finalization.root
+        )
+    )
+    assert result

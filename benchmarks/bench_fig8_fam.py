@@ -1,0 +1,74 @@
+"""Figure 8 benchmarks — fam vs tim append and GetProof kernels.
+
+The full paper-style sweep (all fractal heights x all ledger sizes) is
+produced by ``python -m repro.bench fig8``; these pytest-benchmark cases
+time the representative kernels at the 16K-journal point so regressions in
+either model's asymptotics are caught.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import fig8
+from repro.crypto.hashing import leaf_hash
+from repro.merkle.fam import FamAccumulator
+from repro.merkle.tim import TimAccumulator
+
+
+@pytest.mark.parametrize("height", [2, 6, 10])
+def test_fam_append_with_root_publication(benchmark, height):
+    fam = fig8.build_fam(height, 1 << 12)
+    digests = iter(leaf_hash(b"extra-%d" % i) for i in range(1_000_000))
+
+    def append_one():
+        fam.append(next(digests))
+        fam.current_root()
+
+    benchmark(append_one)
+
+
+def test_tim_append_with_root_publication(benchmark, tim_16k):
+    digests = iter(leaf_hash(b"extra-%d" % i) for i in range(1_000_000))
+    benchmark(lambda: tim_16k.append_digest(next(digests)))
+
+
+def test_fam_get_proof_anchored(benchmark, fam_16k):
+    rng = random.Random(1)
+    jsns = [rng.randrange(fam_16k.size) for _ in range(64)]
+    position = iter(range(10**9))
+
+    def prove_one():
+        jsn = jsns[next(position) % len(jsns)]
+        proof = fam_16k.get_proof(jsn, anchored=True)
+        return proof.epoch_proof.computed_root(fam_16k.leaf_digest(jsn))
+
+    benchmark(prove_one)
+
+
+def test_fam_get_proof_full_chain(benchmark, fam_16k):
+    rng = random.Random(2)
+    jsns = [rng.randrange(fam_16k.size) for _ in range(64)]
+    root = fam_16k.current_root()
+    position = iter(range(10**9))
+
+    def prove_one():
+        jsn = jsns[next(position) % len(jsns)]
+        proof = fam_16k.get_proof(jsn, anchored=False)
+        assert FamAccumulator.verify_full(fam_16k.leaf_digest(jsn), proof, root)
+
+    benchmark(prove_one)
+
+
+def test_tim_get_proof(benchmark, tim_16k):
+    rng = random.Random(3)
+    jsns = [rng.randrange(1 << 14) for _ in range(64)]
+    root = tim_16k.root(at_size=1 << 14)
+    position = iter(range(10**9))
+
+    def prove_one():
+        jsn = jsns[next(position) % len(jsns)]
+        proof = tim_16k.get_proof(jsn, at_size=1 << 14)
+        assert proof.verify(tim_16k.leaf(jsn), root)
+
+    benchmark(prove_one)

@@ -1,0 +1,64 @@
+"""Figure 9 benchmarks — CM-Tree vs ccMPT clue verification kernels.
+
+Full sweep: ``python -m repro.bench fig9``.  These cases pin the two
+models' per-verification cost on identical 50-entry clues (the Fig 9(a)
+comparison point) and the 1000-entry latency point of Fig 9(b).
+"""
+
+import pytest
+
+from repro.bench import fig9
+
+
+def _forced_clue(world, entries):
+    for name, count in world.forced_clues:
+        if count == entries:
+            return name
+    raise LookupError(f"no forced clue with {entries} entries")
+
+
+def test_cmtree_verify_50_entry_clue(benchmark, clue_world_8k):
+    clue = _forced_clue(clue_world_8k, 50)
+    result = benchmark(lambda: fig9.verify_cmtree_once(clue_world_8k, clue))
+    assert result
+
+
+def test_ccmpt_verify_50_entry_clue(benchmark, clue_world_8k):
+    clue = _forced_clue(clue_world_8k, 50)
+    result = benchmark(lambda: fig9.verify_ccmpt_once(clue_world_8k, clue))
+    assert result
+
+
+def test_cmtree_verify_1000_entry_clue(benchmark, clue_world_8k):
+    clue = _forced_clue(clue_world_8k, 1000)
+    result = benchmark(lambda: fig9.verify_cmtree_once(clue_world_8k, clue))
+    assert result
+
+
+def test_ccmpt_verify_1000_entry_clue(benchmark, clue_world_8k):
+    clue = _forced_clue(clue_world_8k, 1000)
+    result = benchmark(lambda: fig9.verify_ccmpt_once(clue_world_8k, clue))
+    assert result
+
+
+def test_cmtree_insertion(benchmark, clue_world_8k):
+    from repro.crypto.hashing import leaf_hash
+
+    counter = iter(range(10**9))
+    benchmark(
+        lambda: clue_world_8k.cmtree.add("bench-insert-clue", leaf_hash(b"%d" % next(counter)))
+    )
+
+
+def test_ccmpt_insertion(benchmark, clue_world_8k):
+    counter = iter(range(10**9))
+
+    def insert_one():
+        jsn = clue_world_8k.tim.append_digest(
+            __import__("repro.crypto.hashing", fromlist=["leaf_hash"]).leaf_hash(
+                b"cc-%d" % next(counter)
+            )
+        )
+        clue_world_8k.ccmpt.add("bench-insert-clue", jsn)
+
+    benchmark(insert_one)

@@ -1,0 +1,58 @@
+"""Table I benchmarks — storage backing for the comparison matrix.
+
+Rendered matrix: ``python -m repro.bench table1``.  Benchmarked kernels:
+the append cost of each commitment model backing the "Verify-Efficiency /
+Storage Overhead" columns, at equal journal counts.
+"""
+
+import pytest
+
+from repro.crypto.hashing import leaf_hash
+from repro.merkle.bim import BimLedger
+from repro.merkle.fam import FamAccumulator
+from repro.merkle.tim import TimAccumulator
+
+
+@pytest.fixture()
+def digests():
+    return iter(leaf_hash(b"t1-%d" % i) for i in range(10**9))
+
+
+def test_fam_append(benchmark, digests):
+    fam = FamAccumulator(6)
+    for _ in range(1024):
+        fam.append(next(digests))
+    benchmark(lambda: fam.append(next(digests)))
+
+
+def test_tim_append(benchmark, digests):
+    tim = TimAccumulator()
+    for _ in range(1024):
+        tim.append_digest(next(digests))
+    benchmark(lambda: tim.append_digest(next(digests)))
+
+
+def test_bim_append(benchmark):
+    bim = BimLedger(block_capacity=32)
+    counter = iter(range(10**9))
+    for _ in range(1024):
+        bim.append(b"tx-%d" % next(counter))
+    benchmark(lambda: bim.append(b"tx-%d" % next(counter)))
+
+
+def test_storage_overhead_ordering(benchmark):
+    """fam-with-purge keeps the least; bim headers cost the most (Table I)."""
+
+    def build_and_count():
+        count = 1024
+        local = [leaf_hash(i.to_bytes(4, "big")) for i in range(count)]
+        fam = FamAccumulator(5)
+        tim = TimAccumulator()
+        for digest in local:
+            fam.append(digest)
+            tim.append_digest(digest)
+        fam.erase_up_to(count // 2)
+        return fam.num_nodes(), tim.num_nodes()
+
+    fam_nodes, tim_nodes = benchmark(build_and_count)
+    assert fam_nodes < tim_nodes  # purge makes fam the "Lowest" row

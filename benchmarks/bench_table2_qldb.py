@@ -1,0 +1,34 @@
+"""Table II benchmarks — QLDB-simulator operation kernels.
+
+Full table: ``python -m repro.bench table2``.  These time the real Merkle
+work behind each QLDB operation (the modelled API/service milliseconds are
+accounted, not slept)."""
+
+import pytest
+
+from repro.baselines.qldb import QLDBSimulator
+
+
+@pytest.fixture(scope="module")
+def qldb():
+    simulator = QLDBSimulator()
+    for i in range(200):
+        simulator.insert("notary", f"doc-{i % 20}", b"x" * 1024)
+    return simulator
+
+
+def test_qldb_insert(benchmark, qldb):
+    counter = iter(range(10**9))
+    benchmark(lambda: qldb.insert("notary", f"bench-{next(counter)}", b"x" * 1024))
+
+
+def test_qldb_retrieve(benchmark, qldb):
+    benchmark(lambda: qldb.retrieve("notary", "doc-3"))
+
+
+def test_qldb_get_revision_verify(benchmark, qldb):
+    benchmark(lambda: qldb.get_revision("notary", "doc-3", 0))
+
+
+def test_qldb_lineage_verify_10_versions(benchmark, qldb):
+    benchmark(lambda: qldb.verify_lineage("notary", "doc-3"))

@@ -1,0 +1,27 @@
+"""Shared fixtures for the pytest-benchmark suites.
+
+Expensive structures (pre-filled accumulators, ledgers, clue worlds) are
+built once per session and shared across benchmarks.
+"""
+
+import pytest
+
+from repro.bench import fig8, fig9
+
+
+@pytest.fixture(scope="session")
+def fam_16k():
+    """fam-6 pre-filled with 16K journal digests."""
+    return fig8.build_fam(6, 1 << 14)
+
+
+@pytest.fixture(scope="session")
+def tim_16k():
+    """tim pre-filled with 16K journal digests."""
+    return fig8.build_tim(1 << 14)
+
+
+@pytest.fixture(scope="session")
+def clue_world_8k():
+    """A CM-Tree/ccMPT world with 8K journals and 50-entry forced clues."""
+    return fig9.build_world(1 << 13, forced_clue_sizes=(50,) * 4 + (1000,))

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Copyright lineage and regulatory occult — the §IV artwork example.
+
+An artwork is produced in 2005; royalties transfer in 2010 and 2015.  Clue
+``DCI001`` tracks the artwork's whole lifecycle: lineage verification must
+return *all three* records with their integrity — including the count — so a
+hidden transfer is detectable.
+
+Later, a record is found to leak unauthorized personal data, and the
+regulator + DBA jointly **occult** it (§III-A3): the payload becomes
+unretrievable, the retained hash keeps every proof chain intact, and the
+full audit still passes (Protocol 2).
+
+Run: python examples/copyright_notary.py
+"""
+
+from repro import (
+    ClientRequest,
+    DaseinVerifier,
+    KeyPair,
+    Ledger,
+    LedgerConfig,
+    MultiSignature,
+    OccultMode,
+    Role,
+    SimClock,
+    TimeLedger,
+    dasein_audit,
+)
+from repro.core import JournalOccultedError
+from repro.timeauth import TimeStampAuthority
+
+URI = "ledger://copyright-notary"
+
+# Simulated years on the ledger clock (seconds stand in for dates).
+YEAR_2005, YEAR_2010, YEAR_2015 = 5.0, 10.0, 15.0
+
+
+def main() -> None:
+    clock = SimClock()
+    tsa = TimeStampAuthority("ttas", clock)
+    tledger = TimeLedger(clock, tsa, finalize_interval=1.0, admission_tolerance=2.0)
+    ledger = Ledger(LedgerConfig(uri=URI, fractal_height=5, block_size=4), clock=clock)
+    ledger.attach_time_ledger(tledger)
+
+    artist = KeyPair.generate(seed="artist")
+    gallery = KeyPair.generate(seed="gallery")
+    collector = KeyPair.generate(seed="collector")
+    dba = KeyPair.generate(seed="dba")
+    regulator = KeyPair.generate(seed="ncac")  # the copyright administration
+    ledger.registry.register("artist", Role.USER, artist.public)
+    ledger.registry.register("gallery", Role.USER, gallery.public)
+    ledger.registry.register("collector", Role.USER, collector.public)
+    ledger.registry.register("dba", Role.DBA, dba.public)
+    ledger.registry.register("ncac", Role.REGULATOR, regulator.public)
+    keys = {"artist": artist, "gallery": gallery, "collector": collector}
+
+    def record(who, payload, when):
+        clock.advance_to(when)
+        request = ClientRequest.build(
+            URI, who, payload, clues=("DCI001",), nonce=payload[:4],
+            client_timestamp=clock.now(),
+        ).signed_by(keys[who])
+        receipt = ledger.append(request)
+        anchor = ledger.anchor_time()
+        return receipt
+
+    # --- The artwork's lifecycle -------------------------------------------
+    r1 = record("artist", b"artwork 'Dasein' produced; registration DCI001", YEAR_2005)
+    r2 = record("gallery", b"first royalty transfer: artist -> gallery, 12%", YEAR_2010)
+    r3 = record("collector", b"royalty transfer: gallery -> collector, 8%; "
+                             b"contact: alice@example.com +86-555-0100", YEAR_2015)
+    clock.advance(2.0)
+    ledger.collect_time_evidence()
+    ledger.commit_block()
+
+    # --- Lineage verification: all 3 records, in order, complete ----------
+    jsns = ledger.list_tx("DCI001")
+    journals = [ledger.get_journal(j) for j in jsns]
+    assert len(journals) == 3
+    proof = ledger.prove_clue("DCI001")
+    digests = {i: j.tx_hash() for i, j in enumerate(journals)}
+    assert proof.verify(digests, ledger.state_root())
+    print(f"DCI001 lineage: {len(journals)} records verified "
+          f"(production + {len(journals) - 1} royalty transfers)")
+
+    # --- when: each record's credible time window --------------------------
+    view = ledger.export_view()
+    verifier = DaseinVerifier(view, tsa_keys={"ttas": tsa.public_key})
+    for label, receipt in (("production", r1), ("royalty-1", r2), ("royalty-2", r3)):
+        bound, valid = verifier.verify_when(receipt.jsn)
+        print(f"  {label}: committed within ({bound.lower:.1f}, {bound.upper:.1f}) "
+              f"[verified={valid}]")
+        assert valid
+
+    # --- Regulation: the 2015 record leaked personal data ------------------
+    print("== regulator orders an occult of the leaking record ==")
+    occult_record = ledger.prepare_occult(
+        r3.jsn, OccultMode.SYNC, reason="unauthorized personal data (privacy law)"
+    )
+    approvals = MultiSignature(digest=occult_record.approval_digest())
+    approvals.add("dba", dba.sign(occult_record.approval_digest()))
+    approvals.add("ncac", regulator.sign(occult_record.approval_digest()))
+    ledger.execute_occult(occult_record, approvals)
+
+    try:
+        ledger.get_journal(r3.jsn)
+        raise SystemExit("occulted journal must not be retrievable")
+    except JournalOccultedError:
+        print(f"jsn {r3.jsn} payload is gone; retained hash "
+              f"{ledger.retained_hash(r3.jsn).hex()[:12]}... remains on ledger")
+
+    # Lineage count is intact — the transfer *happened*, its content is hidden.
+    assert ledger.clue_entry_count("DCI001") == 3
+    print("DCI001 lineage count still 3: the transfer's existence is provable, "
+          "its content is not retrievable")
+
+    # Existence (used-to-exist) verification via the retained hash.
+    from repro.merkle.fam import FamAccumulator
+
+    fam_proof = ledger.get_proof(r3.jsn, anchored=False)
+    assert FamAccumulator.verify_full(
+        ledger.retained_hash(r3.jsn), fam_proof, ledger.current_root()
+    )
+    print("used-to-exist verification via retained hash: OK")
+
+    # --- The full audit still passes (Protocol 2) --------------------------
+    report = dasein_audit(ledger.export_view(), tsa_keys={"ttas": tsa.public_key})
+    print(f"Dasein-complete audit after occult: passed={report.passed}")
+    assert report.passed
+
+
+if __name__ == "__main__":
+    main()

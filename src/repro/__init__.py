@@ -1,0 +1,101 @@
+"""repro — a from-scratch reproduction of *Ubiquitous Verification in
+Centralized Ledger Database* (ICDE 2022).
+
+The package implements LedgerDB's verification machinery end to end:
+
+* :mod:`repro.crypto` — SHA-256/SHA-3 digests, from-scratch ECDSA (P-256,
+  RFC 6979), a CA substrate, and multi-signatures;
+* :mod:`repro.storage` — append-only streams and KV node stores;
+* :mod:`repro.merkle` — the tree family: Shrubs accumulators, **fam**
+  (fractal accumulating model) with trusted anchors, tim/bim baselines, a
+  Merkle Patricia Trie, **CM-Tree** for N-lineage, and the ccMPT baseline;
+* :mod:`repro.timeauth` — TSA actors, one-/two-way pegging, **T-Ledger**,
+  and the timestamp-attack harness;
+* :mod:`repro.core` — the ledger kernel (journals, receipts, blocks, purge,
+  occult), Dasein what/when/who verification, and the §V audit;
+* :mod:`repro.baselines` — QLDB-, Fabric-, and ProvenDB-like comparators;
+* :mod:`repro.sim` / :mod:`repro.workloads` — the calibrated cost model and
+  deterministic workload generators behind the benchmark suite.
+
+Quickstart::
+
+    from repro import Ledger, LedgerConfig, ClientRequest, KeyPair, Role
+
+    ledger = Ledger(LedgerConfig(uri="ledger://demo"))
+    alice = KeyPair.generate(seed="alice")
+    ledger.registry.register("alice", Role.USER, alice.public)
+    request = ClientRequest.build(
+        "ledger://demo", "alice", b"hello ledger", clues=("CLUE-1",)
+    ).signed_by(alice)
+    receipt = ledger.append(request)
+    proof = ledger.get_proof(receipt.jsn)
+    assert ledger.verify_journal(ledger.get_journal(receipt.jsn), proof)
+"""
+
+from .core import (
+    AuditReport,
+    ClientRequest,
+    DaseinReport,
+    DaseinVerifier,
+    Journal,
+    JournalType,
+    Ledger,
+    LedgerConfig,
+    LedgerView,
+    MemberRegistry,
+    OccultMode,
+    Receipt,
+    dasein_audit,
+)
+from .crypto import CertificateAuthority, KeyPair, MultiSignature, PublicKey, Role, Signature
+from .merkle import (
+    AnchorStore,
+    CMTree,
+    ClueCounterMPT,
+    FamAccumulator,
+    MPT,
+    ShrubsAccumulator,
+    TimAccumulator,
+)
+from .timeauth import (
+    SimClock,
+    TimeLedger,
+    TimeStampAuthority,
+    TSAPool,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuditReport",
+    "ClientRequest",
+    "DaseinReport",
+    "DaseinVerifier",
+    "Journal",
+    "JournalType",
+    "Ledger",
+    "LedgerConfig",
+    "LedgerView",
+    "MemberRegistry",
+    "OccultMode",
+    "Receipt",
+    "dasein_audit",
+    "CertificateAuthority",
+    "KeyPair",
+    "MultiSignature",
+    "PublicKey",
+    "Role",
+    "Signature",
+    "AnchorStore",
+    "CMTree",
+    "ClueCounterMPT",
+    "FamAccumulator",
+    "MPT",
+    "ShrubsAccumulator",
+    "TimAccumulator",
+    "SimClock",
+    "TimeLedger",
+    "TimeStampAuthority",
+    "TSAPool",
+    "__version__",
+]

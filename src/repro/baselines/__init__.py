@@ -1,0 +1,25 @@
+"""Comparator systems: QLDB-like, Fabric-like, ProvenDB-like simulators."""
+
+from .capabilities import TABLE_I, Level, SystemCapabilities, render_table_i
+from .fabric import Endorsement, FabricNetwork, FabricOpResult
+from .factom import EntryProof, FactomEntry, FactomSimulator
+from .provendb import ProvenDBSimulator, VersionRecord
+from .qldb import OpResult, QLDBSimulator, Revision
+
+__all__ = [
+    "TABLE_I",
+    "Level",
+    "SystemCapabilities",
+    "render_table_i",
+    "Endorsement",
+    "FabricNetwork",
+    "FabricOpResult",
+    "EntryProof",
+    "FactomEntry",
+    "FactomSimulator",
+    "ProvenDBSimulator",
+    "VersionRecord",
+    "OpResult",
+    "QLDBSimulator",
+    "Revision",
+]

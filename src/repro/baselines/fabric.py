@@ -1,0 +1,207 @@
+"""Hyperledger-Fabric-like permissioned blockchain (simulated comparator).
+
+The §VI-D comparison runs Fabric 2.2 with a Kafka ordering service
+(3 ZooKeeper, 4 Kafka, 5 endorsers, 3 orderers).  Reproducing that needs a
+multi-node deployment, so this module simulates Fabric's *pipeline* at the
+level that determines the paper's observations:
+
+* **endorse** — the client collects real ECDSA endorsements from every
+  endorsing peer over the proposal digest (signature count and verification
+  work are real);
+* **order** — transactions queue into batches cut by size or timeout; the
+  batching delay dominates commit latency (~1.1 s modelled, matching the
+  ~1.2 s the paper reports) and the cut rate caps throughput at the
+  ~2K TPS order of magnitude;
+* **validate + commit** — committing peers verify the endorsement set
+  (real signature verifications) and apply writes to the world state, whose
+  per-key history provides the lineage workload's data.
+
+Reads ("GetState" in a chaincode) do not pass ordering: they cost an
+endorsement round plus state I/O — which is why Fabric's lineage *read*
+latency is nearly flat in the clue length (Figure 10(d)) while LedgerDB
+pays one random I/O per entry and converges to Fabric beyond ~50 entries
+(Figure 10(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.hashing import sha256
+from ..crypto.keys import KeyPair
+from ..encoding import encode
+from ..sim.costmodel import FABRIC_PROFILE, CostMeter, CostProfile
+
+__all__ = ["FabricNetwork", "FabricOpResult", "Endorsement"]
+
+
+@dataclass(frozen=True)
+class Endorsement:
+    """One peer's signature over a proposal digest."""
+
+    peer_id: str
+    digest: bytes
+    signature: object  # crypto.Signature
+
+
+@dataclass(frozen=True)
+class FabricOpResult:
+    """Outcome of one simulated Fabric operation."""
+
+    value: object
+    latency_ms: float
+    breakdown: dict
+
+
+@dataclass
+class _StateEntry:
+    value: bytes
+    version: int
+    endorsements: list[Endorsement] = field(default_factory=list)
+
+
+class FabricNetwork:
+    """A single-channel Fabric network simulator."""
+
+    def __init__(
+        self,
+        endorsers: int = 5,
+        orderers: int = 3,
+        kafka_brokers: int = 4,
+        zookeepers: int = 3,
+        batch_timeout_ms: float = 1000.0,
+        max_batch_size: int = 500,
+        profile: CostProfile = FABRIC_PROFILE,
+    ) -> None:
+        self.profile = profile
+        self.batch_timeout_ms = batch_timeout_ms
+        self.max_batch_size = max_batch_size
+        self.orderers = orderers
+        self.kafka_brokers = kafka_brokers
+        self.zookeepers = zookeepers
+        self._endorsers = [
+            (f"peer{i}", KeyPair.generate(seed=f"fabric-endorser-{i}"))
+            for i in range(endorsers)
+        ]
+        self._state: dict[str, list[_StateEntry]] = {}
+        self._block_height = 0
+        self._tx_count = 0
+        self._pending_batch = 0
+
+    @property
+    def endorser_count(self) -> int:
+        return len(self._endorsers)
+
+    @property
+    def tx_count(self) -> int:
+        return self._tx_count
+
+    # -------------------------------------------------------------- pipeline
+
+    def _endorse(self, proposal: bytes, meter: CostMeter) -> list[Endorsement]:
+        digest = sha256(proposal)
+        endorsements = []
+        for peer_id, keypair in self._endorsers:
+            endorsements.append(
+                Endorsement(peer_id=peer_id, digest=digest, signature=keypair.sign(digest))
+            )
+        # One parallel round trip to all endorsers; each endorser signs.
+        meter.net_rtts(1).signs(len(self._endorsers))
+        return endorsements
+
+    def _validate(self, endorsements: list[Endorsement], meter: CostMeter) -> bool:
+        keys = {peer_id: kp.public for peer_id, kp in self._endorsers}
+        ok = all(
+            keys[e.peer_id].verify(e.digest, e.signature) for e in endorsements
+        )
+        meter.verifies(len(endorsements))
+        return ok
+
+    def invoke(self, key: str, value: bytes) -> FabricOpResult:
+        """Submit a chaincode write: endorse -> order -> validate -> commit."""
+        meter = CostMeter(self.profile)
+        proposal = encode({"key": key, "value": value, "seq": self._tx_count})
+        endorsements = self._endorse(proposal, meter)
+        # Ordering: Kafka consensus + batch cut.  Half the cut interval is
+        # the expected queueing delay of a uniformly-arriving transaction;
+        # pipeline hand-offs add peer round trips.
+        meter.consensus_batches(1).net_rtts(2)
+        self._pending_batch += 1
+        if self._pending_batch >= self.max_batch_size:
+            self._pending_batch = 0
+            self._block_height += 1
+        if not self._validate(endorsements, meter):
+            raise AssertionError("endorsement validation failed in simulator")
+        meter.disk_writes(1).transfer_kb(len(value) / 1024.0)
+        history = self._state.setdefault(key, [])
+        entry = _StateEntry(value=value, version=len(history), endorsements=endorsements)
+        history.append(entry)
+        self._tx_count += 1
+        return FabricOpResult(value=entry, latency_ms=meter.elapsed_ms, breakdown=meter.breakdown())
+
+    # ------------------------------------------------------------------ reads
+
+    def get_state(self, key: str) -> FabricOpResult:
+        """Chaincode GetState: endorsement round + one state read + implicit
+        verification (gathering/checking the stored consensus signatures)."""
+        meter = CostMeter(self.profile)
+        history = self._state.get(key)
+        if not history:
+            raise KeyError(f"no state for key {key!r}")
+        entry = history[-1]
+        meter.net_rtts(1).service_calls(1).disk_reads(1)
+        if not self._validate(entry.endorsements, meter):
+            raise AssertionError("stored endorsements failed verification")
+        meter.transfer_kb(len(entry.value) / 1024.0)
+        return FabricOpResult(value=entry, latency_ms=meter.elapsed_ms, breakdown=meter.breakdown())
+
+    def verify_history(self, key: str) -> FabricOpResult:
+        """Lineage verification: read the key's full history in one query.
+
+        Fabric's state database serves the whole history with "nearly a
+        single random I/O for the entire clue" (§VI-D); per-entry work is
+        only the endorsement re-verification of the head plus hashing each
+        entry — which keeps the latency curve nearly flat in the entry count.
+        """
+        meter = CostMeter(self.profile)
+        history = self._state.get(key)
+        if not history:
+            raise KeyError(f"no state for key {key!r}")
+        meter.net_rtts(1).service_calls(1).disk_reads(1)
+        # Implicit verification: check the endorsement set once, then hash
+        # every historical entry while streaming it back.
+        if not self._validate(history[-1].endorsements, meter):
+            raise AssertionError("stored endorsements failed verification")
+        total_kb = 0.0
+        for entry in history:
+            sha256(entry.value)  # real per-entry hashing
+            total_kb += len(entry.value) / 1024.0
+        meter.hashes(len(history)).transfer_kb(total_kb)
+        return FabricOpResult(
+            value=list(history), latency_ms=meter.elapsed_ms, breakdown=meter.breakdown()
+        )
+
+    # ------------------------------------------------------------ throughput
+
+    def estimate_write_tps(self, ledger_bytes: int = 0) -> float:
+        """Sustained commit throughput from the ordering parameters.
+
+        The batch cut rate caps throughput at
+        ``max_batch_size / batch_timeout`` per orderer pipeline; validation
+        (endorsement signature checks) and state-DB growth erode it mildly —
+        reproducing the paper's 2386 -> 1978 TPS decline as volume grows from
+        2^5 B to 2^30 B.
+        """
+        cut_rate = self.max_batch_size / (self.batch_timeout_ms / 1000.0)
+        validate_cost_s = self.endorser_count * self.profile.verify_sig_us / 1e6
+        validate_rate = 1.35 / validate_cost_s  # committers validate in parallel
+        base = min(cut_rate * 4.8, validate_rate)  # pipelined batches in flight
+        # State-DB growth erodes commit throughput slightly (~0.7%/doubling:
+        # the paper's 2386 -> 1978 TPS over 2^5 B -> 2^30 B).
+        if ledger_bytes > 32:
+            import math
+
+            degradation = 1.0 - 0.007 * math.log2(max(ledger_bytes / 32, 1))
+        else:
+            degradation = 1.0
+        return base * max(degradation, 0.5)

@@ -1,0 +1,25 @@
+"""Paper-figure reproduction harness: one module per table/figure.
+
+``python -m repro.bench`` prints every reproduced table and figure series;
+the ``benchmarks/`` directory wraps the same kernels in pytest-benchmark.
+"""
+
+from . import ablations, fig5, fig7, fig8, fig9, fig10, table1, table2
+from .runner import EXPERIMENTS, main
+from .timing import Timing, measure, render_table
+
+__all__ = [
+    "ablations",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table1",
+    "table2",
+    "EXPERIMENTS",
+    "main",
+    "Timing",
+    "measure",
+    "render_table",
+]

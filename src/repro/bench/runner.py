@@ -1,0 +1,56 @@
+"""Run every table/figure reproduction and print the paper-style report.
+
+Usage::
+
+    python -m repro.bench            # quick mode (laptop-friendly sizes)
+    python -m repro.bench --full     # full sweep
+    python -m repro.bench fig8 fig9  # selected experiments only
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ablations, fig5, fig7, fig8, fig9, fig10, table1, table2
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "fig5": fig5,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "ablations": ablations,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    quick = True
+    if "--full" in args:
+        quick = False
+        args.remove("--full")
+    selected = args or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choose from {sorted(EXPERIMENTS)}")
+        return 2
+    mode = "quick" if quick else "full"
+    print(f"# LedgerDB verification reproduction — {mode} mode\n")
+    for name in selected:
+        module = EXPERIMENTS[name]
+        start = time.perf_counter()
+        result = module.run(quick=quick)
+        elapsed = time.perf_counter() - start
+        print(f"## {name}  ({elapsed:.1f}s)\n")
+        print(module.render(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Small timing utilities shared by the figure-reproduction benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Timing", "measure", "render_table"]
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Wall-clock measurement of a repeated operation."""
+
+    total_s: float
+    operations: int
+
+    @property
+    def per_op_ms(self) -> float:
+        return self.total_s * 1000.0 / max(self.operations, 1)
+
+    @property
+    def ops_per_s(self) -> float:
+        if self.total_s <= 0:
+            return float("inf")
+        return self.operations / self.total_s
+
+
+def measure(fn: Callable[[], object], operations: int = 1, repeat: int = 3) -> Timing:
+    """Run ``fn`` ``repeat`` times; keep the fastest run.
+
+    ``operations`` declares how many logical operations one call performs,
+    so TPS numbers come out per-operation.
+    """
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return Timing(total_s=best, operations=operations)
+
+
+def render_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned text table with a title line."""
+    all_rows = [headers] + rows
+    widths = [max(len(str(row[i])) for row in all_rows) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

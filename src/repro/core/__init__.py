@@ -1,0 +1,61 @@
+"""LedgerDB core: the ledger kernel, Dasein verification, and the audit."""
+
+from . import api
+from .audit import AuditReport, AuditStep, dasein_audit
+from .blocks import Block
+from .client import ClientState, LedgerClient
+from .cluesl import ClueSkipList
+from .errors import (
+    AuthenticationError,
+    AuthorizationError,
+    JournalNotFoundError,
+    JournalOccultedError,
+    JournalPurgedError,
+    LedgerError,
+    MutationError,
+    VerificationFailure,
+)
+from .journal import ClientRequest, Journal, JournalType
+from .ledger import LSP_MEMBER_ID, JournalEntryView, Ledger, LedgerConfig, LedgerView
+from .members import MemberRegistry
+from .occult import OccultBitmap, OccultMode, OccultRecord
+from .purge import PseudoGenesis, PurgeRecord
+from .receipt import Receipt
+from .verification import DaseinReport, DaseinVerifier, parse_time_journal
+
+__all__ = [
+    "api",
+    "ClientState",
+    "LedgerClient",
+    "AuditReport",
+    "AuditStep",
+    "dasein_audit",
+    "Block",
+    "ClueSkipList",
+    "AuthenticationError",
+    "AuthorizationError",
+    "JournalNotFoundError",
+    "JournalOccultedError",
+    "JournalPurgedError",
+    "LedgerError",
+    "MutationError",
+    "VerificationFailure",
+    "ClientRequest",
+    "Journal",
+    "JournalType",
+    "LSP_MEMBER_ID",
+    "JournalEntryView",
+    "Ledger",
+    "LedgerConfig",
+    "LedgerView",
+    "MemberRegistry",
+    "OccultBitmap",
+    "OccultMode",
+    "OccultRecord",
+    "PseudoGenesis",
+    "PurgeRecord",
+    "Receipt",
+    "DaseinReport",
+    "DaseinVerifier",
+    "parse_time_journal",
+]

@@ -1,0 +1,161 @@
+"""The paper-style LedgerDB API facade (§II-C, §IV-C).
+
+LedgerDB exposes "a set of APIs (e.g., Create, Append, Verify)" and a
+clue-aware Verify signature::
+
+    Verify(lgid, CLUE, *{key, txdata, rho, root}, level)
+
+This module is a thin procedural facade over the object API, matching the
+paper's surface for users porting pseudocode: a process-wide registry of
+ledgers by ``lgid`` plus free functions Create / Append / ListTx / GetProof /
+Verify with the client/server ``level`` switch.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+from ..crypto.keys import KeyPair
+from ..merkle.fam import FamAccumulator
+from .errors import LedgerError
+from .journal import ClientRequest, Journal
+from .ledger import Ledger, LedgerConfig
+from .receipt import Receipt
+
+__all__ = [
+    "VerifyTarget",
+    "VerifyLevel",
+    "create",
+    "get_ledger",
+    "drop_ledger",
+    "append_tx",
+    "list_tx",
+    "get_proof",
+    "verify",
+]
+
+
+class VerifyTarget(Enum):
+    """The enumeration parameter of the paper's Verify API."""
+
+    TX = "tx"  # existence of a single journal
+    CLUE = "clue"  # clue-oriented N-lineage verification
+
+
+class VerifyLevel(Enum):
+    """Who runs the validation (§IV-C ``level``)."""
+
+    SERVER = "server"  # the LSP validates; caller trusts the result
+    CLIENT = "client"  # proof sets are returned and validated caller-side
+
+
+_LEDGERS: dict[str, Ledger] = {}
+
+
+def create(lgid: str, **kwargs: Any) -> Ledger:
+    """The Create API: register a new ledger under ``lgid``."""
+    if lgid in _LEDGERS:
+        raise LedgerError(f"ledger {lgid!r} already exists")
+    config = kwargs.pop("config", None) or LedgerConfig(uri=lgid)
+    ledger = Ledger(config=config, **kwargs)
+    _LEDGERS[lgid] = ledger
+    return ledger
+
+
+def get_ledger(lgid: str) -> Ledger:
+    try:
+        return _LEDGERS[lgid]
+    except KeyError:
+        raise LedgerError(f"unknown ledger: {lgid!r}") from None
+
+
+def drop_ledger(lgid: str) -> None:
+    """Remove a ledger from the facade registry (testing hygiene)."""
+    _LEDGERS.pop(lgid, None)
+
+
+def append_tx(
+    lgid: str,
+    client_id: str,
+    payload: bytes,
+    clue: str | None = None,
+    keypair: KeyPair | None = None,
+    request: ClientRequest | None = None,
+) -> Receipt:
+    """The AppendTx API: ``AppendTx(lg_id, payload, 'DCI001')`` (§IV-A).
+
+    Either pass a pre-signed ``request`` or a ``keypair`` to sign locally.
+    """
+    ledger = get_ledger(lgid)
+    if request is None:
+        if keypair is None:
+            raise LedgerError("need a signed request or a keypair to sign with")
+        request = ClientRequest.build(
+            lgid,
+            client_id,
+            payload,
+            clues=(clue,) if clue else (),
+            nonce=ledger.size.to_bytes(8, "big"),
+            client_timestamp=ledger.clock.now(),
+        ).signed_by(keypair)
+    return ledger.append(request)
+
+
+def list_tx(lgid: str, clue: str) -> list[Journal]:
+    """The ListTx API: all retrievable journals carrying ``clue``."""
+    ledger = get_ledger(lgid)
+    journals = []
+    for jsn in ledger.list_tx(clue):
+        journals.append(ledger.get_journal(jsn))
+    return journals
+
+
+def get_proof(lgid: str, jsn: int, anchored: bool = True):
+    """The GetProof API."""
+    return get_ledger(lgid).get_proof(jsn, anchored=anchored)
+
+
+def verify(
+    lgid: str,
+    target: VerifyTarget,
+    *,
+    key: str | None = None,
+    txdata: list[Journal] | None = None,
+    rho: Any = None,
+    root: bytes | None = None,
+    level: VerifyLevel = VerifyLevel.SERVER,
+) -> bool:
+    """The Verify API (§IV-C): ``Verify(lgid, CLUE, {key, txdata, rho, root}, level)``.
+
+    * ``target=TX`` — existence of the single journal in ``txdata[0]``;
+      ``rho`` optionally carries a pre-fetched fam proof.
+    * ``target=CLUE`` — N-lineage verification of clue ``key`` over
+      ``txdata`` (all related journals, in order); ``rho`` optionally
+      carries a pre-fetched :class:`~repro.merkle.cmtree.ClueProof`; ``root``
+      is the caller's trusted CM-Tree1 datum (client level).
+    """
+    ledger = get_ledger(lgid)
+    if target is VerifyTarget.TX:
+        if not txdata or len(txdata) != 1:
+            raise LedgerError("TX verification takes exactly one journal in txdata")
+        journal = txdata[0]
+        if level is VerifyLevel.SERVER:
+            return ledger.verify_journal(journal, rho)
+        proof = rho if rho is not None else ledger.get_proof(journal.jsn, anchored=False)
+        trusted = root if root is not None else (
+            ledger.latest_receipt.ledger_root if ledger.latest_receipt else None
+        )
+        if trusted is None:
+            raise LedgerError("client-level TX verification needs a trusted root")
+        return FamAccumulator.verify_full(journal.tx_hash(), proof, trusted)
+    if target is VerifyTarget.CLUE:
+        if key is None or txdata is None:
+            raise LedgerError("CLUE verification needs key and txdata")
+        if level is VerifyLevel.SERVER:
+            return ledger.verify_clue(key, txdata)
+        proof = rho if rho is not None else ledger.prove_clue(key)
+        trusted = root if root is not None else ledger.state_root()
+        digests = {i: j.tx_hash() for i, j in enumerate(txdata)}
+        return proof.verify(digests, trusted)
+    raise LedgerError(f"unsupported verification target: {target}")

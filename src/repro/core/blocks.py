@@ -1,0 +1,71 @@
+"""Block commit layer.
+
+LedgerDB blurs the block concept for writes (journals commit individually
+into fam), but blocks still exist as audit and snapshot units: "when
+transactions fill up a block, a block-hash is calculated during block
+committing" (§III-C), CM-Tree1's root "is calculated and recorded in every
+block to capture the verifiable snapshot according to its block version"
+(§IV-B2), and the §V audit walks block ranges between time journals.
+
+A block header commits: its journal range, the fam commitment, the CM-Tree1
+(state) root, and the previous block hash — the chain link audit step 4
+verifies across adjacent blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashing import Digest, block_hash
+from ..encoding import decode, encode
+
+__all__ = ["Block"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable committed block header."""
+
+    height: int
+    previous_hash: Digest
+    start_jsn: int
+    end_jsn: int  # exclusive
+    journal_root: Digest  # fam commitment after end_jsn - 1
+    state_root: Digest  # CM-Tree1 root snapshot at this block version
+    timestamp: float
+
+    def header_bytes(self) -> bytes:
+        return encode(
+            {
+                "height": self.height,
+                "previous_hash": self.previous_hash,
+                "start_jsn": self.start_jsn,
+                "end_jsn": self.end_jsn,
+                "journal_root": self.journal_root,
+                "state_root": self.state_root,
+                "timestamp": self.timestamp,
+            }
+        )
+
+    def hash(self) -> Digest:
+        return block_hash(self.header_bytes())
+
+    def contains_jsn(self, jsn: int) -> bool:
+        return self.start_jsn <= jsn < self.end_jsn
+
+    @property
+    def tx_count(self) -> int:
+        return self.end_jsn - self.start_jsn
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Block":
+        obj = decode(data)
+        return cls(
+            height=obj["height"],
+            previous_hash=bytes(obj["previous_hash"]),
+            start_jsn=obj["start_jsn"],
+            end_jsn=obj["end_jsn"],
+            journal_root=bytes(obj["journal_root"]),
+            state_root=bytes(obj["state_root"]),
+            timestamp=obj["timestamp"],
+        )

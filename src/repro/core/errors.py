@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ledger kernel."""
+
+from __future__ import annotations
+
+__all__ = [
+    "LedgerError",
+    "AuthenticationError",
+    "AuthorizationError",
+    "VerificationFailure",
+    "MutationError",
+    "JournalNotFoundError",
+    "JournalOccultedError",
+    "JournalPurgedError",
+]
+
+
+class LedgerError(Exception):
+    """Base class for all ledger-kernel errors."""
+
+
+class AuthenticationError(LedgerError):
+    """A request's signature or certificate failed validation (threat-A)."""
+
+
+class AuthorizationError(LedgerError):
+    """The acting member lacks the role a privileged operation requires."""
+
+
+class VerificationFailure(LedgerError):
+    """A verification that should pass on honest data did not."""
+
+
+class MutationError(LedgerError):
+    """A purge/occult operation violated its prerequisite or protocol."""
+
+
+class JournalNotFoundError(LedgerError):
+    """No journal exists at the requested jsn."""
+
+    def __init__(self, jsn: int) -> None:
+        super().__init__(f"no journal at jsn {jsn}")
+        self.jsn = jsn
+
+
+class JournalOccultedError(LedgerError):
+    """The journal was occulted: its payload is unretrievable by design."""
+
+    def __init__(self, jsn: int) -> None:
+        super().__init__(f"journal {jsn} has been occulted; only its digest remains")
+        self.jsn = jsn
+
+
+class JournalPurgedError(LedgerError):
+    """The journal was erased by a purge operation."""
+
+    def __init__(self, jsn: int) -> None:
+        super().__init__(f"journal {jsn} was purged from the ledger")
+        self.jsn = jsn

@@ -1,0 +1,149 @@
+"""Journal model: client requests, committed journals, and their digests.
+
+The journal is LedgerDB's unit of append (§II-C).  A client builds a
+:class:`ClientRequest` — payload plus metadata (ledger uri, type, nonce,
+clues) — computes its *request-hash*, and signs it (proof pi_c).  The server
+turns an admitted request into a :class:`Journal` carrying a unique
+incremental *jsn*; the digest of the serialized journal is the *tx-hash*
+accumulated by fam.
+
+Special journal types (time, purge, occult) are system journals issued by
+the LSP; their payloads carry the respective protocol records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from ..crypto.ecdsa import Signature
+from ..crypto.hashing import Digest, journal_hash, receipt_hash
+from ..crypto.keys import KeyPair
+from ..encoding import decode, encode
+
+__all__ = ["JournalType", "ClientRequest", "Journal"]
+
+
+class JournalType(Enum):
+    """Kinds of entries on the ledger."""
+
+    GENESIS = "genesis"
+    NORMAL = "normal"
+    TIME = "time"  # anchored TSA / T-Ledger evidence (pi_t)
+    PURGE = "purge"  # records a purge operation (Prerequisite 1)
+    OCCULT = "occult"  # records an occult operation (Prerequisite 2)
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """A signed client transaction submission (Figure 1, left side)."""
+
+    ledger_uri: str
+    client_id: str
+    journal_type: JournalType
+    payload: bytes
+    clues: tuple[str, ...]
+    nonce: bytes
+    client_timestamp: float
+    signature: Signature | None = None
+
+    def request_hash(self) -> Digest:
+        """The digest the client signs — covers the entire transaction."""
+        return receipt_hash(
+            encode(
+                {
+                    "ledger_uri": self.ledger_uri,
+                    "client_id": self.client_id,
+                    "journal_type": self.journal_type.value,
+                    "payload": self.payload,
+                    "clues": list(self.clues),
+                    "nonce": self.nonce,
+                    "client_timestamp": self.client_timestamp,
+                }
+            )
+        )
+
+    def signed_by(self, keypair: KeyPair) -> "ClientRequest":
+        """Return a copy carrying the client's signature pi_c."""
+        return replace(self, signature=keypair.sign(self.request_hash()))
+
+    @classmethod
+    def build(
+        cls,
+        ledger_uri: str,
+        client_id: str,
+        payload: bytes,
+        clues: tuple[str, ...] = (),
+        nonce: bytes = b"",
+        client_timestamp: float = 0.0,
+        journal_type: JournalType = JournalType.NORMAL,
+    ) -> "ClientRequest":
+        return cls(
+            ledger_uri=ledger_uri,
+            client_id=client_id,
+            journal_type=journal_type,
+            payload=payload,
+            clues=tuple(clues),
+            nonce=nonce,
+            client_timestamp=client_timestamp,
+        )
+
+
+@dataclass(frozen=True)
+class Journal:
+    """A committed ledger entry.
+
+    ``tx_hash`` (the fam leaf digest) is the hash of :meth:`to_bytes`, which
+    covers every field below — so tampering any of them after commitment is
+    detectable by existence verification.
+    """
+
+    jsn: int
+    journal_type: JournalType
+    client_id: str
+    payload: bytes
+    clues: tuple[str, ...]
+    timestamp: float  # server-side commit time (local, non-authoritative)
+    nonce: bytes
+    request_hash: Digest
+    client_signature: Signature | None
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialization (the bytes stored on the journal stream)."""
+        return encode(
+            {
+                "jsn": self.jsn,
+                "journal_type": self.journal_type.value,
+                "client_id": self.client_id,
+                "payload": self.payload,
+                "clues": list(self.clues),
+                "timestamp": self.timestamp,
+                "nonce": self.nonce,
+                "request_hash": self.request_hash,
+                "client_signature": (
+                    self.client_signature.to_bytes() if self.client_signature else b""
+                ),
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Journal":
+        obj = decode(data)
+        signature_bytes = bytes(obj["client_signature"])
+        return cls(
+            jsn=obj["jsn"],
+            journal_type=JournalType(obj["journal_type"]),
+            client_id=obj["client_id"],
+            payload=bytes(obj["payload"]),
+            clues=tuple(obj["clues"]),
+            timestamp=obj["timestamp"],
+            nonce=bytes(obj["nonce"]),
+            request_hash=bytes(obj["request_hash"]),
+            client_signature=(
+                Signature.from_bytes(signature_bytes) if signature_bytes else None
+            ),
+        )
+
+    def tx_hash(self) -> Digest:
+        """The server-side journal digest accumulated by fam (§III-C)."""
+        return journal_hash(self.to_bytes())

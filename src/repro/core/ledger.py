@@ -1,0 +1,959 @@
+"""The LedgerDB kernel: Create / Append / GetProof / Verify plus mutations.
+
+This module wires every substrate together into the system of Figure 1/2:
+
+* journals land on an append-only **stream** and their tx-hashes in the
+  **fam** accumulator (*what*);
+* clue-tagged journals also enter the **CM-Tree** world-state and the **cSL**
+  retrieval index (*N-lineage*);
+* every ``block_size`` journals a **block** seals the fam commitment and the
+  CM-Tree1 state root (audit / snapshot granularity);
+* the LSP signs a **receipt** per commit (*who*, pi_s) and periodically
+  anchors the fam root to a **TSA or T-Ledger** as time journals (*when*,
+  pi_t);
+* **purge** and **occult** provide the two verifiable mutations.
+
+The server-side trust model: a client that trusts the LSP calls the
+``verify_*`` convenience methods here; a distrusting auditor instead calls
+:meth:`Ledger.export_view` and uses :mod:`repro.core.audit` /
+:mod:`repro.core.verification` entirely client-side.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from ..crypto.ca import Role
+from ..crypto.hashing import Digest, EMPTY_DIGEST, hexdigest
+from ..crypto.keys import KeyPair
+from ..crypto.multisig import MultiSignature, MultiSignatureError
+from ..encoding import encode
+from ..merkle.cmtree import ClueProof, CMTree
+from ..merkle.fam import AnchorStore, FamAccumulator, FamProof
+from ..storage.stream import MemoryStream, RecordErasedError, Stream
+from ..timeauth.clock import Clock, SimClock
+from ..timeauth.tledger import TimeEvidence, TimeLedger
+from ..timeauth.tsa import TimeStampAuthority, TimeStampToken, TSAPool
+from .blocks import Block
+from .cluesl import ClueSkipList
+from .errors import (
+    AuthenticationError,
+    JournalNotFoundError,
+    JournalOccultedError,
+    JournalPurgedError,
+    LedgerError,
+    MutationError,
+)
+from .journal import ClientRequest, Journal, JournalType
+from .members import MemberRegistry
+from .occult import OccultBitmap, OccultMode, OccultRecord
+from .purge import PseudoGenesis, PurgeRecord
+from .receipt import Receipt
+
+__all__ = ["LedgerConfig", "Ledger", "LedgerView", "JournalEntryView", "LSP_MEMBER_ID"]
+
+#: The LSP's reserved member id (registered automatically at Create).
+LSP_MEMBER_ID = "__lsp__"
+
+
+@dataclass(frozen=True)
+class LedgerConfig:
+    """Static configuration fixed at ledger creation."""
+
+    uri: str = "ledger://default"
+    fractal_height: int = 10  # fam delta (epoch capacity 2^delta)
+    block_size: int = 16  # journals per committed block
+    require_client_signature: bool = True
+
+
+@dataclass(frozen=True)
+class JournalEntryView:
+    """One slot of an exported ledger view.
+
+    ``data`` is the serialized journal, or ``None`` when the payload is gone
+    (purged or occulted); ``retained_hash`` is always present — it is the fam
+    leaf digest, which survives every mutation by design.
+    """
+
+    jsn: int
+    data: bytes | None
+    retained_hash: Digest
+    occulted: bool
+    purged: bool
+
+
+@dataclass(frozen=True)
+class LedgerView:
+    """Everything an external (distrusting) auditor downloads.
+
+    Contains no secrets: journal bytes, block headers, certificates, mutation
+    records with their multi-signatures, time-journal evidence, and the
+    pseudo-genesis (if any).  :mod:`repro.core.audit` consumes this.
+    """
+
+    uri: str
+    fractal_height: int
+    block_size: int
+    entries: list[JournalEntryView]  # index 0 = jsn genesis_start
+    genesis_start: int  # first jsn present (0, or pseudo-genesis purge point)
+    blocks: list[Block]
+    certificates: dict  # member_id -> Certificate
+    ca_public_key: object  # PublicKey
+    lsp_member_id: str
+    latest_receipt: Receipt | None
+    pseudo_genesis: PseudoGenesis | None
+    purge_approvals: list[tuple[int, PurgeRecord, MultiSignature]]
+    occult_approvals: list[tuple[int, OccultRecord, MultiSignature]]
+    time_evidence: dict  # jsn -> TimeEvidence | TimeStampToken
+
+    def entry(self, jsn: int) -> JournalEntryView:
+        index = jsn - self.genesis_start
+        if not 0 <= index < len(self.entries):
+            raise JournalNotFoundError(jsn)
+        return self.entries[index]
+
+
+class Ledger:
+    """A LedgerDB instance (the LSP's server-side state)."""
+
+    def __init__(
+        self,
+        config: LedgerConfig | None = None,
+        clock: Clock | None = None,
+        registry: MemberRegistry | None = None,
+        lsp_keypair: KeyPair | None = None,
+        journal_stream: Stream | None = None,
+    ) -> None:
+        self.config = config or LedgerConfig()
+        self.clock = clock or SimClock()
+        self.registry = registry or MemberRegistry()
+        self._lsp_keypair = lsp_keypair or KeyPair.generate(seed=f"lsp:{self.config.uri}")
+        self.registry.register(LSP_MEMBER_ID, Role.LSP, self._lsp_keypair.public)
+
+        self._stream = journal_stream if journal_stream is not None else MemoryStream()
+        self._survival_stream = MemoryStream()
+        self._fam = FamAccumulator(self.config.fractal_height)
+        self._cmtree = CMTree()
+        self._cluesl = ClueSkipList()
+        self._blocks: list[Block] = []
+        self._pending_start = 0  # first jsn not yet sealed in a block
+
+        self._occult_bitmap = OccultBitmap()
+        self._occult_records: list[tuple[int, OccultRecord, MultiSignature]] = []
+        self._erase_queue: list[int] = []  # async occult backlog
+        self._purge_records: list[tuple[int, PurgeRecord, MultiSignature]] = []
+        self._pseudo_genesis: PseudoGenesis | None = None
+        self._genesis_start = 0  # first retrievable jsn (moves on purge)
+        self._survivors: dict[int, int] = {}  # jsn -> survival stream offset
+
+        self._time_journals: list[int] = []
+        self._time_evidence: dict[int, TimeEvidence | TimeStampToken] = {}
+        self._tledger: TimeLedger | None = None
+        self._tsa: TimeStampAuthority | TSAPool | None = None
+        self._pending_tledger: list[tuple[int, int]] = []  # (time jsn, notary seq)
+
+        self._latest_receipt: Receipt | None = None
+        self._receipts: dict[int, Receipt] = {}
+
+        self._append_genesis()
+
+    # ------------------------------------------------------------- creation
+
+    @classmethod
+    def create(cls, uri: str, **kwargs) -> "Ledger":
+        """The Create API: a fresh ledger with a genesis journal."""
+        config = kwargs.pop("config", None) or LedgerConfig(uri=uri)
+        if config.uri != uri:
+            raise LedgerError("config uri does not match")
+        return cls(config=config, **kwargs)
+
+    @classmethod
+    def recover(
+        cls,
+        config: LedgerConfig,
+        journal_stream: Stream,
+        registry: MemberRegistry,
+        lsp_keypair: KeyPair,
+        clock: Clock | None = None,
+    ) -> "Ledger":
+        """Rebuild a ledger from its durable journal stream.
+
+        Every derived structure — fam accumulator, CM-Tree, cSL index,
+        blocks, occult bitmap, purge state — is reconstructed by replaying
+        the stream.  Mutation state recovers from the *system journals on
+        the ledger itself*: occult journals re-set the bitmap, the last
+        purge journal re-installs its recorded state.  Erased slots
+        (purged/occulted payloads) contribute their digests via the
+        adjacent mutation records, which is exactly Protocol 1/2 replayed.
+
+        The registry and LSP key pair are deployment secrets/PKI state kept
+        outside the stream (as in any real system) and must be supplied.
+
+        A fresh receipt for the last journal is issued after recovery so
+        clients and audits have a current pi_s.
+        """
+        if len(journal_stream) == 0:
+            raise LedgerError("cannot recover from an empty stream")
+        ledger = cls.__new__(cls)
+        ledger.config = config
+        ledger.clock = clock or SimClock()
+        ledger.registry = registry
+        ledger._lsp_keypair = lsp_keypair
+        if LSP_MEMBER_ID not in registry.all_members():
+            registry.register(LSP_MEMBER_ID, Role.LSP, lsp_keypair.public)
+
+        ledger._stream = journal_stream
+        ledger._survival_stream = MemoryStream()
+        ledger._fam = FamAccumulator(config.fractal_height)
+        ledger._cmtree = CMTree()
+        ledger._cluesl = ClueSkipList()
+        ledger._blocks = []
+        ledger._pending_start = 0
+        ledger._occult_bitmap = OccultBitmap()
+        ledger._occult_records = []
+        ledger._erase_queue = []
+        ledger._purge_records = []
+        ledger._pseudo_genesis = None
+        ledger._genesis_start = 0
+        ledger._survivors = {}
+        ledger._time_journals = []
+        ledger._time_evidence = {}
+        ledger._tledger = None
+        ledger._tsa = None
+        ledger._pending_tledger = []
+        ledger._latest_receipt = None
+        ledger._receipts = {}
+
+        # Pass 1: collect mutation records from intact system journals, so
+        # erased slots' digests can be sourced during the replay.
+        occult_by_target: dict[int, OccultRecord] = {}
+        for offset in range(len(journal_stream)):
+            if journal_stream.is_erased(offset):
+                continue
+            journal = Journal.from_bytes(journal_stream.read(offset))
+            if journal.journal_type is JournalType.OCCULT:
+                record = OccultRecord.from_bytes(journal.payload)
+                occult_by_target[record.target_jsn] = record
+
+        # Pass 2: sequential replay.
+        for jsn in range(len(journal_stream)):
+            erased = journal_stream.is_erased(jsn)
+            if erased:
+                record = occult_by_target.get(jsn)
+                if record is None:
+                    # Purged slot: its digest is irrecoverable from the
+                    # stream alone — purge recovery needs the pseudo-genesis
+                    # snapshot, which lives outside the journal stream.
+                    raise LedgerError(
+                        f"slot {jsn} was purged; recovery from the stream "
+                        "alone is only supported for unpurged ledgers"
+                    )
+                ledger._fam.append(record.retained_hash)
+                ledger._occult_bitmap.set(jsn)
+                for clue in record.retained_clues:
+                    ledger._cmtree.add(clue, record.retained_hash)
+                    ledger._cluesl.insert(clue, jsn)
+                continue
+            journal = Journal.from_bytes(journal_stream.read(jsn))
+            if journal.jsn != jsn:
+                raise LedgerError(f"stream corrupt: slot {jsn} holds jsn {journal.jsn}")
+            tx_hash = journal.tx_hash()
+            ledger._fam.append(tx_hash)
+            for clue in journal.clues:
+                ledger._cmtree.add(clue, tx_hash)
+                ledger._cluesl.insert(clue, jsn)
+            if journal.journal_type is JournalType.TIME:
+                ledger._time_journals.append(jsn)
+            elif journal.journal_type is JournalType.OCCULT:
+                record = OccultRecord.from_bytes(journal.payload)
+                ledger._occult_records.append((jsn, record, MultiSignature(digest=record.approval_digest())))
+            elif journal.journal_type is JournalType.PURGE:
+                precord = PurgeRecord.from_bytes(journal.payload)
+                ledger._purge_records.append((jsn, precord, MultiSignature(digest=precord.approval_digest())))
+                ledger._genesis_start = max(ledger._genesis_start, precord.purge_point)
+            if (jsn + 1) % config.block_size == 0:
+                ledger._seal_recovered_block(jsn + 1)
+        ledger._pending_start = (len(journal_stream) // config.block_size) * config.block_size
+        ledger.commit_block()
+
+        # Re-issue a current receipt so clients/audits have a fresh pi_s.
+        last = ledger._fam.size - 1
+        receipt = Receipt(
+            ledger_uri=config.uri,
+            jsn=last,
+            request_hash=EMPTY_DIGEST,
+            tx_hash=ledger._fam.leaf_digest(last),
+            block_hash=ledger._blocks[-1].hash() if ledger._blocks else EMPTY_DIGEST,
+            block_height=len(ledger._blocks) - 1,
+            ledger_root=ledger._fam.current_root(),
+            timestamp=ledger.clock.now(),
+        ).signed_by(lsp_keypair)
+        ledger._latest_receipt = receipt
+        ledger._receipts[last] = receipt
+        return ledger
+
+    def _seal_recovered_block(self, end_jsn: int) -> None:
+        block = Block(
+            height=len(self._blocks),
+            previous_hash=self._blocks[-1].hash() if self._blocks else EMPTY_DIGEST,
+            start_jsn=self._pending_start,
+            end_jsn=end_jsn,
+            journal_root=self._fam.current_root(),
+            state_root=self._cmtree.root,
+            timestamp=self.clock.now(),
+        )
+        self._blocks.append(block)
+        self._pending_start = end_jsn
+
+    def _append_genesis(self) -> None:
+        payload = encode({"uri": self.config.uri, "created_at": self.clock.now()})
+        self._append_system(JournalType.GENESIS, payload)
+
+    # --------------------------------------------------------------- append
+
+    def append(self, request: ClientRequest) -> Receipt:
+        """The Append API (Figure 1): admit a signed client transaction.
+
+        Validates the client's certificate and pi_c signature before anything
+        is written (the threat-A defence), commits the journal, and returns
+        the LSP-signed receipt pi_s.
+        """
+        if request.ledger_uri != self.config.uri:
+            raise AuthenticationError(
+                f"request targets {request.ledger_uri!r}, this ledger is "
+                f"{self.config.uri!r}"
+            )
+        certificate = self.registry.certificate(request.client_id)
+        if self.config.require_client_signature:
+            if request.signature is None:
+                raise AuthenticationError("request is unsigned")
+            if not certificate.public_key.verify(request.request_hash(), request.signature):
+                raise AuthenticationError(
+                    f"invalid signature from {request.client_id!r}"
+                )
+        if request.journal_type not in (JournalType.NORMAL,):
+            raise AuthenticationError(
+                f"clients may only append normal journals, not "
+                f"{request.journal_type.value!r}"
+            )
+        return self._commit(request)
+
+    def _append_system(
+        self,
+        journal_type: JournalType,
+        payload: bytes,
+        clues: tuple[str, ...] = (),
+    ) -> Receipt:
+        """Append an LSP-issued system journal (genesis/time/purge/occult)."""
+        request = ClientRequest.build(
+            ledger_uri=self.config.uri,
+            client_id=LSP_MEMBER_ID,
+            payload=payload,
+            clues=clues,
+            nonce=len(self).to_bytes(8, "big"),
+            client_timestamp=self.clock.now(),
+            journal_type=journal_type,
+        ).signed_by(self._lsp_keypair)
+        return self._commit(request)
+
+    def _commit(self, request: ClientRequest) -> Receipt:
+        jsn = self._fam.size
+        journal = Journal(
+            jsn=jsn,
+            journal_type=request.journal_type,
+            client_id=request.client_id,
+            payload=request.payload,
+            clues=request.clues,
+            timestamp=self.clock.now(),
+            nonce=request.nonce,
+            request_hash=request.request_hash(),
+            client_signature=request.signature,
+        )
+        data = journal.to_bytes()
+        tx_hash = journal.tx_hash()
+        offset = self._stream.append(data)
+        assert offset == jsn, "journal stream desynchronised from fam"
+        self._fam.append(tx_hash)
+        for clue in journal.clues:
+            self._cmtree.add(clue, tx_hash)
+            self._cluesl.insert(clue, jsn)
+        if journal.journal_type == JournalType.TIME:
+            self._time_journals.append(jsn)
+        if jsn + 1 - self._pending_start >= self.config.block_size:
+            self.commit_block()
+        receipt = Receipt(
+            ledger_uri=self.config.uri,
+            jsn=jsn,
+            request_hash=journal.request_hash,
+            tx_hash=tx_hash,
+            block_hash=self._blocks[-1].hash() if self._blocks else EMPTY_DIGEST,
+            block_height=len(self._blocks) - 1,
+            ledger_root=self._fam.current_root(),
+            timestamp=journal.timestamp,
+        ).signed_by(self._lsp_keypair)
+        self._latest_receipt = receipt
+        self._receipts[jsn] = receipt
+        return receipt
+
+    def commit_block(self) -> Block | None:
+        """Seal all unsealed journals into a block (auto-run by append)."""
+        end_jsn = self._fam.size
+        if end_jsn <= self._pending_start:
+            return None
+        block = Block(
+            height=len(self._blocks),
+            previous_hash=self._blocks[-1].hash() if self._blocks else EMPTY_DIGEST,
+            start_jsn=self._pending_start,
+            end_jsn=end_jsn,
+            journal_root=self._fam.current_root(),
+            state_root=self._cmtree.root,
+            timestamp=self.clock.now(),
+        )
+        self._blocks.append(block)
+        self._pending_start = end_jsn
+        return block
+
+    # ----------------------------------------------------------------- reads
+
+    def __len__(self) -> int:
+        """Total journals ever appended (including mutated ones)."""
+        return self._fam.size
+
+    @property
+    def size(self) -> int:
+        return self._fam.size
+
+    @property
+    def blocks(self) -> list[Block]:
+        return list(self._blocks)
+
+    @property
+    def latest_receipt(self) -> Receipt | None:
+        return self._latest_receipt
+
+    def receipt_for(self, jsn: int) -> Receipt | None:
+        return self._receipts.get(jsn)
+
+    @property
+    def pseudo_genesis(self) -> PseudoGenesis | None:
+        return self._pseudo_genesis
+
+    @property
+    def genesis_start(self) -> int:
+        """First retrievable jsn (0 until a purge moves it)."""
+        return self._genesis_start
+
+    def get_journal(self, jsn: int) -> Journal:
+        """The GetJournal API.
+
+        Raises :class:`JournalPurgedError` / :class:`JournalOccultedError`
+        when the payload is gone by mutation — callers can still obtain the
+        retained digest via :meth:`retained_hash`.
+        """
+        if not 0 <= jsn < self._fam.size:
+            raise JournalNotFoundError(jsn)
+        if jsn < self._genesis_start:
+            if jsn in self._survivors:
+                return Journal.from_bytes(self._survival_stream.read(self._survivors[jsn]))
+            raise JournalPurgedError(jsn)
+        if self._occult_bitmap.test(jsn):
+            raise JournalOccultedError(jsn)
+        try:
+            return Journal.from_bytes(self._stream.read(jsn))
+        except RecordErasedError:
+            raise JournalPurgedError(jsn) from None
+
+    def retained_hash(self, jsn: int) -> Digest:
+        """The journal's tx-hash, retrievable regardless of mutation state."""
+        if not 0 <= jsn < self._fam.size:
+            raise JournalNotFoundError(jsn)
+        try:
+            return self._fam.leaf_digest(jsn)
+        except KeyError:
+            for _occult_jsn, record, _sig in self._occult_records:
+                if record.target_jsn == jsn:
+                    return record.retained_hash
+            raise JournalPurgedError(jsn) from None
+
+    def is_occulted(self, jsn: int) -> bool:
+        return self._occult_bitmap.test(jsn)
+
+    def list_tx(self, clue: str) -> list[int]:
+        """The ListTx API: jsns carrying ``clue`` (cSL lookup, O(log n))."""
+        return self._cluesl.get(clue)
+
+    def iter_journals(self, start: int | None = None, stop: int | None = None):
+        """Yield retrievable journals in ``[start, stop)`` (skips mutated)."""
+        lo = self._genesis_start if start is None else max(start, self._genesis_start)
+        hi = self._fam.size if stop is None else min(stop, self._fam.size)
+        for jsn in range(lo, hi):
+            try:
+                yield self.get_journal(jsn)
+            except (JournalOccultedError, JournalPurgedError):
+                continue
+
+    def journals_by_member(self, member_id: str) -> list[int]:
+        """jsns of retrievable journals issued by ``member_id`` (scan)."""
+        return [j.jsn for j in self.iter_journals() if j.client_id == member_id]
+
+    def journals_in_time_range(self, low: float, high: float) -> list[int]:
+        """jsns committed with server timestamps in ``[low, high)``.
+
+        Server timestamps are non-authoritative (use Dasein *when*
+        verification for credible bounds); this is the operational query —
+        e.g. scoping an audit's temporal predicate.
+        """
+        return [j.jsn for j in self.iter_journals() if low <= j.timestamp < high]
+
+    def clues_in_range(self, low: str, high: str) -> list[tuple[str, list[int]]]:
+        """Ordered clue-range scan over the cSL index."""
+        return list(self._cluesl.range(low, high))
+
+    def block_of(self, jsn: int) -> Block | None:
+        """The committed block containing ``jsn`` (None if still pending)."""
+        for block in self._blocks:
+            if block.contains_jsn(jsn):
+                return block
+        return None
+
+    def clue_entry_count(self, clue: str) -> int:
+        return self._cmtree.entry_count(clue)
+
+    # -------------------------------------------------------------- proving
+
+    def get_proof(self, jsn: int, anchored: bool = True) -> FamProof:
+        """The GetProof API: fam existence proof for one journal."""
+        return self._fam.get_proof(jsn, anchored=anchored)
+
+    def current_root(self) -> Digest:
+        return self._fam.current_root()
+
+    def state_root(self) -> Digest:
+        return self._cmtree.root
+
+    def epoch_anchors(self) -> AnchorStore:
+        """Anchor store seeded with every completed epoch root (server-trusting)."""
+        anchors = AnchorStore()
+        for epoch in range(self._fam.num_epochs - 1):
+            anchors.add(epoch, self._fam.epoch_root(epoch))
+        return anchors
+
+    def verify_journal(self, journal: Journal, proof: FamProof | None = None) -> bool:
+        """Server-side *what* verification of a presented journal."""
+        if proof is None:
+            try:
+                proof = self.get_proof(journal.jsn, anchored=False)
+            except (IndexError, KeyError):
+                return False
+        if proof.link_proofs:
+            return FamAccumulator.verify_full(journal.tx_hash(), proof, self.current_root())
+        anchors = self.epoch_anchors()
+        return self._fam.verify_with_anchors(journal.tx_hash(), proof, anchors)
+
+    def prove_clue(
+        self, clue: str, version_start: int = 0, version_end: int | None = None
+    ) -> ClueProof:
+        """Build the client-side clue proof set (§IV-C, Verify API)."""
+        return self._cmtree.prove_clue(clue, version_start, version_end)
+
+    def verify_clue(self, clue: str, journals: list[Journal]) -> bool:
+        """Server-side clue verification: all entries, in order, untampered."""
+        digests = {i: j.tx_hash() for i, j in enumerate(journals)}
+        if len(digests) != self._cmtree.entry_count(clue):
+            return False
+        return self._cmtree.verify_clue_server(clue, digests)
+
+    # -------------------------------------------------------- time anchoring
+
+    def attach_time_ledger(self, tledger: TimeLedger) -> None:
+        self._tledger = tledger
+
+    def attach_tsa(self, tsa: TimeStampAuthority | TSAPool) -> None:
+        self._tsa = tsa
+
+    def anchor_time(self) -> int:
+        """Anchor the current fam root for *when* evidence; returns the
+        resulting time journal's jsn.
+
+        T-Ledger mode submits under Protocol 4 (evidence completes at the
+        next finalization — call :meth:`collect_time_evidence` after Δτ);
+        direct-TSA mode runs the two-way peg synchronously (Protocol 3).
+        """
+        root = self._fam.current_root()
+        as_of = self._fam.size
+        if self._tledger is not None:
+            notary_receipt = self._tledger.submit(
+                self.config.uri, root, client_timestamp=self.clock.now()
+            )
+            payload = encode(
+                {
+                    "mode": "tledger",
+                    "seq": notary_receipt.seq,
+                    "anchored_root": root,
+                    "as_of_jsn": as_of,
+                    "notary_timestamp": notary_receipt.notary_timestamp,
+                }
+            )
+            receipt = self._append_system(JournalType.TIME, payload)
+            self._pending_tledger.append((receipt.jsn, notary_receipt.seq))
+            return receipt.jsn
+        if self._tsa is not None:
+            token = self._tsa.stamp(root)
+            payload = encode(
+                {
+                    "mode": "tsa",
+                    "anchored_root": root,
+                    "as_of_jsn": as_of,
+                    "timestamp": token.timestamp,
+                    "tsa_id": token.tsa_id,
+                    "signature": token.signature.to_bytes(),
+                }
+            )
+            receipt = self._append_system(JournalType.TIME, payload)
+            self._time_evidence[receipt.jsn] = token
+            return receipt.jsn
+        raise LedgerError("no TSA or T-Ledger attached; cannot anchor time")
+
+    def collect_time_evidence(self) -> int:
+        """Fetch finalized T-Ledger evidence for pending anchors.
+
+        Returns how many anchors were completed this call.
+        """
+        if self._tledger is None:
+            return 0
+        completed = 0
+        still_pending: list[tuple[int, int]] = []
+        for time_jsn, seq in self._pending_tledger:
+            try:
+                evidence = self._tledger.get_evidence(seq)
+            except LookupError:
+                still_pending.append((time_jsn, seq))
+                continue
+            self._time_evidence[time_jsn] = evidence
+            completed += 1
+        self._pending_tledger = still_pending
+        return completed
+
+    def refresh_time_evidence(self) -> int:
+        """Re-fetch evidence for time journals that lack it (recovery path).
+
+        TSA-mode tokens are reconstructed from the journal payloads
+        themselves; T-Ledger-mode evidence is re-downloaded from the
+        attached public T-Ledger (Prerequisite 4: anyone can).  Returns how
+        many time journals gained evidence.
+        """
+        from ..crypto.ecdsa import Signature
+        from ..encoding import decode as _decode
+
+        refreshed = 0
+        for jsn in self._time_journals:
+            if jsn in self._time_evidence or jsn < self._genesis_start:
+                continue
+            try:
+                journal = self.get_journal(jsn)
+            except LedgerError:
+                continue
+            info = _decode(journal.payload)
+            if info["mode"] == "tsa":
+                self._time_evidence[jsn] = TimeStampToken(
+                    digest=bytes(info["anchored_root"]),
+                    timestamp=info["timestamp"],
+                    tsa_id=info["tsa_id"],
+                    signature=Signature.from_bytes(bytes(info["signature"])),
+                )
+                refreshed += 1
+            elif info["mode"] == "tledger" and self._tledger is not None:
+                try:
+                    evidence = self._tledger.get_evidence(info["seq"])
+                except (LookupError, IndexError):
+                    continue
+                if evidence.entry.digest != bytes(info["anchored_root"]):
+                    continue  # not our submission: refuse silently-wrong data
+                self._time_evidence[jsn] = evidence
+                refreshed += 1
+        return refreshed
+
+    @property
+    def time_journals(self) -> list[int]:
+        return list(self._time_journals)
+
+    def time_evidence_for(self, time_jsn: int) -> TimeEvidence | TimeStampToken | None:
+        return self._time_evidence.get(time_jsn)
+
+    # ----------------------------------------------------------------- purge
+
+    def prepare_purge(
+        self,
+        purge_point: int,
+        erase_fam_nodes: bool = False,
+        survivors: tuple[int, ...] = (),
+        reason: str = "",
+    ) -> tuple[PseudoGenesis, PurgeRecord]:
+        """Stage a purge: build the pseudo genesis and the record to sign.
+
+        The caller must then gather Prerequisite-1 multi-signatures over
+        ``record.approval_digest()`` (see :meth:`purge_required_signers`) and
+        call :meth:`execute_purge`.
+        """
+        if not self._genesis_start < purge_point <= self._fam.size:
+            raise MutationError(
+                f"purge point {purge_point} must lie in "
+                f"({self._genesis_start}, {self._fam.size}]"
+            )
+        boundary_block = next(
+            (b for b in self._blocks if b.end_jsn == purge_point), None
+        )
+        if boundary_block is None:
+            raise MutationError(
+                f"purge point {purge_point} must align with a committed block "
+                f"boundary (commit_block() first, or pick a sealed end_jsn)"
+            )
+        for jsn in survivors:
+            if not self._genesis_start <= jsn < purge_point:
+                raise MutationError(f"survivor jsn {jsn} is not in the purged range")
+        # All snapshots are *as of the purge point*, not as of now, so the
+        # pseudo genesis is exactly the state the purged prefix produced.
+        epoch_roots, live_size, live_peaks = self._fam.snapshot_at(purge_point)
+        clue_snapshot = []
+        for clue in self._cluesl.clues():
+            jsns = self._cluesl.get(clue)
+            size_at = bisect.bisect_left(jsns, purge_point)
+            if size_at > 0:
+                clue_snapshot.append(self._cmtree.clue_snapshot_at(clue, size_at))
+        original_genesis = self.retained_hash(0) if self._genesis_start == 0 else (
+            self._pseudo_genesis.original_genesis_hash  # type: ignore[union-attr]
+        )
+        related = sorted(
+            member
+            for member in self.purge_required_signers(purge_point)
+        )
+        pseudo = PseudoGenesis(
+            purge_point=purge_point,
+            fam_root=self._fam.root_at(purge_point),
+            state_root=boundary_block.state_root,
+            member_ids=tuple(self.registry.all_members()),
+            related_member_ids=tuple(related),
+            survivor_jsns=tuple(sorted(survivors)),
+            original_genesis_hash=original_genesis,
+            created_at=self.clock.now(),
+            fam_epoch_roots=epoch_roots,
+            fam_live_epoch=(live_size, live_peaks),
+            clue_snapshot=tuple(clue_snapshot),
+        )
+        record = PurgeRecord(
+            purge_point=purge_point,
+            pseudo_genesis_hash=pseudo.hash(),
+            erase_fam_nodes=erase_fam_nodes,
+            reason=reason,
+        )
+        return pseudo, record
+
+    def purge_required_signers(self, purge_point: int) -> dict:
+        """Prerequisite 1 signer set: DBA members + every journal owner in range."""
+        required: dict = {}
+        for member_id in self.registry.members_with_role(Role.DBA):
+            required[member_id] = self.registry.certificate(member_id)
+        for jsn in range(self._genesis_start, purge_point):
+            try:
+                journal = self.get_journal(jsn)
+            except (JournalOccultedError, JournalPurgedError):
+                continue
+            required[journal.client_id] = self.registry.certificate(journal.client_id)
+        return required
+
+    def execute_purge(
+        self,
+        pseudo: PseudoGenesis,
+        record: PurgeRecord,
+        approvals: MultiSignature,
+    ) -> Receipt:
+        """Execute a staged purge (Prerequisite 1 + Protocol 1).
+
+        Copies survivors to the survival stream, records the purge journal
+        (doubly linked with the pseudo genesis), erases purged payloads, and
+        installs the pseudo genesis as the verification datum.
+        """
+        if record.pseudo_genesis_hash != pseudo.hash():
+            raise MutationError("purge record does not match the pseudo genesis")
+        if record.purge_point != pseudo.purge_point:
+            raise MutationError(
+                "purge record's purge point does not match the pseudo genesis"
+            )
+        if approvals.digest != record.approval_digest():
+            raise MutationError("approval signatures cover a different purge record")
+        required = self.purge_required_signers(record.purge_point)
+        try:
+            approvals.verify(required)
+        except MultiSignatureError as exc:
+            raise MutationError(f"Prerequisite 1 not met: {exc}") from exc
+        # Copy milestone journals into the survival stream first.
+        for jsn in pseudo.survivor_jsns:
+            journal = self.get_journal(jsn)
+            self._survivors[jsn] = self._survival_stream.append(journal.to_bytes())
+        receipt = self._append_system(JournalType.PURGE, record.to_bytes())
+        self._purge_records.append((receipt.jsn, record, approvals))
+        # Physical erasure of the purged prefix (payloads only; digests live on).
+        for jsn in range(self._genesis_start, record.purge_point):
+            if not self._stream.is_erased(jsn):
+                self._stream.erase(jsn)
+        if record.erase_fam_nodes:
+            self._fam.erase_up_to(record.purge_point)
+        self._pseudo_genesis = pseudo
+        self._genesis_start = record.purge_point
+        return receipt
+
+    # ---------------------------------------------------------------- occult
+
+    def prepare_occult(
+        self,
+        target_jsn: int,
+        mode: OccultMode = OccultMode.SYNC,
+        reason: str = "",
+    ) -> OccultRecord:
+        """Stage an occult: build the record to be multi-signed."""
+        if not self._genesis_start <= target_jsn < self._fam.size:
+            raise MutationError(f"jsn {target_jsn} is not occultable")
+        if self._occult_bitmap.test(target_jsn):
+            raise MutationError(f"jsn {target_jsn} is already occulted")
+        journal = self.get_journal(target_jsn)
+        if journal.journal_type != JournalType.NORMAL:
+            raise MutationError("only normal journals may be occulted")
+        return OccultRecord(
+            target_jsn=target_jsn,
+            retained_hash=journal.tx_hash(),
+            mode=mode,
+            reason=reason,
+            retained_clues=journal.clues,
+        )
+
+    def occult_required_signers(self) -> dict:
+        """Prerequisite 2 signer set: DBA + regulator role holders."""
+        required: dict = {}
+        for role in (Role.DBA, Role.REGULATOR):
+            for member_id in self.registry.members_with_role(role):
+                required[member_id] = self.registry.certificate(member_id)
+        if not any(c.role == Role.REGULATOR for c in required.values()):
+            raise MutationError("no regulator registered; occult unavailable")
+        if not any(c.role == Role.DBA for c in required.values()):
+            raise MutationError("no DBA registered; occult unavailable")
+        return required
+
+    def execute_occult(self, record: OccultRecord, approvals: MultiSignature) -> Receipt:
+        """Execute a staged occult (Prerequisite 2 + Protocol 2).
+
+        Sets the occult bit immediately (the journal is unretrievable from
+        now on); physical erasure is immediate in SYNC mode or deferred to
+        :meth:`reorganize` in ASYNC mode.
+        """
+        if approvals.digest != record.approval_digest():
+            raise MutationError("approval signatures cover a different occult record")
+        required = self.occult_required_signers()
+        try:
+            approvals.verify(required)
+        except MultiSignatureError as exc:
+            raise MutationError(f"Prerequisite 2 not met: {exc}") from exc
+        current = self.get_journal(record.target_jsn)
+        if current.tx_hash() != record.retained_hash:
+            raise MutationError("retained hash does not match the target journal")
+        receipt = self._append_system(JournalType.OCCULT, record.to_bytes())
+        self._occult_records.append((receipt.jsn, record, approvals))
+        self._occult_bitmap.set(record.target_jsn)
+        if record.mode is OccultMode.SYNC:
+            self._stream.erase(record.target_jsn)
+        else:
+            self._erase_queue.append(record.target_jsn)
+        return receipt
+
+    def prepare_occult_by_clue(
+        self,
+        clue: str,
+        mode: OccultMode = OccultMode.ASYNC,
+        reason: str = "",
+    ) -> list[OccultRecord]:
+        """Stage occults for *every* retrievable journal carrying ``clue``.
+
+        "Occult by clue is a common case" (§III-A3) — e.g. purging all of one
+        subject's records under a privacy order.  Returns one record per
+        journal; each must be multi-signed and executed individually (the
+        regulator reviews each).  Defaults to ASYNC so the physical erasure
+        batches through :meth:`reorganize`.
+        """
+        records = []
+        for jsn in self._cluesl.get(clue):
+            if self._occult_bitmap.test(jsn) or jsn < self._genesis_start:
+                continue
+            records.append(self.prepare_occult(jsn, mode, reason))
+        return records
+
+    def reorganize(self) -> int:
+        """The idle-batch data-reorganisation utility: flush async erasures."""
+        erased = 0
+        for jsn in self._erase_queue:
+            if not self._stream.is_erased(jsn):
+                self._stream.erase(jsn)
+                erased += 1
+        self._erase_queue = []
+        return erased
+
+    @property
+    def pending_erasures(self) -> int:
+        return len(self._erase_queue)
+
+    # ------------------------------------------------------------ audit view
+
+    def export_view(self) -> LedgerView:
+        """Export the auditor-facing view (client-side verification input)."""
+        self.commit_block()
+        entries: list[JournalEntryView] = []
+        for jsn in range(self._genesis_start, self._fam.size):
+            occulted = self._occult_bitmap.test(jsn)
+            data: bytes | None
+            if occulted or self._stream.is_erased(jsn):
+                data = None
+            else:
+                data = self._stream.read(jsn)
+            entries.append(
+                JournalEntryView(
+                    jsn=jsn,
+                    data=data,
+                    retained_hash=self.retained_hash(jsn),
+                    occulted=occulted,
+                    purged=not occulted and data is None,
+                )
+            )
+        return LedgerView(
+            uri=self.config.uri,
+            fractal_height=self.config.fractal_height,
+            block_size=self.config.block_size,
+            entries=entries,
+            genesis_start=self._genesis_start,
+            blocks=list(self._blocks),
+            certificates=self.registry.export(),
+            ca_public_key=self.registry.ca_public_key,
+            lsp_member_id=LSP_MEMBER_ID,
+            latest_receipt=self._latest_receipt,
+            pseudo_genesis=self._pseudo_genesis,
+            purge_approvals=list(self._purge_records),
+            occult_approvals=list(self._occult_records),
+            time_evidence=dict(self._time_evidence),
+        )
+
+    # ------------------------------------------------------------- utilities
+
+    def storage_stats(self) -> dict:
+        """Approximate storage accounting for the overhead comparisons."""
+        return {
+            "journals": self._fam.size,
+            "fam_nodes": self._fam.num_nodes(),
+            "cmtree_nodes": self._cmtree.num_nodes(),
+            "blocks": len(self._blocks),
+            "occulted": len(self._occult_bitmap),
+            "purged_prefix": self._genesis_start,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Ledger {self.config.uri} size={self._fam.size} "
+            f"root={hexdigest(self._fam.current_root())[:12]}>"
+        )

@@ -1,0 +1,78 @@
+"""Member registry: CA-certified ledger participants and their roles.
+
+"Ledger members are registered and authenticated using their public keys"
+(§II-C).  The registry wraps the CA: registering a member issues a
+certificate binding (member id, role, pk); privileged operations call
+:meth:`MemberRegistry.require_role` before proceeding.
+"""
+
+from __future__ import annotations
+
+from ..crypto.ca import Certificate, CertificateAuthority, CertificateError, Role
+from ..crypto.keys import PublicKey
+from .errors import AuthenticationError, AuthorizationError
+
+__all__ = ["MemberRegistry"]
+
+
+class MemberRegistry:
+    """All registered participants of one ledger deployment."""
+
+    def __init__(self, ca: CertificateAuthority | None = None) -> None:
+        self._ca = ca or CertificateAuthority("repro-root-ca")
+        self._members: dict[str, Certificate] = {}
+
+    @property
+    def ca(self) -> CertificateAuthority:
+        return self._ca
+
+    @property
+    def ca_public_key(self) -> PublicKey:
+        return self._ca.public_key
+
+    def register(self, member_id: str, role: Role, public_key: PublicKey) -> Certificate:
+        """Register a member; the CA certifies the binding."""
+        if member_id in self._members:
+            raise AuthenticationError(f"member already registered: {member_id!r}")
+        certificate = self._ca.issue(member_id, role, public_key)
+        self._members[member_id] = certificate
+        return certificate
+
+    def certificate(self, member_id: str) -> Certificate:
+        try:
+            return self._members[member_id]
+        except KeyError:
+            raise AuthenticationError(f"unknown member: {member_id!r}") from None
+
+    def public_key(self, member_id: str) -> PublicKey:
+        return self.certificate(member_id).public_key
+
+    def role(self, member_id: str) -> Role:
+        return self.certificate(member_id).role
+
+    def require_role(self, member_id: str, role: Role) -> Certificate:
+        """Return the certificate iff the member holds ``role``."""
+        certificate = self.certificate(member_id)
+        if certificate.role != role:
+            raise AuthorizationError(
+                f"member {member_id!r} holds role {certificate.role.value!r}, "
+                f"operation requires {role.value!r}"
+            )
+        return certificate
+
+    def members_with_role(self, role: Role) -> list[str]:
+        return sorted(m for m, c in self._members.items() if c.role == role)
+
+    def all_members(self) -> list[str]:
+        return sorted(self._members)
+
+    def validate_certificate(self, certificate: Certificate) -> None:
+        """Re-validate a presented certificate against the CA."""
+        try:
+            self._ca.validate(certificate)
+        except CertificateError as exc:
+            raise AuthenticationError(str(exc)) from exc
+
+    def export(self) -> dict[str, Certificate]:
+        """Snapshot of all certificates (for auditor ledger views)."""
+        return dict(self._members)

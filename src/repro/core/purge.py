@@ -1,0 +1,145 @@
+"""Purge — verifiable removal of obsolete history (§III-A2).
+
+A purge erases consecutive journals from genesis (or the previous purge
+point) up to a designated jsn.  The value of purged history lies in proving
+the authenticity of the *current* state, so purge replaces it with a
+**pseudo genesis**: a snapshot record storing the ledger's commitments
+(fam root, CM-Tree state root, membership) at the purge point.  The purge
+itself is recorded as a purge journal, doubly linked with the pseudo genesis
+for mutual proving, and subsequent verification treats the latest pseudo
+genesis as the ledger's genesis (Protocol 1).
+
+Prerequisite 1: multi-signatures from the DBA and all members owning
+journals before the purge point.
+
+Milestone journals named in ``survivors`` are copied to the *survival
+stream* before erasure so business-critical records remain retrievable and
+verifiable after the purge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashing import Digest, sha256
+from ..encoding import decode, encode
+
+__all__ = ["PseudoGenesis", "PurgeRecord"]
+
+
+@dataclass(frozen=True)
+class PseudoGenesis:
+    """Snapshot that replaces the purged prefix (stored before the first
+    unpurged block, replicating the genesis role)."""
+
+    purge_point: int  # first jsn that survives
+    fam_root: Digest  # fam commitment over the full prefix [0, purge_point)
+    state_root: Digest  # CM-Tree1 root at the purge point
+    member_ids: tuple[str, ...]  # membership snapshot
+    #: Members owning journals in the purged range — exactly the parties
+    #: whose signatures Prerequisite 1 demands (plus the DBA).
+    related_member_ids: tuple[str, ...]
+    survivor_jsns: tuple[int, ...]  # milestones copied to the survival stream
+    original_genesis_hash: Digest
+    created_at: float
+    # Resume snapshots: enough accumulator state for an auditor to *continue*
+    # commitment replay from the purge point without the purged data.
+    fam_epoch_roots: tuple[Digest, ...] = ()  # completed fam epochs so far
+    fam_live_epoch: tuple[int, tuple[Digest, ...]] = (0, ())  # (size, peaks)
+    clue_snapshot: tuple[tuple[str, int, tuple[Digest, ...]], ...] = ()  # (clue, size, peaks)
+
+    def hash(self) -> Digest:
+        return sha256(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            {
+                "scheme": "repro.pseudo_genesis.v1",
+                "purge_point": self.purge_point,
+                "fam_root": self.fam_root,
+                "state_root": self.state_root,
+                "member_ids": list(self.member_ids),
+                "related_member_ids": list(self.related_member_ids),
+                "survivor_jsns": list(self.survivor_jsns),
+                "original_genesis_hash": self.original_genesis_hash,
+                "created_at": self.created_at,
+                "fam_epoch_roots": list(self.fam_epoch_roots),
+                "fam_live_epoch": [self.fam_live_epoch[0], list(self.fam_live_epoch[1])],
+                "clue_snapshot": [
+                    [clue, size, list(peaks)] for clue, size, peaks in self.clue_snapshot
+                ],
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PseudoGenesis":
+        obj = decode(data)
+        return cls(
+            purge_point=obj["purge_point"],
+            fam_root=bytes(obj["fam_root"]),
+            state_root=bytes(obj["state_root"]),
+            member_ids=tuple(obj["member_ids"]),
+            related_member_ids=tuple(obj["related_member_ids"]),
+            survivor_jsns=tuple(obj["survivor_jsns"]),
+            original_genesis_hash=bytes(obj["original_genesis_hash"]),
+            created_at=obj["created_at"],
+            fam_epoch_roots=tuple(bytes(r) for r in obj["fam_epoch_roots"]),
+            fam_live_epoch=(
+                obj["fam_live_epoch"][0],
+                tuple(bytes(p) for p in obj["fam_live_epoch"][1]),
+            ),
+            clue_snapshot=tuple(
+                (clue, size, tuple(bytes(p) for p in peaks))
+                for clue, size, peaks in obj["clue_snapshot"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PurgeRecord:
+    """The content of a purge journal's payload.
+
+    ``pseudo_genesis_hash`` is the forward half of the double link (the
+    pseudo genesis stores ``purge_point`` which resolves back to this journal
+    through the ledger's purge registry) — "doubly linked ... for mutual
+    proving and fast locating".
+    """
+
+    purge_point: int
+    pseudo_genesis_hash: Digest
+    erase_fam_nodes: bool
+    reason: str
+
+    def approval_digest(self) -> Digest:
+        """What the DBA and all affected members multi-sign (Prerequisite 1)."""
+        return sha256(
+            encode(
+                {
+                    "scheme": "repro.purge.v1",
+                    "purge_point": self.purge_point,
+                    "pseudo_genesis_hash": self.pseudo_genesis_hash,
+                    "erase_fam_nodes": self.erase_fam_nodes,
+                    "reason": self.reason,
+                }
+            )
+        )
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            {
+                "purge_point": self.purge_point,
+                "pseudo_genesis_hash": self.pseudo_genesis_hash,
+                "erase_fam_nodes": self.erase_fam_nodes,
+                "reason": self.reason,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PurgeRecord":
+        obj = decode(data)
+        return cls(
+            purge_point=obj["purge_point"],
+            pseudo_genesis_hash=bytes(obj["pseudo_genesis_hash"]),
+            erase_fam_nodes=obj["erase_fam_nodes"],
+            reason=obj["reason"],
+        )

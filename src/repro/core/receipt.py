@@ -1,0 +1,97 @@
+"""LSP receipts — the pi_s non-repudiation proof (§III-C).
+
+After committing a journal, the LSP packs the three digests (*request-hash*,
+*tx-hash*, *block-hash*) together with the jsn and commit timestamp into a
+receipt, signs it, and hands it to the client.  The client keeps the receipt
+*externally*: if the LSP later deletes or rewrites the journal, the receipt
+is the evidence that convicts it (threat-B / threat-C defence).
+
+``ledger_root`` additionally entangles the fam commitment as of this commit,
+giving the receipt tim-style fine-grained coverage of the whole prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..crypto.ecdsa import Signature
+from ..crypto.hashing import Digest, sha256
+from ..crypto.keys import KeyPair, PublicKey
+from ..encoding import decode, encode
+
+__all__ = ["Receipt"]
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """A signed acknowledgement of one committed journal."""
+
+    ledger_uri: str
+    jsn: int
+    request_hash: Digest
+    tx_hash: Digest
+    block_hash: Digest  # latest committed block at issue time
+    block_height: int
+    ledger_root: Digest  # fam commitment immediately after this commit
+    timestamp: float
+    lsp_signature: Signature | None = None
+
+    def signing_payload(self) -> bytes:
+        return encode(
+            {
+                "scheme": "repro.receipt.v1",
+                "ledger_uri": self.ledger_uri,
+                "jsn": self.jsn,
+                "request_hash": self.request_hash,
+                "tx_hash": self.tx_hash,
+                "block_hash": self.block_hash,
+                "block_height": self.block_height,
+                "ledger_root": self.ledger_root,
+                "timestamp": self.timestamp,
+            }
+        )
+
+    def signed_by(self, lsp_keypair: KeyPair) -> "Receipt":
+        """Return a copy carrying the LSP's signature pi_s."""
+        return replace(self, lsp_signature=lsp_keypair.sign(sha256(self.signing_payload())))
+
+    def verify(self, lsp_public_key: PublicKey) -> bool:
+        """Check the LSP's signature.  Never raises."""
+        if self.lsp_signature is None:
+            return False
+        return lsp_public_key.verify(sha256(self.signing_payload()), self.lsp_signature)
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            {
+                "ledger_uri": self.ledger_uri,
+                "jsn": self.jsn,
+                "request_hash": self.request_hash,
+                "tx_hash": self.tx_hash,
+                "block_hash": self.block_hash,
+                "block_height": self.block_height,
+                "ledger_root": self.ledger_root,
+                "timestamp": self.timestamp,
+                "lsp_signature": (
+                    self.lsp_signature.to_bytes() if self.lsp_signature else b""
+                ),
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Receipt":
+        obj = decode(data)
+        signature_bytes = bytes(obj["lsp_signature"])
+        return cls(
+            ledger_uri=obj["ledger_uri"],
+            jsn=obj["jsn"],
+            request_hash=bytes(obj["request_hash"]),
+            tx_hash=bytes(obj["tx_hash"]),
+            block_hash=bytes(obj["block_hash"]),
+            block_height=obj["block_height"],
+            ledger_root=bytes(obj["ledger_root"]),
+            timestamp=obj["timestamp"],
+            lsp_signature=(
+                Signature.from_bytes(signature_bytes) if signature_bytes else None
+            ),
+        )

@@ -1,0 +1,222 @@
+"""Dasein verification (§III): what, when, who — server- and client-side.
+
+The *Dasein* of a journal is verified along three axes:
+
+* **what** — the journal exists verbatim on the ledger: a fam existence
+  proof against a trusted commitment (an epoch anchor, the LSP-signed
+  ``ledger_root`` in a receipt the client holds externally, or a
+  TSA-anchored root);
+* **when** — the journal was produced inside a verified time window: the
+  time journals bracketing its jsn, each carrying TSA-signed evidence,
+  bound its creation time from both sides;
+* **who** — the journal's issuer cannot repudiate it: the client signature
+  pi_c checks against the CA-certified member key, and the LSP's receipt
+  pi_s convicts the LSP of having committed it.
+
+:class:`DaseinVerifier` runs entirely from an exported :class:`LedgerView`
+plus out-of-band trust anchors (CA public key, TSA public keys), so it makes
+no calls back into the — potentially malicious — LSP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashing import Digest
+from ..crypto.keys import PublicKey
+from ..encoding import decode
+from ..merkle.fam import FamAccumulator, FamProof
+from ..timeauth.pegging import TimeBound
+from ..timeauth.tledger import TimeEvidence
+from ..timeauth.tsa import TimeStampToken
+from .journal import Journal, JournalType
+from .ledger import LedgerView
+from .receipt import Receipt
+
+__all__ = ["DaseinReport", "DaseinVerifier", "parse_time_journal"]
+
+
+def parse_time_journal(journal: Journal) -> dict:
+    """Decode a time journal's payload (mode, anchored root, as-of jsn, ...)."""
+    if journal.journal_type is not JournalType.TIME:
+        raise ValueError(f"journal {journal.jsn} is not a time journal")
+    obj = decode(journal.payload)
+    obj["anchored_root"] = bytes(obj["anchored_root"])
+    return obj
+
+
+@dataclass(frozen=True)
+class DaseinReport:
+    """Outcome of a full 3w verification for one journal."""
+
+    jsn: int
+    what: bool
+    when_valid: bool
+    when_bound: TimeBound | None
+    who: bool
+
+    @property
+    def dasein_complete(self) -> bool:
+        """All three factors rigorously verified."""
+        return self.what and self.when_valid and self.who
+
+
+class DaseinVerifier:
+    """Client-side 3w verifier over an exported ledger view.
+
+    ``tsa_keys`` maps TSA ids to their public keys (obtained from the
+    authorities directly, never from the LSP).  The trusted *what* datum is
+    the LSP-signed ``ledger_root`` of the latest receipt by default; pass
+    ``trusted_root`` to use a different externally-validated commitment.
+    """
+
+    def __init__(
+        self,
+        view: LedgerView,
+        tsa_keys: dict[str, PublicKey] | None = None,
+        trusted_root: Digest | None = None,
+    ) -> None:
+        self.view = view
+        self.tsa_keys = dict(tsa_keys or {})
+        if trusted_root is None:
+            if view.latest_receipt is None:
+                raise ValueError("view has no receipt; pass trusted_root explicitly")
+            trusted_root = view.latest_receipt.ledger_root
+        self.trusted_root = trusted_root
+        self._time_cache: list[tuple[int, float, bool]] | None = None
+
+    # ----------------------------------------------------------------- what
+
+    def journal_at(self, jsn: int) -> Journal | None:
+        """Decode the journal at ``jsn`` from the view (None if mutated away)."""
+        entry = self.view.entry(jsn)
+        if entry.data is None:
+            return None
+        return Journal.from_bytes(entry.data)
+
+    def verify_what(self, journal: Journal, proof: FamProof) -> bool:
+        """Existence: fold the journal through fam to the trusted commitment.
+
+        The proof must be a full-chain (non-anchored) proof, since a
+        distrusting client verifies against one externally-trusted root.
+        """
+        return FamAccumulator.verify_full(journal.tx_hash(), proof, self.trusted_root)
+
+    def verify_what_digest(self, retained_hash: Digest, proof: FamProof) -> bool:
+        """Used-to-exist: verify a mutated journal by its retained digest."""
+        return FamAccumulator.verify_full(retained_hash, proof, self.trusted_root)
+
+    # ----------------------------------------------------------------- when
+
+    def _time_journals(self) -> list[tuple[int, float, bool]]:
+        """(jsn, upper-bound timestamp, evidence_valid) per time journal."""
+        if self._time_cache is not None:
+            return self._time_cache
+        out: list[tuple[int, float, bool]] = []
+        for entry in self.view.entries:
+            if entry.data is None:
+                continue
+            journal = Journal.from_bytes(entry.data)
+            if journal.journal_type is not JournalType.TIME:
+                continue
+            info = parse_time_journal(journal)
+            evidence = self.view.time_evidence.get(journal.jsn)
+            timestamp, valid = self._check_time_evidence(info, evidence)
+            out.append((journal.jsn, timestamp, valid))
+        self._time_cache = out
+        return out
+
+    def _check_time_evidence(
+        self, info: dict, evidence: TimeEvidence | TimeStampToken | None
+    ) -> tuple[float, bool]:
+        if info["mode"] == "tsa":
+            # The token is reconstructible from the journal payload itself.
+            from ..crypto.ecdsa import Signature
+
+            token = TimeStampToken(
+                digest=info["anchored_root"],
+                timestamp=info["timestamp"],
+                tsa_id=info["tsa_id"],
+                signature=Signature.from_bytes(bytes(info["signature"])),
+            )
+            key = self.tsa_keys.get(token.tsa_id)
+            return token.timestamp, key is not None and token.verify(key)
+        if info["mode"] == "tledger":
+            if not isinstance(evidence, TimeEvidence):
+                return 0.0, False
+            if evidence.entry.digest != info["anchored_root"]:
+                return 0.0, False
+            if not evidence.verify(self.tsa_keys):
+                return 0.0, False
+            return evidence.finalization.token.timestamp, True
+        return 0.0, False
+
+    def verify_when(self, jsn: int) -> tuple[TimeBound | None, bool]:
+        """Bracket ``jsn`` between verified time journals.
+
+        Returns ``(bound, valid)``: ``valid`` is False when any bracketing
+        evidence fails to verify, or when no upper-bounding time journal
+        exists yet (the journal's existence has no credible ceiling).
+        """
+        lower = float("-inf")
+        upper = float("inf")
+        valid = True
+        for time_jsn, timestamp, evidence_ok in self._time_journals():
+            if time_jsn < jsn:
+                if evidence_ok:
+                    lower = max(lower, timestamp)
+            elif time_jsn > jsn:
+                if not evidence_ok:
+                    valid = False
+                upper = min(upper, timestamp)
+                break  # first covering anchor is the tight one
+        if upper == float("inf"):
+            return None, False
+        return TimeBound(lower=lower, upper=upper), valid
+
+    # ------------------------------------------------------------------ who
+
+    def verify_who(self, journal: Journal, receipt: Receipt | None = None) -> bool:
+        """Non-repudiation: pi_c against the member's certificate, and — when a
+        receipt is presented — pi_s against the LSP's certificate."""
+        certificate = self.view.certificates.get(journal.client_id)
+        if certificate is None or not certificate.verify(self.view.ca_public_key):
+            return False
+        if journal.client_signature is None:
+            return False
+        if not certificate.public_key.verify(journal.request_hash, journal.client_signature):
+            return False
+        if receipt is not None:
+            lsp_cert = self.view.certificates.get(self.view.lsp_member_id)
+            if lsp_cert is None or not lsp_cert.verify(self.view.ca_public_key):
+                return False
+            if not receipt.verify(lsp_cert.public_key):
+                return False
+            if receipt.jsn == journal.jsn and receipt.tx_hash != journal.tx_hash():
+                return False
+        return True
+
+    # --------------------------------------------------------------- dasein
+
+    def verify_dasein(
+        self,
+        jsn: int,
+        proof: FamProof,
+        receipt: Receipt | None = None,
+    ) -> DaseinReport:
+        """Full 3w verification of one journal (Definition 1, per-journal)."""
+        journal = self.journal_at(jsn)
+        if journal is None:
+            entry = self.view.entry(jsn)
+            what = self.verify_what_digest(entry.retained_hash, proof)
+            when_bound, when_valid = self.verify_when(jsn)
+            return DaseinReport(
+                jsn=jsn, what=what, when_valid=when_valid, when_bound=when_bound,
+                who=False,  # the signature went with the payload
+            )
+        what = self.verify_what(journal, proof)
+        when_bound, when_valid = self.verify_when(jsn)
+        who = self.verify_who(journal, receipt)
+        return DaseinReport(
+            jsn=jsn, what=what, when_valid=when_valid, when_bound=when_bound, who=who
+        )

@@ -1,0 +1,51 @@
+"""Cryptographic substrate: hashing, ECDSA, PKI, and multi-signatures."""
+
+from .ca import Certificate, CertificateAuthority, CertificateError, Role
+from .ecdsa import CURVE_P256, Curve, Point, Signature, sign_digest, verify_digest
+from .hashing import (
+    DIGEST_SIZE,
+    EMPTY_DIGEST,
+    Digest,
+    block_hash,
+    chain_hash,
+    clue_key_hash,
+    hexdigest,
+    journal_hash,
+    leaf_hash,
+    node_hash,
+    receipt_hash,
+    sha3_256,
+    sha256,
+)
+from .keys import KeyPair, PublicKey
+from .multisig import MultiSignature, MultiSignatureError
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateError",
+    "Role",
+    "CURVE_P256",
+    "Curve",
+    "Point",
+    "Signature",
+    "sign_digest",
+    "verify_digest",
+    "DIGEST_SIZE",
+    "EMPTY_DIGEST",
+    "Digest",
+    "block_hash",
+    "chain_hash",
+    "clue_key_hash",
+    "hexdigest",
+    "journal_hash",
+    "leaf_hash",
+    "node_hash",
+    "receipt_hash",
+    "sha3_256",
+    "sha256",
+    "KeyPair",
+    "PublicKey",
+    "MultiSignature",
+    "MultiSignatureError",
+]

@@ -1,0 +1,312 @@
+"""ECDSA over NIST P-256, implemented from scratch on stdlib integers.
+
+The paper's threat model (§II-B) assumes SHA-256 and ECDSA are reliable; every
+non-repudiation proof in LedgerDB (client pi_c, LSP receipt pi_s, TSA pi_t) is an
+ECDSA signature.  We implement the curve arithmetic directly so that the
+reproduction has no external crypto dependency:
+
+* Jacobian-coordinate point arithmetic with constant formulae,
+* deterministic nonces per RFC 6979 (HMAC-DRBG) so signing is reproducible
+  and never leaks the key through bad randomness,
+* low-level ``sign_digest`` / ``verify_digest`` working on 32-byte digests.
+
+This is a faithful, test-covered implementation of the textbook algorithms —
+adequate for a research artifact, not hardened against side channels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+__all__ = [
+    "CURVE_P256",
+    "Curve",
+    "Point",
+    "Signature",
+    "sign_digest",
+    "verify_digest",
+    "derive_public_key",
+]
+
+
+@dataclass(frozen=True)
+class Curve:
+    """Short Weierstrass curve y^2 = x^3 + ax + b over GF(p)."""
+
+    name: str
+    p: int  # field prime
+    a: int
+    b: int
+    n: int  # group order
+    gx: int  # generator
+    gy: int
+
+    @property
+    def generator(self) -> "Point":
+        return Point(self.gx, self.gy)
+
+    @property
+    def byte_length(self) -> int:
+        return (self.p.bit_length() + 7) // 8
+
+
+#: NIST P-256 (secp256r1) domain parameters.
+CURVE_P256 = Curve(
+    name="P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=-3,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+)
+
+
+@dataclass(frozen=True)
+class Point:
+    """An affine point; ``Point.INFINITY`` is the group identity."""
+
+    x: int
+    y: int
+
+    def is_infinity(self) -> bool:
+        return self.x == 0 and self.y == 0
+
+
+_INFINITY = Point(0, 0)
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An ECDSA signature (r, s), canonicalised to low-s form."""
+
+    r: int
+    s: int
+
+    def to_bytes(self, curve: Curve = CURVE_P256) -> bytes:
+        size = curve.byte_length
+        return self.r.to_bytes(size, "big") + self.s.to_bytes(size, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, curve: Curve = CURVE_P256) -> "Signature":
+        size = curve.byte_length
+        if len(data) != 2 * size:
+            raise ValueError(f"signature must be {2 * size} bytes, got {len(data)}")
+        return cls(
+            int.from_bytes(data[:size], "big"),
+            int.from_bytes(data[size:], "big"),
+        )
+
+
+def _inverse_mod(k: int, p: int) -> int:
+    if k % p == 0:
+        raise ZeroDivisionError("inverse of zero")
+    return pow(k, -1, p)
+
+
+# ---------------------------------------------------------------------------
+# Jacobian point arithmetic.  Points are (X, Y, Z) with x = X/Z^2, y = Y/Z^3.
+# ---------------------------------------------------------------------------
+
+
+def _to_jacobian(point: Point) -> tuple[int, int, int]:
+    if point.is_infinity():
+        return (1, 1, 0)
+    return (point.x, point.y, 1)
+
+
+def _from_jacobian(jac: tuple[int, int, int], curve: Curve) -> Point:
+    x, y, z = jac
+    if z == 0:
+        return _INFINITY
+    p = curve.p
+    z_inv = _inverse_mod(z, p)
+    z_inv2 = (z_inv * z_inv) % p
+    return Point((x * z_inv2) % p, (y * z_inv2 * z_inv) % p)
+
+
+def _jacobian_double(jac: tuple[int, int, int], curve: Curve) -> tuple[int, int, int]:
+    x, y, z = jac
+    if z == 0 or y == 0:
+        return (1, 1, 0)
+    p = curve.p
+    ysq = (y * y) % p
+    s = (4 * x * ysq) % p
+    m = (3 * x * x + curve.a * pow(z, 4, p)) % p
+    nx = (m * m - 2 * s) % p
+    ny = (m * (s - nx) - 8 * ysq * ysq) % p
+    nz = (2 * y * z) % p
+    return (nx, ny, nz)
+
+
+def _jacobian_add(
+    a: tuple[int, int, int], b: tuple[int, int, int], curve: Curve
+) -> tuple[int, int, int]:
+    if a[2] == 0:
+        return b
+    if b[2] == 0:
+        return a
+    p = curve.p
+    x1, y1, z1 = a
+    x2, y2, z2 = b
+    z1sq = (z1 * z1) % p
+    z2sq = (z2 * z2) % p
+    u1 = (x1 * z2sq) % p
+    u2 = (x2 * z1sq) % p
+    s1 = (y1 * z2sq * z2) % p
+    s2 = (y2 * z1sq * z1) % p
+    if u1 == u2:
+        if s1 != s2:
+            return (1, 1, 0)
+        return _jacobian_double(a, curve)
+    h = (u2 - u1) % p
+    r = (s2 - s1) % p
+    h2 = (h * h) % p
+    h3 = (h2 * h) % p
+    u1h2 = (u1 * h2) % p
+    nx = (r * r - h3 - 2 * u1h2) % p
+    ny = (r * (u1h2 - nx) - s1 * h3) % p
+    nz = (h * z1 * z2) % p
+    return (nx, ny, nz)
+
+
+def scalar_multiply(k: int, point: Point, curve: Curve = CURVE_P256) -> Point:
+    """Compute ``k * point`` with double-and-add over Jacobian coordinates."""
+    k %= curve.n
+    if k == 0 or point.is_infinity():
+        return _INFINITY
+    result = (1, 1, 0)
+    addend = _to_jacobian(point)
+    while k:
+        if k & 1:
+            result = _jacobian_add(result, addend, curve)
+        addend = _jacobian_double(addend, curve)
+        k >>= 1
+    return _from_jacobian(result, curve)
+
+
+def point_add(a: Point, b: Point, curve: Curve = CURVE_P256) -> Point:
+    """Affine point addition (thin wrapper over the Jacobian core)."""
+    return _from_jacobian(
+        _jacobian_add(_to_jacobian(a), _to_jacobian(b), curve), curve
+    )
+
+
+def is_on_curve(point: Point, curve: Curve = CURVE_P256) -> bool:
+    """Check the curve equation; the identity is considered on-curve."""
+    if point.is_infinity():
+        return True
+    x, y, p = point.x, point.y, curve.p
+    return (y * y - (x * x * x + curve.a * x + curve.b)) % p == 0
+
+
+def derive_public_key(secret: int, curve: Curve = CURVE_P256) -> Point:
+    """Public key Q = d * G for a secret scalar d in [1, n-1]."""
+    if not 1 <= secret < curve.n:
+        raise ValueError("secret key out of range")
+    return scalar_multiply(secret, curve.generator, curve)
+
+
+# ---------------------------------------------------------------------------
+# RFC 6979 deterministic nonce generation.
+# ---------------------------------------------------------------------------
+
+
+def _bits2int(data: bytes, n: int) -> int:
+    value = int.from_bytes(data, "big")
+    excess = len(data) * 8 - n.bit_length()
+    if excess > 0:
+        value >>= excess
+    return value
+
+
+def _int2octets(value: int, curve: Curve) -> bytes:
+    return value.to_bytes(curve.byte_length, "big")
+
+
+def _bits2octets(data: bytes, curve: Curve) -> bytes:
+    z1 = _bits2int(data, curve.n)
+    z2 = z1 % curve.n
+    return _int2octets(z2, curve)
+
+
+def rfc6979_nonce(secret: int, digest: bytes, curve: Curve = CURVE_P256) -> int:
+    """Deterministic per-message nonce k (RFC 6979, HMAC-SHA256 DRBG)."""
+    holen = hashlib.sha256().digest_size
+    v = b"\x01" * holen
+    k = b"\x00" * holen
+    priv_bytes = _int2octets(secret, curve)
+    msg_bytes = _bits2octets(digest, curve)
+    k = hmac.new(k, v + b"\x00" + priv_bytes + msg_bytes, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + priv_bytes + msg_bytes, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    while True:
+        t = b""
+        while len(t) < curve.byte_length:
+            v = hmac.new(k, v, hashlib.sha256).digest()
+            t += v
+        candidate = _bits2int(t, curve.n)
+        if 1 <= candidate < curve.n:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+# ---------------------------------------------------------------------------
+# Sign / verify.
+# ---------------------------------------------------------------------------
+
+
+def sign_digest(secret: int, digest: bytes, curve: Curve = CURVE_P256) -> Signature:
+    """Sign a (32-byte) message digest, returning a low-s signature."""
+    if not 1 <= secret < curve.n:
+        raise ValueError("secret key out of range")
+    z = _bits2int(digest, curve.n)
+    counter = 0
+    while True:
+        k = rfc6979_nonce(secret, digest + counter.to_bytes(4, "big") if counter else digest, curve)
+        point = scalar_multiply(k, curve.generator, curve)
+        r = point.x % curve.n
+        if r == 0:
+            counter += 1
+            continue
+        s = (_inverse_mod(k, curve.n) * (z + r * secret)) % curve.n
+        if s == 0:
+            counter += 1
+            continue
+        if s > curve.n // 2:  # canonical low-s form
+            s = curve.n - s
+        return Signature(r, s)
+
+
+def verify_digest(
+    public_key: Point, digest: bytes, signature: Signature, curve: Curve = CURVE_P256
+) -> bool:
+    """Verify an ECDSA signature over a message digest.
+
+    Returns ``False`` (never raises) for malformed signatures or off-curve
+    keys, so callers can treat the result as a plain proof bit.
+    """
+    if public_key.is_infinity() or not is_on_curve(public_key, curve):
+        return False
+    r, s = signature.r, signature.s
+    if not (1 <= r < curve.n and 1 <= s < curve.n):
+        return False
+    z = _bits2int(digest, curve.n)
+    w = _inverse_mod(s, curve.n)
+    u1 = (z * w) % curve.n
+    u2 = (r * w) % curve.n
+    point = _from_jacobian(
+        _jacobian_add(
+            _to_jacobian(scalar_multiply(u1, curve.generator, curve)),
+            _to_jacobian(scalar_multiply(u2, public_key, curve)),
+            curve,
+        ),
+        curve,
+    )
+    if point.is_infinity():
+        return False
+    return point.x % curve.n == r

@@ -1,0 +1,103 @@
+"""Cryptographic hashing primitives used across the ledger.
+
+All ledger digests are 32-byte SHA-256 values.  To prevent cross-context
+collisions (e.g. an attacker presenting an interior Merkle node as a leaf),
+every digest is *domain separated*: each context prepends a distinct one-byte
+tag before hashing, following the convention of RFC 6962 (Certificate
+Transparency) and the Diem Merkle accumulator.
+
+Clue keys in CM-Tree1 are scattered with SHA3-256 (as in the paper, §IV-B2)
+so that user-chosen clue strings keep the Patricia trie balanced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = [
+    "DIGEST_SIZE",
+    "Digest",
+    "sha256",
+    "sha3_256",
+    "leaf_hash",
+    "node_hash",
+    "journal_hash",
+    "block_hash",
+    "receipt_hash",
+    "clue_key_hash",
+    "chain_hash",
+    "hexdigest",
+    "EMPTY_DIGEST",
+]
+
+DIGEST_SIZE = 32
+
+#: Digests are plain ``bytes`` of length :data:`DIGEST_SIZE`.
+Digest = bytes
+
+# Domain-separation tags.  One byte each; never reuse a value.
+_TAG_LEAF = b"\x00"
+_TAG_NODE = b"\x01"
+_TAG_JOURNAL = b"\x02"
+_TAG_BLOCK = b"\x03"
+_TAG_RECEIPT = b"\x04"
+_TAG_CHAIN = b"\x05"
+
+#: Digest of the empty tree / absent child.
+EMPTY_DIGEST: Digest = b"\x00" * DIGEST_SIZE
+
+
+def sha256(data: bytes) -> Digest:
+    """Raw SHA-256 of ``data`` (no domain tag — for external interop only)."""
+    return hashlib.sha256(data).digest()
+
+
+def sha3_256(data: bytes) -> Digest:
+    """Raw SHA3-256 of ``data`` (used to scatter clue keys, §IV-B2)."""
+    return hashlib.sha3_256(data).digest()
+
+
+def leaf_hash(payload: bytes) -> Digest:
+    """Hash of a Merkle *leaf* carrying ``payload``."""
+    return hashlib.sha256(_TAG_LEAF + payload).digest()
+
+
+def node_hash(left: Digest, right: Digest) -> Digest:
+    """Hash of an interior Merkle node from its two children."""
+    if len(left) != DIGEST_SIZE or len(right) != DIGEST_SIZE:
+        raise ValueError("interior node children must be 32-byte digests")
+    return hashlib.sha256(_TAG_NODE + left + right).digest()
+
+
+def journal_hash(data: bytes) -> Digest:
+    """Digest of a serialized journal entry (the *tx-hash* of §III-C)."""
+    return hashlib.sha256(_TAG_JOURNAL + data).digest()
+
+
+def block_hash(data: bytes) -> Digest:
+    """Digest of a serialized block header (the *block-hash* of §III-C)."""
+    return hashlib.sha256(_TAG_BLOCK + data).digest()
+
+
+def receipt_hash(data: bytes) -> Digest:
+    """Digest of a serialized client request (the *request-hash* of §III-C)."""
+    return hashlib.sha256(_TAG_RECEIPT + data).digest()
+
+
+def clue_key_hash(clue: str) -> Digest:
+    """Scatter a user-specified clue string into a 32-byte CM-Tree1 key.
+
+    The paper uses SHA-3 "to avoid excessive compression and keep the tree
+    balanced" (§IV-B2).
+    """
+    return hashlib.sha3_256(clue.encode("utf-8")).digest()
+
+
+def chain_hash(previous: Digest, current: Digest) -> Digest:
+    """Entangle two adjacent digests (block linking / pseudo-genesis links)."""
+    return hashlib.sha256(_TAG_CHAIN + previous + current).digest()
+
+
+def hexdigest(digest: Digest) -> str:
+    """Render a digest as lowercase hex for logs and receipts."""
+    return digest.hex()

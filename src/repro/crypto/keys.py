@@ -1,0 +1,93 @@
+"""Key pairs and serialisable public keys for ledger participants.
+
+Every member of a LedgerDB deployment (user, LSP, TSA, DBA, regulator) holds
+an ECDSA key pair.  ``KeyPair.generate`` derives keys deterministically from a
+seed so tests, examples, and benchmarks are reproducible without an OS RNG.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+from .ecdsa import (
+    CURVE_P256,
+    Curve,
+    Point,
+    Signature,
+    derive_public_key,
+    is_on_curve,
+    sign_digest,
+    verify_digest,
+)
+
+__all__ = ["PublicKey", "KeyPair"]
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A serialisable ECDSA public key (uncompressed SEC1-style encoding)."""
+
+    point: Point
+    curve: Curve = CURVE_P256
+
+    def to_bytes(self) -> bytes:
+        size = self.curve.byte_length
+        return b"\x04" + self.point.x.to_bytes(size, "big") + self.point.y.to_bytes(size, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, curve: Curve = CURVE_P256) -> "PublicKey":
+        size = curve.byte_length
+        if len(data) != 1 + 2 * size or data[0] != 0x04:
+            raise ValueError("expected uncompressed SEC1 public key")
+        point = Point(
+            int.from_bytes(data[1 : 1 + size], "big"),
+            int.from_bytes(data[1 + size :], "big"),
+        )
+        if not is_on_curve(point, curve):
+            raise ValueError("public key is not on the curve")
+        return cls(point, curve)
+
+    def fingerprint(self) -> bytes:
+        """32-byte identifier of this key (hash of its encoding)."""
+        return hashlib.sha256(self.to_bytes()).digest()
+
+    def verify(self, digest: bytes, signature: Signature) -> bool:
+        """Verify ``signature`` over a 32-byte digest.  Never raises."""
+        return verify_digest(self.point, digest, signature, self.curve)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A member's signing key pair (sk, pk)."""
+
+    secret: int
+    public: PublicKey
+
+    @classmethod
+    def generate(cls, seed: bytes | str | None = None, curve: Curve = CURVE_P256) -> "KeyPair":
+        """Create a key pair.
+
+        With ``seed`` the secret scalar is derived deterministically
+        (hash-to-scalar with rejection sampling); without, a cryptographically
+        random scalar is drawn.
+        """
+        if seed is None:
+            secret = secrets.randbelow(curve.n - 1) + 1
+        else:
+            material = seed.encode("utf-8") if isinstance(seed, str) else seed
+            counter = 0
+            while True:
+                candidate = int.from_bytes(
+                    hashlib.sha256(material + counter.to_bytes(4, "big")).digest(), "big"
+                )
+                if 1 <= candidate < curve.n:
+                    secret = candidate
+                    break
+                counter += 1
+        return cls(secret, PublicKey(derive_public_key(secret, curve), curve))
+
+    def sign(self, digest: bytes) -> Signature:
+        """Sign a 32-byte digest with this key pair's secret."""
+        return sign_digest(self.secret, digest, self.public.curve)

@@ -1,0 +1,68 @@
+"""Multi-signature sets for mutation prerequisites.
+
+Purge requires multi-signatures from the DBA and *all* members owning
+journals before the purge point (Prerequisite 1); occult requires the DBA and
+the regulator (Prerequisite 2).  A :class:`MultiSignature` is an unordered set
+of per-member signatures over one digest, validated against an explicit
+required-signer set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ca import Certificate
+from .ecdsa import Signature
+
+__all__ = ["MultiSignature", "MultiSignatureError"]
+
+
+class MultiSignatureError(Exception):
+    """Raised when a multi-signature set does not satisfy its prerequisite."""
+
+
+@dataclass
+class MultiSignature:
+    """Signatures from several members over a single digest."""
+
+    digest: bytes
+    signatures: dict[str, Signature] = field(default_factory=dict)
+
+    def add(self, member_id: str, signature: Signature) -> None:
+        """Record ``member_id``'s signature; re-signing must be identical."""
+        existing = self.signatures.get(member_id)
+        if existing is not None and existing != signature:
+            raise MultiSignatureError(
+                f"conflicting signature already recorded for {member_id!r}"
+            )
+        self.signatures[member_id] = signature
+
+    def signer_ids(self) -> frozenset[str]:
+        return frozenset(self.signatures)
+
+    def verify(
+        self,
+        required_signers: dict[str, Certificate],
+    ) -> None:
+        """Check that every required signer signed ``digest`` with a valid key.
+
+        ``required_signers`` maps member id to that member's certificate;
+        extra signatures beyond the required set are permitted (they only add
+        endorsement) but every *required* one must be present and valid.
+        Raises :class:`MultiSignatureError` on any failure.
+        """
+        missing = sorted(set(required_signers) - set(self.signatures))
+        if missing:
+            raise MultiSignatureError(f"missing required signatures from: {missing}")
+        for member_id, certificate in required_signers.items():
+            signature = self.signatures[member_id]
+            if not certificate.public_key.verify(self.digest, signature):
+                raise MultiSignatureError(f"invalid signature from {member_id!r}")
+
+    def is_satisfied_by(self, required_signers: dict[str, Certificate]) -> bool:
+        """Boolean form of :meth:`verify`."""
+        try:
+            self.verify(required_signers)
+        except MultiSignatureError:
+            return False
+        return True

@@ -1,0 +1,159 @@
+"""Canonical, deterministic binary encoding for ledger objects.
+
+Every digest in the system (journal hash, block hash, request hash, MPT node
+hash) is computed over a serialized byte string, so serialization must be
+*canonical*: one value, one encoding.  We use a small tag-length-value format
+(think minimal CBOR) supporting exactly the types ledger objects need.
+
+Supported types: ``None``, ``bool``, ``int`` (signed, arbitrary precision),
+``bytes``, ``str``, ``float`` (IEEE-754 big-endian), ``list``/``tuple``
+(encoded identically), and ``dict`` with string keys (encoded sorted by key).
+
+The format is self-describing and round-trips: ``decode(encode(x)) == x``
+(tuples come back as lists).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+__all__ = ["encode", "decode", "EncodingError"]
+
+
+class EncodingError(Exception):
+    """Raised on unsupported types or malformed input."""
+
+
+_TAG_NONE = b"N"
+_TAG_FALSE = b"f"
+_TAG_TRUE = b"t"
+_TAG_INT_POS = b"i"
+_TAG_INT_NEG = b"j"
+_TAG_BYTES = b"b"
+_TAG_STR = b"s"
+_TAG_FLOAT = b"d"
+_TAG_LIST = b"l"
+_TAG_DICT = b"m"
+
+
+def _encode_length(value: int) -> bytes:
+    """Variable-length big-endian length: one byte count then magnitude."""
+    if value == 0:
+        return b"\x00"
+    magnitude = value.to_bytes((value.bit_length() + 7) // 8, "big")
+    if len(magnitude) > 255:
+        raise EncodingError("length too large")
+    return bytes([len(magnitude)]) + magnitude
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        if value >= 0:
+            out += _TAG_INT_POS
+            out += _encode_length(value)
+        else:
+            out += _TAG_INT_NEG
+            out += _encode_length(-value)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out += _TAG_BYTES
+        out += _encode_length(len(data))
+        out += data
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out += _TAG_STR
+        out += _encode_length(len(data))
+        out += data
+    elif isinstance(value, float):
+        out += _TAG_FLOAT
+        out += struct.pack(">d", value)
+    elif isinstance(value, (list, tuple)):
+        out += _TAG_LIST
+        out += _encode_length(len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        keys = list(value)
+        if not all(isinstance(k, str) for k in keys):
+            raise EncodingError("dict keys must be strings")
+        if len(set(keys)) != len(keys):
+            raise EncodingError("duplicate dict keys")
+        out += _TAG_DICT
+        out += _encode_length(len(keys))
+        for key in sorted(keys):
+            _encode_into(key, out)
+            _encode_into(value[key], out)
+    else:
+        raise EncodingError(f"unsupported type: {type(value).__name__}")
+
+
+def encode(value: Any) -> bytes:
+    """Canonically encode ``value`` to bytes."""
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+class _Decoder:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise EncodingError("truncated input")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def _read_length(self) -> int:
+        count = self._take(1)[0]
+        if count == 0:
+            return 0
+        return int.from_bytes(self._take(count), "big")
+
+    def read_value(self) -> Any:
+        tag = self._take(1)
+        if tag == _TAG_NONE:
+            return None
+        if tag == _TAG_TRUE:
+            return True
+        if tag == _TAG_FALSE:
+            return False
+        if tag == _TAG_INT_POS:
+            return self._read_length()
+        if tag == _TAG_INT_NEG:
+            return -self._read_length()
+        if tag == _TAG_BYTES:
+            return self._take(self._read_length())
+        if tag == _TAG_STR:
+            return self._take(self._read_length()).decode("utf-8")
+        if tag == _TAG_FLOAT:
+            return struct.unpack(">d", self._take(8))[0]
+        if tag == _TAG_LIST:
+            return [self.read_value() for _ in range(self._read_length())]
+        if tag == _TAG_DICT:
+            result = {}
+            for _ in range(self._read_length()):
+                key = self.read_value()
+                if not isinstance(key, str):
+                    raise EncodingError("dict key must decode to str")
+                result[key] = self.read_value()
+            return result
+        raise EncodingError(f"unknown tag: {tag!r}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode a canonically encoded byte string; rejects trailing garbage."""
+    decoder = _Decoder(data)
+    value = decoder.read_value()
+    if decoder.pos != len(data):
+        raise EncodingError("trailing bytes after value")
+    return value

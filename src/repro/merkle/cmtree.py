@@ -1,0 +1,275 @@
+"""CM-Tree — the two-layer clue merged tree for verifiable N-lineage (§IV).
+
+CM-Tree marries an MPT and per-clue Merkle accumulators:
+
+* **CM-Tree1** is an MPT keyed by ``SHA3-256(clue)`` (scattered so user clue
+  strings keep the trie balanced).  A clue's value is its CM-Tree2 *root
+  proof set* — the (size, frontier) pair of the clue's own accumulator.
+* **CM-Tree2** is one Shrubs accumulator per clue holding that clue's journal
+  digests in lineage order.
+
+Insertion (§IV-B3) appends to the clue's CM-Tree2 (O(1) amortised, the Shrubs
+property that is "the backbone of CM-Tree") and refreshes the clue's value in
+CM-Tree1.  Clue-oriented verification (§IV-C) checks the batch proof of the
+requested versions against the clue's CM-Tree2 commitment, then the MPT path
+from the clue to the trusted CM-Tree1 root — total O(m + log |clues|) versus
+ccMPT's O(m·log n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashing import Digest, clue_key_hash
+from ..encoding import decode, encode
+from ..storage.kv import KVStore
+from .mpt import MPT, MPTProof
+from .proofs import BatchProof, bag_peaks
+from .shrubs import ShrubsAccumulator
+
+__all__ = ["CMTree", "ClueProof", "ClueVerificationError", "encode_clue_value", "decode_clue_value"]
+
+
+class ClueVerificationError(Exception):
+    """Raised by server-side verification when a clue fails to validate."""
+
+
+def encode_clue_value(size: int, frontier: list[Digest]) -> bytes:
+    """CM-Tree1 leaf value: the clue's CM-Tree2 root proof set (§IV-B2).
+
+    Public because auditors re-derive these values when replaying state-root
+    evolution from a pseudo-genesis snapshot.
+    """
+    return encode({"size": size, "frontier": list(frontier)})
+
+
+def decode_clue_value(value: bytes) -> tuple[int, list[Digest]]:
+    obj = decode(value)
+    return obj["size"], [bytes(d) for d in obj["frontier"]]
+
+
+def _encode_clue_value(accumulator: ShrubsAccumulator) -> bytes:
+    return encode_clue_value(accumulator.size, accumulator.peaks())
+
+
+_decode_clue_value = decode_clue_value
+
+
+@dataclass(frozen=True)
+class ClueProof:
+    """The full proof set replied to a client verifier (§IV-C step 5).
+
+    * ``batch`` — CM-Tree2 proof cells for the requested versions (the C_a
+      set: the minimal non-derivable nodes N = N2 − (N2 ∩ N3), plus flanking
+      peaks);
+    * ``clue_value`` / ``mpt_proof`` — the C_s set: the clue's committed
+      CM-Tree2 root proof set and its CM-Tree1 path.
+    """
+
+    clue: str
+    version_start: int
+    version_end: int  # exclusive
+    entry_count: int
+    batch: BatchProof
+    clue_value: bytes
+    mpt_proof: MPTProof
+
+    def verify(self, journal_digests: dict[int, Digest], cm_tree1_root: Digest) -> bool:
+        """Client-side verification (§IV-C step 6).  Never raises.
+
+        ``journal_digests`` maps version number -> journal digest for every
+        version in ``[version_start, version_end)``.  A proof is true only
+        when both layers prove: any missing version, tampered digest, wrong
+        count, or broken path fails the whole verification.
+        """
+        try:
+            size, frontier = _decode_clue_value(self.clue_value)
+        except Exception:
+            return False
+        if self.entry_count != size or self.batch.tree_size != size:
+            return False
+        expected_versions = list(range(self.version_start, self.version_end))
+        if sorted(journal_digests) != expected_versions:
+            return False
+        if list(self.batch.leaf_indices) != expected_versions:
+            return False
+        if not frontier:
+            return False
+        # Layer 2: the requested versions against the clue's accumulator.
+        cm_tree2_root = bag_peaks(frontier)
+        if not ShrubsAccumulator.verify_batch(journal_digests, self.batch, cm_tree2_root):
+            return False
+        # Layer 1: the clue's value against the trusted CM-Tree1 root.
+        if self.mpt_proof.key != clue_key_hash(self.clue):
+            return False
+        if self.mpt_proof.value != self.clue_value:
+            return False
+        return self.mpt_proof.verify(cm_tree1_root)
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            {
+                "clue": self.clue,
+                "version_start": self.version_start,
+                "version_end": self.version_end,
+                "entry_count": self.entry_count,
+                "batch": self.batch.to_bytes(),
+                "clue_value": self.clue_value,
+                "mpt_key": self.mpt_proof.key,
+                "mpt_value": self.mpt_proof.value if self.mpt_proof.value is not None else b"",
+                "mpt_has_value": self.mpt_proof.value is not None,
+                "mpt_nodes": list(self.mpt_proof.nodes),
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ClueProof":
+        from .mpt import MPTProof
+        from .proofs import BatchProof
+
+        obj = decode(data)
+        return cls(
+            clue=obj["clue"],
+            version_start=obj["version_start"],
+            version_end=obj["version_end"],
+            entry_count=obj["entry_count"],
+            batch=BatchProof.from_bytes(bytes(obj["batch"])),
+            clue_value=bytes(obj["clue_value"]),
+            mpt_proof=MPTProof(
+                key=bytes(obj["mpt_key"]),
+                value=bytes(obj["mpt_value"]) if obj["mpt_has_value"] else None,
+                nodes=[bytes(node) for node in obj["mpt_nodes"]],
+            ),
+        )
+
+
+class CMTree:
+    """The two-layer clue merged tree."""
+
+    def __init__(self, store: KVStore | None = None) -> None:
+        self._mpt = MPT(store)
+        self._accumulators: dict[bytes, ShrubsAccumulator] = {}
+        self._clue_names: dict[bytes, str] = {}
+
+    @property
+    def root(self) -> Digest:
+        """CM-Tree1 root — recorded in every block as the verifiable snapshot."""
+        return self._mpt.root
+
+    # --------------------------------------------------------------- insert
+
+    def add(self, clue: str, journal_digest: Digest) -> int:
+        """CM-Tree insertion (§IV-B3); returns the entry's version number.
+
+        Step 1: locate/create the clue's CM-Tree2 and append at the tail.
+        Step 2: recompute the CM-Tree2 root proof set and update the clue's
+        value in CM-Tree1, rehashing the MPT path bottom-up.
+        """
+        key = clue_key_hash(clue)
+        accumulator = self._accumulators.get(key)
+        if accumulator is None:
+            accumulator = ShrubsAccumulator()
+            self._accumulators[key] = accumulator
+            self._clue_names[key] = clue
+        version = accumulator.append_leaf(journal_digest)
+        self._mpt.put(key, _encode_clue_value(accumulator))
+        return version
+
+    # ---------------------------------------------------------------- reads
+
+    def has_clue(self, clue: str) -> bool:
+        return clue_key_hash(clue) in self._accumulators
+
+    def entry_count(self, clue: str) -> int:
+        accumulator = self._accumulators.get(clue_key_hash(clue))
+        return 0 if accumulator is None else accumulator.size
+
+    def entry_digest(self, clue: str, version: int) -> Digest:
+        return self._require(clue).leaf(version)
+
+    def clues(self) -> list[str]:
+        return sorted(self._clue_names.values())
+
+    def _require(self, clue: str) -> ShrubsAccumulator:
+        accumulator = self._accumulators.get(clue_key_hash(clue))
+        if accumulator is None:
+            raise KeyError(f"unknown clue: {clue!r}")
+        return accumulator
+
+    # --------------------------------------------------------------- proving
+
+    def prove_clue(
+        self,
+        clue: str,
+        version_start: int = 0,
+        version_end: int | None = None,
+    ) -> ClueProof:
+        """Build the client proof set for versions ``[start, end)`` (§IV-C 1-5).
+
+        Defaults to the entire clue so far — scenario 1 of §IV-C; a narrower
+        range implements scenario 2 (version-bounded verification).
+        """
+        accumulator = self._require(clue)
+        end = accumulator.size if version_end is None else version_end
+        if not 0 <= version_start < end <= accumulator.size:
+            raise IndexError(
+                f"version range [{version_start}, {end}) invalid for clue of "
+                f"size {accumulator.size}"
+            )
+        key = clue_key_hash(clue)
+        # Steps 1-4: destination leaves N1, proof paths N2, derivable set N3,
+        # and the shipped difference — all inside prove_batch.
+        batch = accumulator.prove_batch(list(range(version_start, end)))
+        # Step 5: CM-Tree1 proof nodes across layers, bottom-up.
+        clue_value = self._mpt.get(key)
+        mpt_proof = self._mpt.prove(key)
+        return ClueProof(
+            clue=clue,
+            version_start=version_start,
+            version_end=end,
+            entry_count=accumulator.size,
+            batch=batch,
+            clue_value=clue_value,
+            mpt_proof=mpt_proof,
+        )
+
+    # ------------------------------------------------------------- verifying
+
+    def verify_clue_server(
+        self, clue: str, journal_digests: dict[int, Digest]
+    ) -> bool:
+        """Server-side verification (§IV-C): steps 1-3 plus a local check.
+
+        The server validates the supplied digests directly against its own
+        CM-Tree2, skipping proof-set shipment (steps 4-5).
+        """
+        try:
+            accumulator = self._require(clue)
+        except KeyError:
+            return False
+        for version, digest in journal_digests.items():
+            if not 0 <= version < accumulator.size:
+                return False
+            if accumulator.leaf(version) != digest:
+                return False
+        return True
+
+    # ------------------------------------------------------------- utilities
+
+    def num_nodes(self) -> int:
+        """Stored CM-Tree2 node count across all clues (storage accounting)."""
+        return sum(acc.num_nodes() for acc in self._accumulators.values())
+
+    def clue_snapshots(self) -> list[tuple[str, int, tuple[Digest, ...]]]:
+        """(clue, size, peaks) per clue — pseudo-genesis resume material."""
+        out = []
+        for key, accumulator in self._accumulators.items():
+            out.append(
+                (self._clue_names[key], accumulator.size, tuple(accumulator.peaks()))
+            )
+        return sorted(out)
+
+    def clue_snapshot_at(self, clue: str, at_size: int) -> tuple[str, int, tuple[Digest, ...]]:
+        """Historical (clue, size, peaks) as of the clue's first ``at_size`` entries."""
+        accumulator = self._require(clue)
+        return (clue, at_size, tuple(accumulator.peaks(at_size=at_size)))

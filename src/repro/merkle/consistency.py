@@ -1,0 +1,143 @@
+"""Consistency proofs for Shrubs accumulators (append-only evolution).
+
+A consistency proof convinces a verifier who trusts the commitment at size
+*a* that the commitment at size *b* > *a* extends it **append-only** — no
+historical leaf was modified or removed.  This is what lets a client advance
+its trusted anchors (§III-A1: "before a new trusted anchor is set, all
+earlier ledger data must be cryptographically verified") without
+re-downloading and re-verifying the whole prefix.
+
+Construction (frontier model): every peak of the size-*b* frontier covers a
+leaf range that splits into (i) old peaks of the size-*a* frontier and
+(ii) *complement* subtrees made purely of new leaves.  The proof ships the
+old peak set plus the complement subtree roots; the verifier re-tiles each
+new peak from them.  Soundness hinges on the tiling rule enforced during
+verification: a complement tile may never cover any leaf < *a*, so the old
+region can only be reconstructed from the old peaks the verifier already
+trusts (via the old root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashing import Digest, node_hash
+from ..encoding import decode, encode
+from .proofs import bag_peaks
+from .shrubs import ShrubsAccumulator, peak_positions
+
+__all__ = ["ConsistencyProof", "prove_consistency"]
+
+
+def _aligned_cover(start: int, end: int) -> list[tuple[int, int]]:
+    """Decompose [start, end) into maximal aligned subtrees (level, index)."""
+    tiles: list[tuple[int, int]] = []
+    position = start
+    while position < end:
+        # Largest aligned subtree starting at `position` that fits.
+        level = (position & -position).bit_length() - 1 if position else (end - 1).bit_length()
+        while position + (1 << level) > end or position % (1 << level) != 0:
+            level -= 1
+        tiles.append((level, position >> level))
+        position += 1 << level
+    return tiles
+
+
+@dataclass(frozen=True)
+class ConsistencyProof:
+    """Proof that the commitment at ``new_size`` extends that at ``old_size``."""
+
+    old_size: int
+    new_size: int
+    old_peaks: list[Digest]
+    complement: dict[tuple[int, int], Digest]  # tiles covering leaves >= old_size
+
+    def verify(self, old_root: Digest, new_root: Digest) -> bool:
+        """Check both commitments against the shipped structure.  Never raises."""
+        try:
+            return self._verify(old_root, new_root)
+        except Exception:
+            return False
+
+    def _verify(self, old_root: Digest, new_root: Digest) -> bool:
+        if not 0 < self.old_size <= self.new_size:
+            return False
+        old_positions = peak_positions(self.old_size)
+        if len(self.old_peaks) != len(old_positions):
+            return False
+        if bag_peaks(self.old_peaks) != old_root:
+            return False
+        tiles: dict[tuple[int, int], Digest] = dict(
+            zip(old_positions, self.old_peaks)
+        )
+        for (level, index), digest in self.complement.items():
+            if (index << level) < self.old_size:
+                return False  # complement may not reach into trusted history
+            tiles[(level, index)] = digest
+
+        def build(level: int, index: int) -> Digest:
+            tile = tiles.get((level, index))
+            if tile is not None:
+                return tile
+            if level == 0:
+                raise KeyError((level, index))
+            return node_hash(build(level - 1, index << 1), build(level - 1, (index << 1) + 1))
+
+        new_peaks = [build(level, index) for level, index in peak_positions(self.new_size)]
+        return bag_peaks(new_peaks) == new_root
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            {
+                "old_size": self.old_size,
+                "new_size": self.new_size,
+                "old_peaks": list(self.old_peaks),
+                "complement": [
+                    [level, index, digest]
+                    for (level, index), digest in sorted(self.complement.items())
+                ],
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ConsistencyProof":
+        obj = decode(data)
+        return cls(
+            old_size=obj["old_size"],
+            new_size=obj["new_size"],
+            old_peaks=[bytes(d) for d in obj["old_peaks"]],
+            complement={
+                (level, index): bytes(digest)
+                for level, index, digest in obj["complement"]
+            },
+        )
+
+
+def prove_consistency(
+    accumulator: ShrubsAccumulator, old_size: int, new_size: int | None = None
+) -> ConsistencyProof:
+    """Build a consistency proof from size ``old_size`` to ``new_size``.
+
+    Requires the accumulator's interior nodes for both sizes — which is
+    always the case, since Shrubs nodes are immutable once written.
+    """
+    size = accumulator.size if new_size is None else new_size
+    if not 0 < old_size <= size <= accumulator.size:
+        raise ValueError(
+            f"need 0 < old_size <= new_size <= {accumulator.size}, "
+            f"got ({old_size}, {size})"
+        )
+    complement: dict[tuple[int, int], Digest] = {}
+    for level, index in peak_positions(size):
+        start = index << level
+        end = start + (1 << level)
+        if end <= old_size:
+            continue  # fully inside the old frontier: it IS an old peak
+        for tile_level, tile_index in _aligned_cover(max(start, old_size), end):
+            complement[(tile_level, tile_index)] = accumulator.node(tile_level, tile_index)
+    return ConsistencyProof(
+        old_size=old_size,
+        new_size=size,
+        old_peaks=accumulator.peaks(old_size),
+        complement=complement,
+    )

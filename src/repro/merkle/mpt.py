@@ -1,0 +1,395 @@
+"""Merkle Patricia Trie (MPT) with 16-way branching and content-addressed nodes.
+
+CM-Tree1 "holds 16 branches" per non-leaf node, keeps hot top layers in a
+memory cache and cold bottom layers on persistent storage (§IV-B2).  This
+module implements that substrate as a *persistent* (copy-path-on-write) MPT:
+
+* nodes are content-addressed — a node's id is the SHA-256 of its canonical
+  serialization, so the 32-byte root digest commits the entire key-value map;
+* updates write new nodes along the touched path only and return a new root,
+  leaving historical roots fully queryable (the "historical and current
+  status" CM-Tree1 records per block version);
+* Merkle path proofs (`prove` / `verify_proof`) support both membership and
+  non-membership.
+
+Keys are arbitrary byte strings (CM-Tree1 uses 32-byte SHA-3 scattered clue
+keys); internally they travel as nibble (4-bit) sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashing import EMPTY_DIGEST, Digest, sha256
+from ..encoding import decode, encode
+from ..storage.kv import KeyNotFoundError, KVStore, MemoryKVStore
+
+__all__ = ["MPT", "MPTProof", "key_to_nibbles", "nibbles_to_key"]
+
+
+def key_to_nibbles(key: bytes) -> bytes:
+    """Split a byte key into its 4-bit nibble sequence (one nibble per byte)."""
+    out = bytearray()
+    for byte in key:
+        out.append(byte >> 4)
+        out.append(byte & 0x0F)
+    return bytes(out)
+
+
+def nibbles_to_key(nibbles: bytes) -> bytes:
+    """Inverse of :func:`key_to_nibbles` (requires even length)."""
+    if len(nibbles) & 1:
+        raise ValueError("nibble sequence has odd length")
+    out = bytearray()
+    for i in range(0, len(nibbles), 2):
+        out.append((nibbles[i] << 4) | nibbles[i + 1])
+    return bytes(out)
+
+
+def _common_prefix_len(a: bytes, b: bytes) -> int:
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n
+
+
+# Node model (decoded form):
+#   ("leaf", suffix_nibbles: bytes, value: bytes)
+#   ("ext",  shared_nibbles: bytes, child: Digest)
+#   ("branch", children: list[Digest | None] * 16, value: bytes | None)
+
+_LEAF, _EXT, _BRANCH = "L", "E", "B"
+
+
+def _serialize(node: tuple) -> bytes:
+    kind = node[0]
+    if kind == "leaf":
+        return encode([_LEAF, node[1], node[2]])
+    if kind == "ext":
+        return encode([_EXT, node[1], node[2]])
+    if kind == "branch":
+        children = [child if child is not None else b"" for child in node[1]]
+        value = node[2] if node[2] is not None else b""
+        has_value = node[2] is not None
+        return encode([_BRANCH, children, value, has_value])
+    raise ValueError(f"unknown node kind: {kind}")
+
+
+def _deserialize(data: bytes) -> tuple:
+    obj = decode(data)
+    tag = obj[0]
+    if tag == _LEAF:
+        return ("leaf", bytes(obj[1]), bytes(obj[2]))
+    if tag == _EXT:
+        return ("ext", bytes(obj[1]), bytes(obj[2]))
+    if tag == _BRANCH:
+        children = [bytes(c) if c else None for c in obj[1]]
+        value = bytes(obj[2]) if obj[3] else None
+        return ("branch", children, value)
+    raise ValueError(f"unknown node tag: {tag!r}")
+
+
+@dataclass(frozen=True)
+class MPTProof:
+    """Merkle path proof: the serialized nodes from the root toward ``key``.
+
+    For membership the path reaches the key's value; for non-membership it
+    ends at the node proving divergence.  ``verify`` recomputes every node
+    hash top-down, so a forged path cannot verify.
+    """
+
+    key: bytes
+    value: bytes | None  # None asserts non-membership
+    nodes: list[bytes]
+
+    def verify(self, root: Digest) -> bool:
+        """Check this proof against a trusted root digest.  Never raises."""
+        try:
+            return self._verify(root)
+        except Exception:
+            return False
+
+    def _verify(self, root: Digest) -> bool:
+        remaining = key_to_nibbles(self.key)
+        if root == EMPTY_DIGEST:
+            return self.value is None and not self.nodes
+        expected = root
+        index = 0
+        while True:
+            if index >= len(self.nodes):
+                return False
+            data = self.nodes[index]
+            if sha256(data) != expected:
+                return False
+            node = _deserialize(data)
+            index += 1
+            kind = node[0]
+            if kind == "leaf":
+                if node[1] == remaining:
+                    return self.value == node[2] and index == len(self.nodes)
+                return self.value is None and index == len(self.nodes)
+            if kind == "ext":
+                if remaining[: len(node[1])] == node[1]:
+                    remaining = remaining[len(node[1]) :]
+                    expected = node[2]
+                    continue
+                return self.value is None and index == len(self.nodes)
+            # branch
+            if not remaining:
+                return self.value == node[2] and index == len(self.nodes)
+            child = node[1][remaining[0]]
+            if child is None:
+                return self.value is None and index == len(self.nodes)
+            remaining = remaining[1:]
+            expected = child
+
+
+class MPT:
+    """Persistent Merkle Patricia Trie over a pluggable node store."""
+
+    def __init__(self, store: KVStore | None = None, root: Digest = EMPTY_DIGEST) -> None:
+        self._store = store if store is not None else MemoryKVStore()
+        self.root = root
+
+    # -------------------------------------------------------------- node I/O
+
+    def _load(self, digest: Digest) -> tuple:
+        return _deserialize(self._store.get(digest))
+
+    def _save(self, node: tuple) -> Digest:
+        data = _serialize(node)
+        digest = sha256(data)
+        self._store.put(digest, data)
+        return digest
+
+    # ------------------------------------------------------------------- get
+
+    def get(self, key: bytes) -> bytes:
+        """Value for ``key`` at the current root; raises KeyNotFoundError."""
+        value = self.get_at(self.root, key)
+        if value is None:
+            raise KeyNotFoundError(key)
+        return value
+
+    def get_default(self, key: bytes, default: bytes | None = None) -> bytes | None:
+        value = self.get_at(self.root, key)
+        return default if value is None else value
+
+    def get_at(self, root: Digest, key: bytes) -> bytes | None:
+        """Value for ``key`` at a historical ``root`` (None if absent)."""
+        remaining = key_to_nibbles(key)
+        digest = root
+        while True:
+            if digest == EMPTY_DIGEST or digest is None:
+                return None
+            node = self._load(digest)
+            kind = node[0]
+            if kind == "leaf":
+                return node[2] if node[1] == remaining else None
+            if kind == "ext":
+                if remaining[: len(node[1])] != node[1]:
+                    return None
+                remaining = remaining[len(node[1]) :]
+                digest = node[2]
+                continue
+            if not remaining:
+                return node[2]
+            digest = node[1][remaining[0]]
+            remaining = remaining[1:]
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get_at(self.root, key) is not None
+
+    # ------------------------------------------------------------------- put
+
+    def put(self, key: bytes, value: bytes) -> Digest:
+        """Insert/update ``key``; advances and returns the new root."""
+        self.root = self.put_at(self.root, key, value)
+        return self.root
+
+    def put_at(self, root: Digest, key: bytes, value: bytes) -> Digest:
+        """Functional insert against an arbitrary root (old root stays valid)."""
+        return self._put(root if root != EMPTY_DIGEST else None, key_to_nibbles(key), value)
+
+    def _put(self, digest: Digest | None, nibbles: bytes, value: bytes) -> Digest:
+        if digest is None:
+            return self._save(("leaf", nibbles, value))
+        node = self._load(digest)
+        kind = node[0]
+        if kind == "leaf":
+            return self._put_into_leaf(node, nibbles, value)
+        if kind == "ext":
+            return self._put_into_ext(node, nibbles, value)
+        return self._put_into_branch(node, nibbles, value)
+
+    def _put_into_leaf(self, node: tuple, nibbles: bytes, value: bytes) -> Digest:
+        existing_path, existing_value = node[1], node[2]
+        if existing_path == nibbles:
+            return self._save(("leaf", nibbles, value))
+        split = _common_prefix_len(existing_path, nibbles)
+        children: list[Digest | None] = [None] * 16
+        branch_value: bytes | None = None
+        old_rest = existing_path[split:]
+        new_rest = nibbles[split:]
+        if old_rest:
+            children[old_rest[0]] = self._save(("leaf", old_rest[1:], existing_value))
+        else:
+            branch_value = existing_value
+        if new_rest:
+            children[new_rest[0]] = self._save(("leaf", new_rest[1:], value))
+        else:
+            branch_value = value
+        branch = self._save(("branch", children, branch_value))
+        if split:
+            return self._save(("ext", nibbles[:split], branch))
+        return branch
+
+    def _put_into_ext(self, node: tuple, nibbles: bytes, value: bytes) -> Digest:
+        shared, child = node[1], node[2]
+        split = _common_prefix_len(shared, nibbles)
+        if split == len(shared):
+            new_child = self._put(child, nibbles[split:], value)
+            return self._save(("ext", shared, new_child))
+        children: list[Digest | None] = [None] * 16
+        branch_value: bytes | None = None
+        ext_rest = shared[split:]
+        if len(ext_rest) == 1:
+            children[ext_rest[0]] = child
+        else:
+            children[ext_rest[0]] = self._save(("ext", ext_rest[1:], child))
+        new_rest = nibbles[split:]
+        if new_rest:
+            children[new_rest[0]] = self._save(("leaf", new_rest[1:], value))
+        else:
+            branch_value = value
+        branch = self._save(("branch", children, branch_value))
+        if split:
+            return self._save(("ext", nibbles[:split], branch))
+        return branch
+
+    def _put_into_branch(self, node: tuple, nibbles: bytes, value: bytes) -> Digest:
+        children = list(node[1])
+        branch_value = node[2]
+        if not nibbles:
+            return self._save(("branch", children, value))
+        children[nibbles[0]] = self._put(children[nibbles[0]], nibbles[1:], value)
+        return self._save(("branch", children, branch_value))
+
+    # ---------------------------------------------------------------- delete
+
+    def delete(self, key: bytes) -> Digest:
+        """Remove ``key``; advances and returns the new root.
+
+        Raises :class:`KeyNotFoundError` if absent.
+        """
+        new_root = self._delete(self.root if self.root != EMPTY_DIGEST else None, key_to_nibbles(key))
+        self.root = new_root if new_root is not None else EMPTY_DIGEST
+        return self.root
+
+    def _delete(self, digest: Digest | None, nibbles: bytes) -> Digest | None:
+        if digest is None:
+            raise KeyNotFoundError(nibbles_to_key(nibbles) if len(nibbles) % 2 == 0 else bytes(nibbles))
+        node = self._load(digest)
+        kind = node[0]
+        if kind == "leaf":
+            if node[1] == nibbles:
+                return None
+            raise KeyNotFoundError(b"")
+        if kind == "ext":
+            shared, child = node[1], node[2]
+            if nibbles[: len(shared)] != shared:
+                raise KeyNotFoundError(b"")
+            new_child = self._delete(child, nibbles[len(shared) :])
+            if new_child is None:
+                return None
+            return self._normalize_ext(shared, new_child)
+        children = list(node[1])
+        branch_value = node[2]
+        if not nibbles:
+            if branch_value is None:
+                raise KeyNotFoundError(b"")
+            branch_value = None
+        else:
+            slot = nibbles[0]
+            if children[slot] is None:
+                raise KeyNotFoundError(b"")
+            children[slot] = self._delete(children[slot], nibbles[1:])
+        return self._normalize_branch(children, branch_value)
+
+    def _normalize_ext(self, shared: bytes, child_digest: Digest) -> Digest:
+        """Merge an extension with a leaf/ext child to keep the trie canonical."""
+        child = self._load(child_digest)
+        if child[0] == "leaf":
+            return self._save(("leaf", shared + child[1], child[2]))
+        if child[0] == "ext":
+            return self._save(("ext", shared + child[1], child[2]))
+        return self._save(("ext", shared, child_digest))
+
+    def _normalize_branch(
+        self, children: list[Digest | None], value: bytes | None
+    ) -> Digest | None:
+        live = [(i, d) for i, d in enumerate(children) if d is not None]
+        if not live and value is None:
+            return None
+        if not live:
+            return self._save(("leaf", b"", value))
+        if len(live) == 1 and value is None:
+            slot, child_digest = live[0]
+            return self._normalize_ext(bytes([slot]), child_digest)
+        return self._save(("branch", children, value))
+
+    # --------------------------------------------------------------- proving
+
+    def prove(self, key: bytes, root: Digest | None = None) -> MPTProof:
+        """Merkle path proof of membership or non-membership of ``key``."""
+        at_root = self.root if root is None else root
+        nodes: list[bytes] = []
+        remaining = key_to_nibbles(key)
+        digest = at_root
+        value: bytes | None = None
+        while digest is not None and digest != EMPTY_DIGEST:
+            data = self._store.get(digest)
+            nodes.append(data)
+            node = _deserialize(data)
+            kind = node[0]
+            if kind == "leaf":
+                value = node[2] if node[1] == remaining else None
+                break
+            if kind == "ext":
+                if remaining[: len(node[1])] != node[1]:
+                    break
+                remaining = remaining[len(node[1]) :]
+                digest = node[2]
+                continue
+            if not remaining:
+                value = node[2]
+                break
+            digest = node[1][remaining[0]]
+            remaining = remaining[1:]
+        return MPTProof(key=key, value=value, nodes=nodes)
+
+    # ------------------------------------------------------------- utilities
+
+    def items(self, root: Digest | None = None) -> list[tuple[bytes, bytes]]:
+        """All (key, value) pairs under ``root`` (test oracle; O(n))."""
+        at_root = self.root if root is None else root
+        out: list[tuple[bytes, bytes]] = []
+        if at_root == EMPTY_DIGEST:
+            return out
+        stack: list[tuple[Digest, bytes]] = [(at_root, b"")]
+        while stack:
+            digest, prefix = stack.pop()
+            node = self._load(digest)
+            kind = node[0]
+            if kind == "leaf":
+                out.append((nibbles_to_key(prefix + node[1]), node[2]))
+            elif kind == "ext":
+                stack.append((node[2], prefix + node[1]))
+            else:
+                if node[2] is not None:
+                    out.append((nibbles_to_key(prefix), node[2]))
+                for slot, child in enumerate(node[1]):
+                    if child is not None:
+                        stack.append((child, prefix + bytes([slot])))
+        return sorted(out)

@@ -1,0 +1,17 @@
+"""Environment simulation: calibrated cost model for cloud-scale experiments."""
+
+from .costmodel import (
+    FABRIC_PROFILE,
+    LEDGERDB_PROFILE,
+    QLDB_PROFILE,
+    CostMeter,
+    CostProfile,
+)
+
+__all__ = [
+    "FABRIC_PROFILE",
+    "LEDGERDB_PROFILE",
+    "QLDB_PROFILE",
+    "CostMeter",
+    "CostProfile",
+]

@@ -1,0 +1,16 @@
+"""Storage substrate: append-only streams and KV node stores."""
+
+from .kv import CachedKVStore, KeyNotFoundError, KVStore, MemoryKVStore
+from .stream import FileStream, MemoryStream, RecordErasedError, Stream, StreamError
+
+__all__ = [
+    "CachedKVStore",
+    "KeyNotFoundError",
+    "KVStore",
+    "MemoryKVStore",
+    "FileStream",
+    "MemoryStream",
+    "RecordErasedError",
+    "Stream",
+    "StreamError",
+]

@@ -1,0 +1,128 @@
+"""Ordered key-value node store used by Merkle-Patricia trees and indexes.
+
+MPT / CM-Tree1 nodes are content-addressed blobs; the paper keeps "a
+configurable top layers cache in memory ... bottom layers including the leaf
+nodes are stored on disk persistently" (§IV-B2).  :class:`CachedKVStore`
+models exactly that split and counts backend reads so benchmarks can report
+I/O behaviour; :class:`MemoryKVStore` is the plain in-memory backend.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Iterator
+
+__all__ = ["KVStore", "MemoryKVStore", "CachedKVStore", "KeyNotFoundError"]
+
+
+class KeyNotFoundError(KeyError):
+    """Raised when a key is absent from the store."""
+
+
+class KVStore(ABC):
+    """Abstract byte-to-byte key-value store."""
+
+    @abstractmethod
+    def get(self, key: bytes) -> bytes: ...
+
+    @abstractmethod
+    def put(self, key: bytes, value: bytes) -> None: ...
+
+    @abstractmethod
+    def delete(self, key: bytes) -> None: ...
+
+    @abstractmethod
+    def __contains__(self, key: bytes) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def keys(self) -> Iterator[bytes]: ...
+
+
+class MemoryKVStore(KVStore):
+    """Dict-backed store.  Read/write counters support benchmark accounting."""
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def get(self, key: bytes) -> bytes:
+        self.reads += 1
+        try:
+            return self._data[key]
+        except KeyError:
+            raise KeyNotFoundError(key) from None
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.writes += 1
+        self._data[key] = value
+
+    def delete(self, key: bytes) -> None:
+        try:
+            del self._data[key]
+        except KeyError:
+            raise KeyNotFoundError(key) from None
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[bytes]:
+        return iter(list(self._data))
+
+
+class CachedKVStore(KVStore):
+    """LRU write-through cache in front of a backend store.
+
+    Models the paper's "top layers in memory, bottom layers on disk" node
+    placement: hot (upper-trie) nodes stay cached, cold reads hit the backend
+    and are counted in ``backend_reads``.
+    """
+
+    def __init__(self, backend: KVStore, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self._backend = backend
+        self._capacity = capacity
+        self._cache: OrderedDict[bytes, bytes] = OrderedDict()
+        self.cache_hits = 0
+        self.backend_reads = 0
+
+    def get(self, key: bytes) -> bytes:
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            return self._cache[key]
+        value = self._backend.get(key)
+        self.backend_reads += 1
+        self._insert_cache(key, value)
+        return value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._backend.put(key, value)
+        self._insert_cache(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self._cache.pop(key, None)
+        self._backend.delete(key)
+
+    def _insert_cache(self, key: bytes, value: bytes) -> None:
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._cache or key in self._backend
+
+    def __len__(self) -> int:
+        return len(self._backend)
+
+    def keys(self) -> Iterator[bytes]:
+        return self._backend.keys()

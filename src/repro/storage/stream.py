@@ -1,0 +1,196 @@
+"""Append-only record streams — LedgerDB's stream file system substrate.
+
+LedgerDB "implements a stream file system ... to manage journals" (§II-C).
+A :class:`Stream` is an append-only sequence of byte records addressed by a
+dense integer offset (the journal stream is addressed by jsn).  Two backends
+are provided:
+
+* :class:`MemoryStream` — list-backed, used by tests and benchmarks;
+* :class:`FileStream`  — length-prefixed records in a single file with an
+  in-memory offset index, demonstrating durable operation.
+
+Streams support *erasure* of individual records (required by occult's
+asynchronous data reorganisation and by purge): an erased slot keeps its
+offset but its payload is gone.  Erasure is exposed separately from append so
+that the ledger layer can enforce its multi-signature prerequisites first.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+__all__ = ["Stream", "MemoryStream", "FileStream", "StreamError", "RecordErasedError"]
+
+
+class StreamError(Exception):
+    """Raised on out-of-range access or backend corruption."""
+
+
+class RecordErasedError(StreamError):
+    """Raised when reading a record that has been physically erased."""
+
+    def __init__(self, offset: int) -> None:
+        super().__init__(f"record at offset {offset} has been erased")
+        self.offset = offset
+
+
+class Stream(ABC):
+    """Abstract append-only record stream."""
+
+    @abstractmethod
+    def append(self, record: bytes) -> int:
+        """Append ``record``; return its offset (0-based, dense)."""
+
+    @abstractmethod
+    def read(self, offset: int) -> bytes:
+        """Read the record at ``offset``.
+
+        Raises :class:`StreamError` for out-of-range offsets and
+        :class:`RecordErasedError` for erased slots.
+        """
+
+    @abstractmethod
+    def erase(self, offset: int) -> None:
+        """Physically erase the record at ``offset`` (idempotent)."""
+
+    @abstractmethod
+    def is_erased(self, offset: int) -> bool:
+        """True if the slot exists but its payload was erased."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of slots ever appended (erased slots still count)."""
+
+    def iter_records(self, start: int = 0, stop: int | None = None) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(offset, record)`` for live records in ``[start, stop)``."""
+        end = len(self) if stop is None else min(stop, len(self))
+        for offset in range(start, end):
+            if not self.is_erased(offset):
+                yield offset, self.read(offset)
+
+    def _check_offset(self, offset: int) -> None:
+        if not 0 <= offset < len(self):
+            raise StreamError(f"offset {offset} out of range [0, {len(self)})")
+
+
+class MemoryStream(Stream):
+    """List-backed stream; erased slots hold ``None``."""
+
+    def __init__(self) -> None:
+        self._records: list[bytes | None] = []
+
+    def append(self, record: bytes) -> int:
+        self._records.append(bytes(record))
+        return len(self._records) - 1
+
+    def read(self, offset: int) -> bytes:
+        self._check_offset(offset)
+        record = self._records[offset]
+        if record is None:
+            raise RecordErasedError(offset)
+        return record
+
+    def erase(self, offset: int) -> None:
+        self._check_offset(offset)
+        self._records[offset] = None
+
+    def is_erased(self, offset: int) -> bool:
+        self._check_offset(offset)
+        return self._records[offset] is None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+# FileStream record layout: [u32 length][u8 erased-flag][payload bytes].
+_HEADER = struct.Struct(">IB")
+_FLAG_LIVE = 0
+_FLAG_ERASED = 1
+
+
+class FileStream(Stream):
+    """Durable stream of length-prefixed records in one file.
+
+    Erasure overwrites the payload bytes with zeros and flips the record's
+    flag byte in place, so offsets of later records are unaffected.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self._path = os.fspath(path)
+        # Positions (file offsets) of each record header, rebuilt on open.
+        self._positions: list[int] = []
+        self._erased: list[bool] = []
+        mode = "r+b" if os.path.exists(self._path) else "w+b"
+        self._file = open(self._path, mode)
+        self._load_index()
+
+    def _load_index(self) -> None:
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        self._file.seek(0)
+        position = 0
+        while position < size:
+            header = self._file.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise StreamError(f"truncated record header at {position} in {self._path}")
+            length, flag = _HEADER.unpack(header)
+            self._positions.append(position)
+            self._erased.append(flag == _FLAG_ERASED)
+            position += _HEADER.size + length
+            self._file.seek(position)
+
+    def append(self, record: bytes) -> int:
+        self._file.seek(0, os.SEEK_END)
+        position = self._file.tell()
+        self._file.write(_HEADER.pack(len(record), _FLAG_LIVE))
+        self._file.write(record)
+        self._file.flush()
+        self._positions.append(position)
+        self._erased.append(False)
+        return len(self._positions) - 1
+
+    def read(self, offset: int) -> bytes:
+        self._check_offset(offset)
+        if self._erased[offset]:
+            raise RecordErasedError(offset)
+        self._file.seek(self._positions[offset])
+        length, flag = _HEADER.unpack(self._file.read(_HEADER.size))
+        if flag == _FLAG_ERASED:  # stale in-memory index (crash recovery path)
+            self._erased[offset] = True
+            raise RecordErasedError(offset)
+        data = self._file.read(length)
+        if len(data) < length:
+            raise StreamError(f"truncated record body at offset {offset}")
+        return data
+
+    def erase(self, offset: int) -> None:
+        self._check_offset(offset)
+        if self._erased[offset]:
+            return
+        position = self._positions[offset]
+        self._file.seek(position)
+        length, _flag = _HEADER.unpack(self._file.read(_HEADER.size))
+        self._file.seek(position)
+        self._file.write(_HEADER.pack(length, _FLAG_ERASED))
+        self._file.write(b"\x00" * length)
+        self._file.flush()
+        self._erased[offset] = True
+
+    def is_erased(self, offset: int) -> bool:
+        self._check_offset(offset)
+        return self._erased[offset]
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "FileStream":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,45 @@
+"""Time verification (*when*): clocks, TSA, pegging protocols, T-Ledger."""
+
+from .attacks import (
+    AttackResult,
+    run_one_way_amplification,
+    run_tledger_stale_submission,
+    run_two_way_window,
+)
+from .clock import Clock, SimClock, SkewedClock, WallClock
+from .pegging import NotaryEvidence, OneWayPegger, PublicChainNotary, TimeBound, TwoWayPegger
+from .tledger import (
+    Finalization,
+    NotaryEntry,
+    NotaryReceipt,
+    StaleRequestError,
+    TimeEvidence,
+    TimeLedger,
+)
+from .tsa import TimeStampAuthority, TimeStampToken, TSAPool, TSAUnavailableError
+
+__all__ = [
+    "AttackResult",
+    "run_one_way_amplification",
+    "run_tledger_stale_submission",
+    "run_two_way_window",
+    "Clock",
+    "SimClock",
+    "SkewedClock",
+    "WallClock",
+    "NotaryEvidence",
+    "OneWayPegger",
+    "PublicChainNotary",
+    "TimeBound",
+    "TwoWayPegger",
+    "Finalization",
+    "NotaryEntry",
+    "NotaryReceipt",
+    "StaleRequestError",
+    "TimeEvidence",
+    "TimeLedger",
+    "TimeStampAuthority",
+    "TimeStampToken",
+    "TSAPool",
+    "TSAUnavailableError",
+]

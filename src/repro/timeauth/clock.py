@@ -1,0 +1,62 @@
+"""Simulated clocks for deterministic time-protocol experiments.
+
+Every actor in the *when* experiments (ledger, TSA, T-Ledger, adversary)
+shares one :class:`SimClock`, so timestamp-attack scenarios are exactly
+reproducible.  :class:`SkewedClock` derives a per-actor view with a fixed
+offset, modelling a server whose local clock drifts from the authority's —
+the situation Protocol 4's tau_delta admission check exists for.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+__all__ = ["Clock", "SimClock", "SkewedClock", "WallClock"]
+
+
+class Clock(ABC):
+    """Source of the current time in seconds."""
+
+    @abstractmethod
+    def now(self) -> float: ...
+
+
+class SimClock(Clock):
+    """A manually-advanced simulation clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; rejects negative steps (time is monotonic)."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump forward to an absolute time (no-op if already past it)."""
+        self._now = max(self._now, float(timestamp))
+        return self._now
+
+
+class SkewedClock(Clock):
+    """A view of another clock shifted by a constant offset (clock drift)."""
+
+    def __init__(self, base: Clock, offset: float) -> None:
+        self._base = base
+        self.offset = float(offset)
+
+    def now(self) -> float:
+        return self._base.now() + self.offset
+
+
+class WallClock(Clock):
+    """Real OS time — for live demos only; tests use :class:`SimClock`."""
+
+    def now(self) -> float:
+        return time.time()

@@ -1,0 +1,196 @@
+"""Timestamp pegging protocols: vulnerable one-way and hardened two-way.
+
+§III-B1 analyses ProvenDB's **one-way pegging** — periodically submitting
+ledger digests to a public chain — and shows the LSP can delay a digest's
+submission arbitrarily (*infinite time amplification*): the anchored
+timestamp only upper-bounds creation time, and nothing bounds the gap.
+
+LedgerDB's **two-way pegging** (Protocol 3) closes the loop: the TSA signs
+the digest-timestamp pair *and the token is anchored back onto the ledger as
+a time journal*, so consecutive time journals bracket every ordinary journal
+into a window no wider than 2·Δτ (Figure 5(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..crypto.hashing import Digest
+from .clock import Clock
+from .tsa import TimeStampAuthority, TimeStampToken, TSAPool
+
+__all__ = [
+    "NotaryEvidence",
+    "PublicChainNotary",
+    "OneWayPegger",
+    "TwoWayPegger",
+    "TimeBound",
+]
+
+
+@dataclass(frozen=True)
+class TimeBound:
+    """A verified (lower, upper) bound on a journal's creation time."""
+
+    lower: float
+    upper: float
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def contains(self, timestamp: float) -> bool:
+        return self.lower <= timestamp <= self.upper
+
+
+# ---------------------------------------------------------------------------
+# One-way pegging substrate: a simulated public chain (Bitcoin-like).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NotaryEvidence:
+    """Public-chain inclusion evidence for a submitted digest."""
+
+    digest: Digest
+    block_height: int
+    block_time: float
+
+
+@dataclass
+class _NotaryBlock:
+    height: int
+    time: float
+    digests: list[Digest] = field(default_factory=list)
+
+
+class PublicChainNotary:
+    """A simulated public blockchain used as a one-way timestamp notary.
+
+    Digests submitted since the last block are included in the next block,
+    mined every ``block_interval`` seconds of simulated time (call
+    :meth:`tick` as the clock advances).  Block timestamps are credible (the
+    public-chain property); what is *not* credible is when the LSP chose to
+    submit — which is the whole attack surface.
+    """
+
+    def __init__(self, clock: Clock, block_interval: float = 600.0) -> None:
+        if block_interval <= 0:
+            raise ValueError("block interval must be positive")
+        self._clock = clock
+        self.block_interval = block_interval
+        self._blocks: list[_NotaryBlock] = []
+        self._pending: list[tuple[float, Digest]] = []  # (available_at, digest)
+        self._next_block_time = clock.now() + block_interval
+        self._evidence: dict[Digest, NotaryEvidence] = {}
+
+    @property
+    def height(self) -> int:
+        return len(self._blocks)
+
+    def submit(self, digest: Digest, at_time: float | None = None) -> None:
+        """Queue a digest for inclusion in the first block after ``at_time``.
+
+        ``at_time`` (default: now) lets callers that process events lazily
+        preserve the submission's *logical* time, so the digest lands in the
+        block it would have landed in under continuous simulation.
+        """
+        when = self._clock.now() if at_time is None else at_time
+        self._pending.append((when, digest))
+
+    def tick(self) -> None:
+        """Mine every block whose time has come (idempotent)."""
+        now = self._clock.now()
+        while self._next_block_time <= now:
+            block_time = self._next_block_time
+            included = [d for t, d in self._pending if t <= block_time]
+            self._pending = [(t, d) for t, d in self._pending if t > block_time]
+            block = _NotaryBlock(
+                height=len(self._blocks),
+                time=block_time,
+                digests=included,
+            )
+            self._blocks.append(block)
+            for digest in block.digests:
+                self._evidence.setdefault(
+                    digest,
+                    NotaryEvidence(digest=digest, block_height=block.height, block_time=block.time),
+                )
+            self._next_block_time += self.block_interval
+
+    def evidence_for(self, digest: Digest) -> NotaryEvidence | None:
+        """Inclusion evidence once the digest's block has been mined."""
+        self.tick()
+        return self._evidence.get(digest)
+
+
+class OneWayPegger:
+    """ProvenDB-style pegging: submit digests, never anchor back.
+
+    The resulting evidence proves only "existed before block_time"; the
+    effective lower bound is unknowable, so :meth:`time_bound_for` returns a
+    bound with ``lower = -inf``.
+    """
+
+    def __init__(self, notary: PublicChainNotary) -> None:
+        self._notary = notary
+
+    def peg(self, digest: Digest) -> None:
+        self._notary.submit(digest)
+
+    def time_bound_for(self, digest: Digest) -> TimeBound | None:
+        evidence = self._notary.evidence_for(digest)
+        if evidence is None:
+            return None
+        return TimeBound(lower=float("-inf"), upper=evidence.block_time)
+
+
+# ---------------------------------------------------------------------------
+# Two-way pegging (Protocol 3).
+# ---------------------------------------------------------------------------
+
+
+class TwoWayPegger:
+    """Protocol 3: TSA-stamp the ledger digest, then anchor the token back.
+
+    ``anchor_callback`` is the "anchors the signed time journal back to that
+    ledger" step — the ledger passes a function that records a time journal
+    and the pegger invokes it with every token, keeping the loop closed.
+    """
+
+    def __init__(
+        self,
+        tsa: TimeStampAuthority | TSAPool,
+        anchor_callback: Callable[[TimeStampToken], None],
+    ) -> None:
+        self._tsa = tsa
+        self._anchor = anchor_callback
+        self.tokens: list[TimeStampToken] = []
+
+    def peg(self, digest: Digest) -> TimeStampToken:
+        """Run one full two-way pegging round for ``digest``."""
+        token = self._tsa.stamp(digest)
+        self._anchor(token)
+        self.tokens.append(token)
+        return token
+
+    @staticmethod
+    def bracket(
+        tokens: list[TimeStampToken], anchored_at: float
+    ) -> TimeBound:
+        """Window for a journal anchored at ledger position/time ``anchored_at``.
+
+        Given the ordered time-journal tokens, a journal recorded between the
+        token stamped at t_i and the one at t_{i+1} is bracketed into
+        (t_i, t_{i+1}); with pegging interval Δτ and adversarial timing the
+        worst case is 2·Δτ (Figure 5(b)).
+        """
+        lower = float("-inf")
+        upper = float("inf")
+        for token in tokens:
+            if token.timestamp <= anchored_at:
+                lower = max(lower, token.timestamp)
+            else:
+                upper = min(upper, token.timestamp)
+        return TimeBound(lower=lower, upper=upper)

@@ -1,0 +1,136 @@
+"""Time Stamp Authority (TSA) — the trusted third party of Prerequisite 3.
+
+A TSA "assigns the current timestamp to the digest submitted by a ledger and
+signs the timestamp-digest pair" (Protocol 3).  The signed pair is a
+:class:`TimeStampToken` — the pi_t proof of Figure 1.  The paper's deployment
+"utilize[s] a pool of independent TSA services from different authorized
+entities to further enhance system availability"; :class:`TSAPool` models
+that with round-robin dispatch and fault injection for availability tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.ca import Certificate, CertificateAuthority, Role
+from ..crypto.ecdsa import Signature
+from ..crypto.hashing import Digest, sha256
+from ..crypto.keys import KeyPair, PublicKey
+from ..encoding import encode
+from .clock import Clock
+
+__all__ = ["TimeStampToken", "TimeStampAuthority", "TSAPool", "TSAUnavailableError"]
+
+
+class TSAUnavailableError(Exception):
+    """Raised when no TSA in a pool can serve a stamping request."""
+
+
+@dataclass(frozen=True)
+class TimeStampToken:
+    """A TSA-signed (digest, timestamp) pair — proof pi_t.
+
+    The token proves the digest existed no later than ``timestamp`` according
+    to the authority identified by ``tsa_id``.
+    """
+
+    digest: Digest
+    timestamp: float
+    tsa_id: str
+    signature: Signature
+
+    def signing_payload(self) -> bytes:
+        return _token_payload(self.digest, self.timestamp, self.tsa_id)
+
+    def verify(self, tsa_public_key: PublicKey) -> bool:
+        """Check the TSA's signature over the digest-timestamp pair."""
+        return tsa_public_key.verify(sha256(self.signing_payload()), self.signature)
+
+
+def _token_payload(digest: Digest, timestamp: float, tsa_id: str) -> bytes:
+    return encode(
+        {
+            "scheme": "repro.tsa.token.v1",
+            "digest": digest,
+            "timestamp": timestamp,
+            "tsa_id": tsa_id,
+        }
+    )
+
+
+class TimeStampAuthority:
+    """A single TSA actor with its own CA-certified key pair."""
+
+    def __init__(
+        self,
+        tsa_id: str,
+        clock: Clock,
+        ca: CertificateAuthority | None = None,
+        keypair: KeyPair | None = None,
+    ) -> None:
+        self.tsa_id = tsa_id
+        self._clock = clock
+        self._keypair = keypair or KeyPair.generate(seed=f"tsa:{tsa_id}")
+        self.available = True  # toggled by availability / fault-injection tests
+        self.stamps_issued = 0
+        self.certificate: Certificate | None = None
+        if ca is not None:
+            self.certificate = ca.issue(tsa_id, Role.TSA, self._keypair.public)
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._keypair.public
+
+    def stamp(self, digest: Digest) -> TimeStampToken:
+        """Assign the current authoritative timestamp to ``digest`` and sign it."""
+        if not self.available:
+            raise TSAUnavailableError(f"TSA {self.tsa_id!r} is unavailable")
+        timestamp = self._clock.now()
+        payload = _token_payload(digest, timestamp, self.tsa_id)
+        self.stamps_issued += 1
+        return TimeStampToken(
+            digest=digest,
+            timestamp=timestamp,
+            tsa_id=self.tsa_id,
+            signature=self._keypair.sign(sha256(payload)),
+        )
+
+
+class TSAPool:
+    """Round-robin pool over independent TSAs (single-point-of-failure fix).
+
+    ``stamp`` tries each authority starting from the rotation cursor and
+    raises :class:`TSAUnavailableError` only if *every* member is down.
+    """
+
+    def __init__(self, authorities: list[TimeStampAuthority]) -> None:
+        if not authorities:
+            raise ValueError("pool needs at least one TSA")
+        self._authorities = list(authorities)
+        self._cursor = 0
+
+    def stamp(self, digest: Digest) -> TimeStampToken:
+        attempts = 0
+        while attempts < len(self._authorities):
+            authority = self._authorities[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self._authorities)
+            attempts += 1
+            if authority.available:
+                return authority.stamp(digest)
+        raise TSAUnavailableError("all TSAs in the pool are unavailable")
+
+    def public_key_of(self, tsa_id: str) -> PublicKey:
+        for authority in self._authorities:
+            if authority.tsa_id == tsa_id:
+                return authority.public_key
+        raise KeyError(f"unknown TSA: {tsa_id!r}")
+
+    def verify(self, token: TimeStampToken) -> bool:
+        """Verify a token against the pool member that issued it."""
+        try:
+            return token.verify(self.public_key_of(token.tsa_id))
+        except KeyError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._authorities)

@@ -1,0 +1,17 @@
+"""Workload generators for the notarization and lineage applications."""
+
+from .generators import (
+    LineageOp,
+    LineageWorkload,
+    NotarizationDoc,
+    NotarizationWorkload,
+    payload_bytes,
+)
+
+__all__ = [
+    "LineageOp",
+    "LineageWorkload",
+    "NotarizationDoc",
+    "NotarizationWorkload",
+    "payload_bytes",
+]

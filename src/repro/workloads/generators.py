@@ -1,0 +1,109 @@
+"""Deterministic workload generators shared by tests and benchmarks.
+
+All generators take an explicit ``seed`` and derive payloads from a
+``random.Random`` instance, so every benchmark run replays the same byte
+streams — the property-based tests rely on this too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["payload_bytes", "NotarizationWorkload", "LineageWorkload", "NotarizationDoc", "LineageOp"]
+
+
+def payload_bytes(rng: random.Random, size: int) -> bytes:
+    """A pseudo-random payload of exactly ``size`` bytes."""
+    return rng.getrandbits(8 * size).to_bytes(size, "big") if size else b""
+
+
+@dataclass(frozen=True)
+class NotarizationDoc:
+    """One evidentiary record: a unique id and an opaque blob proof."""
+
+    doc_id: str
+    data: bytes
+
+
+@dataclass(frozen=True)
+class LineageOp:
+    """One lineage append: a business key (clue) and its next item."""
+
+    clue: str
+    version: int
+    data: bytes
+
+
+class NotarizationWorkload:
+    """The §VI-D data-notarization workload: [index, data] documents."""
+
+    def __init__(self, count: int, payload_size: int = 256, seed: int = 7) -> None:
+        self.count = count
+        self.payload_size = payload_size
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[NotarizationDoc]:
+        rng = random.Random(self.seed)
+        for index in range(self.count):
+            yield NotarizationDoc(
+                doc_id=f"doc-{self.seed}-{index:08d}",
+                data=payload_bytes(rng, self.payload_size),
+            )
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class LineageWorkload:
+    """The §VI-C/§VI-D lineage workload.
+
+    ``clue_count`` business keys receive between ``min_entries`` and
+    ``max_entries`` journals each (the paper randomly assigns 1–100), in a
+    globally interleaved order like real traffic.
+    """
+
+    def __init__(
+        self,
+        clue_count: int,
+        min_entries: int = 1,
+        max_entries: int = 100,
+        payload_size: int = 1024,
+        seed: int = 11,
+    ) -> None:
+        if min_entries < 1 or max_entries < min_entries:
+            raise ValueError("need 1 <= min_entries <= max_entries")
+        self.clue_count = clue_count
+        self.min_entries = min_entries
+        self.max_entries = max_entries
+        self.payload_size = payload_size
+        self.seed = seed
+
+    def entry_counts(self) -> dict[str, int]:
+        rng = random.Random(self.seed)
+        return {
+            f"clue-{self.seed}-{i:06d}": rng.randint(self.min_entries, self.max_entries)
+            for i in range(self.clue_count)
+        }
+
+    def __iter__(self) -> Iterator[LineageOp]:
+        rng = random.Random(self.seed)
+        counts = self.entry_counts()
+        pending = [(clue, count) for clue, count in counts.items()]
+        versions = {clue: 0 for clue in counts}
+        # Interleave appends across clues.
+        order: list[str] = []
+        for clue, count in pending:
+            order.extend([clue] * count)
+        rng.shuffle(order)
+        for clue in order:
+            yield LineageOp(
+                clue=clue,
+                version=versions[clue],
+                data=payload_bytes(rng, self.payload_size),
+            )
+            versions[clue] += 1
+
+    def total_entries(self) -> int:
+        return sum(self.entry_counts().values())

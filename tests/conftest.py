@@ -1,0 +1,97 @@
+"""Shared fixtures: a populated ledger deployment with members and time notary."""
+
+import pytest
+
+from repro.core import ClientRequest, Ledger, LedgerConfig
+from repro.crypto import KeyPair, Role
+from repro.timeauth import SimClock, TimeLedger, TimeStampAuthority
+
+LEDGER_URI = "ledger://test"
+
+
+class Deployment:
+    """A ledger plus everything around it, for one test."""
+
+    def __init__(self, fractal_height=3, block_size=4, finalize_interval=1.0):
+        self.clock = SimClock()
+        self.tsa = TimeStampAuthority("tsa-main", self.clock)
+        self.tledger = TimeLedger(
+            self.clock, self.tsa, finalize_interval=finalize_interval, admission_tolerance=1.0
+        )
+        self.ledger = Ledger(
+            LedgerConfig(uri=LEDGER_URI, fractal_height=fractal_height, block_size=block_size),
+            clock=self.clock,
+        )
+        self.ledger.attach_time_ledger(self.tledger)
+        self.keys = {}
+        for name, role in (
+            ("alice", Role.USER),
+            ("bob", Role.USER),
+            ("dba", Role.DBA),
+            ("regulator", Role.REGULATOR),
+            ("auditor", Role.AUDITOR),
+        ):
+            keypair = KeyPair.generate(seed=f"fixture:{name}")
+            self.keys[name] = keypair
+            self.ledger.registry.register(name, role, keypair.public)
+
+    @property
+    def tsa_keys(self):
+        return {self.tsa.tsa_id: self.tsa.public_key}
+
+    def request(self, client, payload, clues=(), journal_type=None):
+        kwargs = {}
+        if journal_type is not None:
+            kwargs["journal_type"] = journal_type
+        request = ClientRequest.build(
+            LEDGER_URI,
+            client,
+            payload,
+            clues=tuple(clues),
+            nonce=payload[:8],
+            client_timestamp=self.clock.now(),
+            **kwargs,
+        )
+        return request.signed_by(self.keys[client])
+
+    def append(self, client, payload, clues=()):
+        return self.ledger.append(self.request(client, payload, clues))
+
+    def populate(self, count=20, anchor_every=5, clue="CLUE-A"):
+        """Appends from alternating users; periodic time anchors."""
+        receipts = []
+        for i in range(count):
+            client = "alice" if i % 2 == 0 else "bob"
+            clues = (clue,) if i % 3 == 0 else ()
+            receipts.append(self.append(client, b"payload-%04d" % i, clues))
+            self.clock.advance(0.25)
+            if anchor_every and i % anchor_every == anchor_every - 1:
+                self.ledger.anchor_time()
+        self.clock.advance(2.0)
+        self.ledger.collect_time_evidence()
+        self.ledger.commit_block()
+        return receipts
+
+    def lsp_key(self):
+        return self.ledger._lsp_keypair
+
+    def sign_approval(self, names, digest):
+        from repro.crypto import MultiSignature
+
+        ms = MultiSignature(digest=digest)
+        for name in names:
+            keypair = self.lsp_key() if name == "__lsp__" else self.keys[name]
+            ms.add(name, keypair.sign(digest))
+        return ms
+
+
+@pytest.fixture()
+def deployment():
+    return Deployment()
+
+
+@pytest.fixture()
+def populated():
+    deployment = Deployment()
+    receipts = deployment.populate()
+    return deployment, receipts

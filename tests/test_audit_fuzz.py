@@ -1,0 +1,113 @@
+"""Audit fuzzing: random tampering anywhere in an exported view must fail.
+
+The §V audit's promise is a conjunction over *everything*: any bit an
+adversary flips in journal bytes, block headers, or retained hashes must
+surface as a failed sub-proof.  These property tests drive that with
+hypothesis-chosen tamper locations.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import dasein_audit
+from repro.core.journal import Journal
+
+from conftest import Deployment
+
+
+@pytest.fixture(scope="module")
+def frozen_deployment():
+    deployment = Deployment()
+    deployment.populate(count=16, anchor_every=5)
+    return deployment
+
+
+def fresh_view(deployment):
+    return deployment.ledger.export_view()
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_any_journal_byte_flip_fails_audit(frozen_deployment, data):
+    deployment = frozen_deployment
+    view = fresh_view(deployment)
+    live = [i for i, e in enumerate(view.entries) if e.data is not None]
+    index = data.draw(st.sampled_from(live))
+    entry = view.entries[index]
+    position = data.draw(st.integers(min_value=0, max_value=len(entry.data) - 1))
+    mutated = bytearray(entry.data)
+    mutated[position] ^= data.draw(st.integers(min_value=1, max_value=255))
+    view.entries[index] = dataclasses.replace(entry, data=bytes(mutated))
+    report = dasein_audit(view, tsa_keys=deployment.tsa_keys)
+    assert not report.passed
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_any_retained_hash_flip_fails_audit(frozen_deployment, data):
+    deployment = frozen_deployment
+    view = fresh_view(deployment)
+    index = data.draw(st.integers(min_value=0, max_value=len(view.entries) - 1))
+    entry = view.entries[index]
+    position = data.draw(st.integers(min_value=0, max_value=31))
+    mutated = bytearray(entry.retained_hash)
+    mutated[position] ^= 0x01
+    view.entries[index] = dataclasses.replace(entry, retained_hash=bytes(mutated))
+    report = dasein_audit(view, tsa_keys=deployment.tsa_keys)
+    assert not report.passed
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_any_block_field_tamper_fails_audit(frozen_deployment, data):
+    deployment = frozen_deployment
+    view = fresh_view(deployment)
+    index = data.draw(st.integers(min_value=0, max_value=len(view.blocks) - 1))
+    block = view.blocks[index]
+    field_name = data.draw(
+        st.sampled_from(["previous_hash", "journal_root", "state_root"])
+    )
+    original = getattr(block, field_name)
+    mutated = bytes([original[0] ^ 1]) + original[1:]
+    view.blocks[index] = dataclasses.replace(block, **{field_name: mutated})
+    report = dasein_audit(view, tsa_keys=deployment.tsa_keys)
+    assert not report.passed
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_journal_reorder_fails_audit(frozen_deployment, data):
+    deployment = frozen_deployment
+    view = fresh_view(deployment)
+    count = len(view.entries)
+    a = data.draw(st.integers(min_value=0, max_value=count - 2))
+    b = data.draw(st.integers(min_value=a + 1, max_value=count - 1))
+    view.entries[a], view.entries[b] = view.entries[b], view.entries[a]
+    report = dasein_audit(view, tsa_keys=deployment.tsa_keys)
+    assert not report.passed
+
+
+def test_untouched_view_still_passes(frozen_deployment):
+    """Control: the fixture ledger itself is honest."""
+    report = dasein_audit(
+        fresh_view(frozen_deployment), tsa_keys=frozen_deployment.tsa_keys
+    )
+    assert report.passed

@@ -1,0 +1,39 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo_succeeds(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "Dasein-complete=True" in out
+    assert "passed=True" in out
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "LedgerDB" in out and "Factom" in out
+
+
+def test_attack(capsys):
+    assert main(["attack"]) == 0
+    out = capsys.readouterr().out
+    assert "one-way" in out and "two-way" in out
+
+
+def test_bench_selected(capsys):
+    assert main(["bench", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+
+
+def test_bench_unknown_experiment(capsys):
+    assert main(["bench", "nonsense"]) == 2
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,86 @@
+"""Clock drift scenarios: Protocol 4's tolerance under skewed server clocks."""
+
+import pytest
+
+from repro.crypto.hashing import leaf_hash
+from repro.timeauth import (
+    SimClock,
+    SkewedClock,
+    StaleRequestError,
+    TimeLedger,
+    TimeStampAuthority,
+)
+
+
+@pytest.fixture()
+def notary_world():
+    clock = SimClock()
+    tsa = TimeStampAuthority("tsa", clock)
+    tledger = TimeLedger(clock, tsa, finalize_interval=1.0, admission_tolerance=1.0)
+    return clock, tsa, tledger
+
+
+class TestSkewedSubmitters:
+    def test_slow_clock_within_tolerance_accepted(self, notary_world):
+        clock, _tsa, tledger = notary_world
+        ledger_clock = SkewedClock(clock, offset=-0.5)  # half a second behind
+        clock.advance(10.0)
+        receipt = tledger.submit("slow-ledger", leaf_hash(b"d"), ledger_clock.now())
+        assert receipt.seq == 0
+
+    def test_slow_clock_beyond_tolerance_rejected(self, notary_world):
+        clock, _tsa, tledger = notary_world
+        ledger_clock = SkewedClock(clock, offset=-2.5)  # drifted past tau_Delta
+        clock.advance(10.0)
+        with pytest.raises(StaleRequestError, match="stale"):
+            tledger.submit("very-slow", leaf_hash(b"d"), ledger_clock.now())
+
+    def test_fast_clock_beyond_tolerance_rejected(self, notary_world):
+        # A fast clock claims future tau_c — a backdating setup for later.
+        clock, _tsa, tledger = notary_world
+        ledger_clock = SkewedClock(clock, offset=+2.5)
+        clock.advance(10.0)
+        with pytest.raises(StaleRequestError, match="future"):
+            tledger.submit("fast", leaf_hash(b"d"), ledger_clock.now())
+
+    def test_fast_clock_within_tolerance_accepted(self, notary_world):
+        clock, _tsa, tledger = notary_world
+        ledger_clock = SkewedClock(clock, offset=+0.5)
+        clock.advance(10.0)
+        receipt = tledger.submit("slightly-fast", leaf_hash(b"d"), ledger_clock.now())
+        assert receipt.seq == 0
+
+    def test_skewed_submitter_evidence_still_verifies(self, notary_world):
+        clock, tsa, tledger = notary_world
+        ledger_clock = SkewedClock(clock, offset=-0.4)
+        clock.advance(5.0)
+        receipt = tledger.submit("skewed", leaf_hash(b"d"), ledger_clock.now())
+        clock.advance(1.5)
+        evidence = tledger.get_evidence(receipt.seq)
+        assert evidence.verify(tsa)
+        bound = evidence.time_bound()
+        # The *authoritative* window brackets the TSA's clock, regardless of
+        # the submitter's drift.
+        assert bound.contains(5.0)
+
+
+class TestMixedFleet:
+    def test_heterogeneous_drift_fleet(self, notary_world):
+        """A fleet of ledgers with different drifts: only the in-tolerance
+        ones get through, and every admitted entry verifies."""
+        clock, tsa, tledger = notary_world
+        offsets = {-3.0: False, -0.9: True, 0.0: True, 0.9: True, 3.0: False}
+        clock.advance(20.0)
+        admitted = []
+        for offset, expect_ok in offsets.items():
+            skewed = SkewedClock(clock, offset=offset)
+            try:
+                receipt = tledger.submit(f"drift{offset}", leaf_hash(b"%f" % offset), skewed.now())
+            except StaleRequestError:
+                assert not expect_ok, offset
+                continue
+            assert expect_ok, offset
+            admitted.append(receipt.seq)
+        clock.advance(1.5)
+        for seq in admitted:
+            assert tledger.get_evidence(seq).verify(tsa)

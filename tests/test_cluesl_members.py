@@ -1,0 +1,125 @@
+"""cSL index and the member registry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cluesl import ClueSkipList
+from repro.core.errors import AuthenticationError, AuthorizationError
+from repro.core.members import MemberRegistry
+from repro.crypto import KeyPair, Role
+
+
+class TestClueSkipList:
+    def test_insert_and_get(self):
+        csl = ClueSkipList()
+        csl.insert("clue-a", 1)
+        csl.insert("clue-a", 5)
+        csl.insert("clue-b", 3)
+        assert csl.get("clue-a") == [1, 5]
+        assert csl.get("clue-b") == [3]
+        assert csl.get("ghost") == []
+
+    def test_count_and_contains(self):
+        csl = ClueSkipList()
+        csl.insert("a", 1)
+        csl.insert("a", 2)
+        assert csl.count("a") == 2
+        assert csl.count("b") == 0
+        assert "a" in csl and "b" not in csl
+
+    def test_jsns_must_increase_per_clue(self):
+        csl = ClueSkipList()
+        csl.insert("a", 5)
+        with pytest.raises(ValueError):
+            csl.insert("a", 5)
+        with pytest.raises(ValueError):
+            csl.insert("a", 3)
+
+    def test_ordered_clue_iteration(self):
+        csl = ClueSkipList()
+        for clue in ("mango", "apple", "zebra", "kiwi"):
+            csl.insert(clue, 1)
+        assert list(csl.clues()) == ["apple", "kiwi", "mango", "zebra"]
+
+    def test_range_scan(self):
+        csl = ClueSkipList()
+        for i, clue in enumerate(("a1", "a2", "b1", "b2", "c1")):
+            csl.insert(clue, i)
+        scanned = dict(csl.range("a2", "c1"))
+        assert set(scanned) == {"a2", "b1", "b2"}
+
+    def test_sizes(self):
+        csl = ClueSkipList()
+        for i in range(10):
+            csl.insert(f"clue-{i % 3}", i)
+        assert len(csl) == 10
+        assert csl.num_clues() == 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.dictionaries(st.text(min_size=1, max_size=8), st.integers(min_value=1, max_value=20), min_size=1, max_size=20))
+    def test_matches_dict_model(self, spec):
+        csl = ClueSkipList()
+        model = {}
+        jsn = 0
+        for clue, count in sorted(spec.items()):
+            for _ in range(count):
+                csl.insert(clue, jsn)
+                model.setdefault(clue, []).append(jsn)
+                jsn += 1
+        for clue, jsns in model.items():
+            assert csl.get(clue) == jsns
+        assert list(csl.clues()) == sorted(model)
+
+
+class TestMemberRegistry:
+    def test_register_and_lookup(self):
+        registry = MemberRegistry()
+        keypair = KeyPair.generate(seed="m")
+        cert = registry.register("alice", Role.USER, keypair.public)
+        assert registry.certificate("alice") == cert
+        assert registry.public_key("alice") == keypair.public
+        assert registry.role("alice") is Role.USER
+
+    def test_duplicate_registration_rejected(self):
+        registry = MemberRegistry()
+        keypair = KeyPair.generate(seed="m")
+        registry.register("alice", Role.USER, keypair.public)
+        with pytest.raises(AuthenticationError):
+            registry.register("alice", Role.DBA, keypair.public)
+
+    def test_unknown_member(self):
+        with pytest.raises(AuthenticationError):
+            MemberRegistry().certificate("ghost")
+
+    def test_require_role(self):
+        registry = MemberRegistry()
+        registry.register("dba", Role.DBA, KeyPair.generate(seed="d").public)
+        registry.require_role("dba", Role.DBA)
+        with pytest.raises(AuthorizationError):
+            registry.require_role("dba", Role.REGULATOR)
+
+    def test_members_with_role(self):
+        registry = MemberRegistry()
+        for name, role in (("u1", Role.USER), ("u2", Role.USER), ("d", Role.DBA)):
+            registry.register(name, role, KeyPair.generate(seed=name).public)
+        assert registry.members_with_role(Role.USER) == ["u1", "u2"]
+        assert registry.members_with_role(Role.DBA) == ["d"]
+        assert registry.members_with_role(Role.REGULATOR) == []
+
+    def test_validate_foreign_certificate(self):
+        from repro.crypto import CertificateAuthority
+
+        registry = MemberRegistry()
+        foreign_ca = CertificateAuthority("evil-ca")
+        cert = foreign_ca.issue("mallory", Role.DBA, KeyPair.generate(seed="e").public)
+        with pytest.raises(AuthenticationError):
+            registry.validate_certificate(cert)
+
+    def test_export_snapshot(self):
+        registry = MemberRegistry()
+        registry.register("alice", Role.USER, KeyPair.generate(seed="a").public)
+        snapshot = registry.export()
+        assert set(snapshot) == {"alice"}
+        # Mutating the snapshot must not affect the registry.
+        snapshot["bob"] = None
+        assert registry.all_members() == ["alice"]

@@ -1,0 +1,203 @@
+"""CM-Tree: two-layer insertion and §IV-C clue-oriented verification."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import leaf_hash
+from repro.merkle.cmtree import ClueProof, CMTree, decode_clue_value, encode_clue_value
+
+
+def build_tree(entries_per_clue: dict[str, int]) -> tuple[CMTree, dict[str, list[bytes]]]:
+    tree = CMTree()
+    digests: dict[str, list[bytes]] = {clue: [] for clue in entries_per_clue}
+    # Interleave insertions across clues, as real traffic would.
+    remaining = dict(entries_per_clue)
+    index = 0
+    while any(remaining.values()):
+        for clue in sorted(remaining):
+            if remaining[clue]:
+                digest = leaf_hash(f"{clue}:{index}".encode())
+                version = tree.add(clue, digest)
+                assert version == len(digests[clue])
+                digests[clue].append(digest)
+                remaining[clue] -= 1
+                index += 1
+    return tree, digests
+
+
+class TestInsertion:
+    def test_versions_are_sequential_per_clue(self):
+        tree, digests = build_tree({"a": 3, "b": 5})
+        assert tree.entry_count("a") == 3
+        assert tree.entry_count("b") == 5
+        assert tree.entry_count("unknown") == 0
+
+    def test_root_changes_per_insert(self):
+        tree = CMTree()
+        roots = set()
+        for i in range(10):
+            tree.add("clue", leaf_hash(b"%d" % i))
+            roots.add(tree.root)
+        assert len(roots) == 10
+
+    def test_entry_digest_retrieval(self):
+        tree, digests = build_tree({"x": 4})
+        for version, digest in enumerate(digests["x"]):
+            assert tree.entry_digest("x", version) == digest
+
+    def test_clue_listing(self):
+        tree, _digests = build_tree({"b": 1, "a": 1, "c": 2})
+        assert tree.clues() == ["a", "b", "c"]
+
+    def test_unknown_clue_raises(self):
+        tree = CMTree()
+        with pytest.raises(KeyError):
+            tree.prove_clue("ghost")
+
+
+class TestClueValueEncoding:
+    def test_round_trip(self):
+        frontier = [leaf_hash(b"p1"), leaf_hash(b"p2")]
+        size, decoded = decode_clue_value(encode_clue_value(3, frontier))
+        assert size == 3 and decoded == frontier
+
+
+class TestClueVerification:
+    @pytest.fixture()
+    def loaded(self):
+        return build_tree({"DCI001": 8, "DCI002": 3, "DCI003": 13})
+
+    def test_entire_clue_verifies(self, loaded):
+        tree, digests = loaded
+        for clue, ds in digests.items():
+            proof = tree.prove_clue(clue)
+            leaf_map = dict(enumerate(ds))
+            assert proof.verify(leaf_map, tree.root), clue
+
+    def test_version_range_verifies(self, loaded):
+        tree, digests = loaded
+        proof = tree.prove_clue("DCI003", 4, 9)
+        leaf_map = {v: digests["DCI003"][v] for v in range(4, 9)}
+        assert proof.verify(leaf_map, tree.root)
+
+    def test_invalid_range_rejected(self, loaded):
+        tree, _digests = loaded
+        with pytest.raises(IndexError):
+            tree.prove_clue("DCI002", 0, 9)
+        with pytest.raises(IndexError):
+            tree.prove_clue("DCI002", 2, 2)
+
+    def test_tampered_digest_fails(self, loaded):
+        tree, digests = loaded
+        proof = tree.prove_clue("DCI001")
+        leaf_map = dict(enumerate(digests["DCI001"]))
+        leaf_map[3] = leaf_hash(b"tampered")
+        assert not proof.verify(leaf_map, tree.root)
+
+    def test_missing_version_fails(self, loaded):
+        # Completeness: omitting any record fails the whole verification.
+        tree, digests = loaded
+        proof = tree.prove_clue("DCI001")
+        leaf_map = dict(enumerate(digests["DCI001"]))
+        del leaf_map[5]
+        assert not proof.verify(leaf_map, tree.root)
+
+    def test_wrong_cm_tree1_root_fails(self, loaded):
+        tree, digests = loaded
+        proof = tree.prove_clue("DCI002")
+        leaf_map = dict(enumerate(digests["DCI002"]))
+        assert not proof.verify(leaf_map, leaf_hash(b"other root"))
+
+    def test_forged_entry_count_fails(self, loaded):
+        # An LSP hiding lineage records by lying about the count must fail:
+        # the count is committed inside CM-Tree1's value.
+        tree, digests = loaded
+        proof = tree.prove_clue("DCI002")
+        forged = dataclasses.replace(
+            proof,
+            entry_count=2,
+            version_end=2,
+        )
+        leaf_map = {v: digests["DCI002"][v] for v in range(2)}
+        assert not forged.verify(leaf_map, tree.root)
+
+    def test_substituted_clue_value_fails(self, loaded):
+        tree, digests = loaded
+        proof = tree.prove_clue("DCI002")
+        other_value = encode_clue_value(3, [leaf_hash(b"fake peak")])
+        forged = dataclasses.replace(proof, clue_value=other_value)
+        leaf_map = dict(enumerate(digests["DCI002"]))
+        assert not forged.verify(leaf_map, tree.root)
+
+    def test_proof_for_wrong_clue_fails(self, loaded):
+        tree, digests = loaded
+        proof = tree.prove_clue("DCI002")
+        forged = dataclasses.replace(proof, clue="DCI001")
+        leaf_map = dict(enumerate(digests["DCI002"]))
+        assert not forged.verify(leaf_map, tree.root)
+
+    def test_server_side_verification(self, loaded):
+        tree, digests = loaded
+        leaf_map = dict(enumerate(digests["DCI001"]))
+        assert tree.verify_clue_server("DCI001", leaf_map)
+        leaf_map[0] = leaf_hash(b"bad")
+        assert not tree.verify_clue_server("DCI001", leaf_map)
+        assert not tree.verify_clue_server("ghost", {})
+
+    def test_historical_root_still_verifies_old_state(self, loaded):
+        tree, digests = loaded
+        old_root = tree.root
+        old_count = tree.entry_count("DCI001")
+        proof = tree.prove_clue("DCI001")
+        tree.add("DCI001", leaf_hash(b"new entry"))
+        # The proof taken before the insert verifies against the old root
+        # (CM-Tree1 snapshots per block version) but not the new one.
+        leaf_map = {v: digests["DCI001"][v] for v in range(old_count)}
+        assert proof.verify(leaf_map, old_root)
+        assert not proof.verify(leaf_map, tree.root)
+
+
+class TestSnapshots:
+    def test_clue_snapshots_rebuild_values(self):
+        tree, _digests = build_tree({"a": 5, "b": 2})
+        for clue, size, peaks in tree.clue_snapshots():
+            assert size == tree.entry_count(clue)
+            value = encode_clue_value(size, list(peaks))
+            from repro.crypto.hashing import clue_key_hash
+
+            assert tree._mpt.get(clue_key_hash(clue)) == value
+
+    def test_clue_snapshot_at_historical_size(self):
+        tree = CMTree()
+        digests = [leaf_hash(b"%d" % i) for i in range(8)]
+        roots = []
+        for d in digests:
+            tree.add("c", d)
+        clue, size, peaks = tree.clue_snapshot_at("c", 4)
+        from repro.merkle.shrubs import FrontierAccumulator
+
+        resumed = FrontierAccumulator(size, list(peaks))
+        for d in digests[4:]:
+            resumed.append_leaf(d)
+        full = tree._accumulators[__import__("repro.crypto.hashing", fromlist=["clue_key_hash"]).clue_key_hash("c")]
+        assert resumed.root() == full.root()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=40), st.data())
+def test_any_range_verifies_property(count, data):
+    tree = CMTree()
+    digests = [leaf_hash(b"e%d" % i) for i in range(count)]
+    for d in digests:
+        tree.add("clue", d)
+    start = data.draw(st.integers(min_value=0, max_value=count - 1))
+    end = data.draw(st.integers(min_value=start + 1, max_value=count))
+    proof = tree.prove_clue("clue", start, end)
+    leaf_map = {v: digests[v] for v in range(start, end)}
+    assert proof.verify(leaf_map, tree.root)
+    # Shifting the range by one without regenerating the proof must fail.
+    if end < count:
+        shifted = {v + 1: digests[v + 1] for v in range(start, end)}
+        assert not proof.verify(shifted, tree.root)

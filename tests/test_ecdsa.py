@@ -1,0 +1,185 @@
+"""ECDSA over P-256: curve arithmetic, RFC 6979 vectors, sign/verify."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ecdsa import (
+    CURVE_P256,
+    Point,
+    Signature,
+    derive_public_key,
+    is_on_curve,
+    point_add,
+    rfc6979_nonce,
+    scalar_multiply,
+    sign_digest,
+    verify_digest,
+)
+
+G = CURVE_P256.generator
+N = CURVE_P256.n
+
+
+def test_generator_is_on_curve():
+    assert is_on_curve(G)
+
+
+def test_group_order_annihilates_generator():
+    assert scalar_multiply(N, G).is_infinity()
+
+
+def test_scalar_multiply_small_values_agree_with_addition():
+    two_g = point_add(G, G)
+    three_g = point_add(two_g, G)
+    assert scalar_multiply(2, G) == two_g
+    assert scalar_multiply(3, G) == three_g
+    assert is_on_curve(two_g) and is_on_curve(three_g)
+
+
+def test_point_addition_with_infinity_identity():
+    infinity = Point(0, 0)
+    assert point_add(G, infinity) == G
+    assert point_add(infinity, G) == G
+
+
+def test_addition_of_inverse_points_is_infinity():
+    neg_g = Point(G.x, (-G.y) % CURVE_P256.p)
+    assert point_add(G, neg_g).is_infinity()
+
+
+def test_scalar_distributivity():
+    # (a + b) * G == a*G + b*G
+    a, b = 0x1234567, 0x89ABCDE
+    assert scalar_multiply(a + b, G) == point_add(scalar_multiply(a, G), scalar_multiply(b, G))
+
+
+# RFC 6979, appendix A.2.5: ECDSA on P-256 with SHA-256, message "sample".
+RFC6979_KEY = 0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721
+RFC6979_K_SAMPLE = 0xA6E3C57DD01ABE90086538398355DD4C3B17AA873382B0F24D6129493D8AAD60
+RFC6979_R_SAMPLE = 0xEFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716
+RFC6979_S_SAMPLE = 0xF7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8
+
+
+def test_rfc6979_nonce_known_answer():
+    digest = hashlib.sha256(b"sample").digest()
+    assert rfc6979_nonce(RFC6979_KEY, digest) == RFC6979_K_SAMPLE
+
+
+def test_rfc6979_signature_known_answer():
+    digest = hashlib.sha256(b"sample").digest()
+    signature = sign_digest(RFC6979_KEY, digest)
+    assert signature.r == RFC6979_R_SAMPLE
+    # We canonicalise to low-s; the RFC vector's s is already low for this case
+    # or its complement — accept either canonical form.
+    assert signature.s in (RFC6979_S_SAMPLE, N - RFC6979_S_SAMPLE)
+    public = derive_public_key(RFC6979_KEY)
+    assert verify_digest(public, digest, signature)
+
+
+def test_rfc6979_public_key_known_answer():
+    public = derive_public_key(RFC6979_KEY)
+    assert public.x == 0x60FED4BA255A9D31C961EB74C6356D68C049B8923B61FA6CE669622E60F29FB6
+    assert public.y == 0x7903FE1008B8BC99A41AE9E95628BC64F2F1B20C2D7E9F5177A3C294D4462299
+
+
+def test_rfc6979_message_test_known_answer():
+    # RFC 6979 A.2.5, message "test".
+    digest = hashlib.sha256(b"test").digest()
+    assert (
+        rfc6979_nonce(RFC6979_KEY, digest)
+        == 0xD16B6AE827F17175E040871A1C7EC3500192C4C92677336EC2537ACAEE0008E0
+    )
+    signature = sign_digest(RFC6979_KEY, digest)
+    assert signature.r == 0xF1ABB023518351CD71D881567B1EA663ED3EFCF6C5132B354F28D3B0B7D38367
+    expected_s = 0x019F4113742A2B14BD25926B49C649155F267E60D3814B4C0CC84250E46F0083
+    assert signature.s in (expected_s, N - expected_s)
+    assert verify_digest(derive_public_key(RFC6979_KEY), digest, signature)
+
+
+def test_nist_p256_scalar_multiplication_vector():
+    # NIST CAVP / SEC: 2G on P-256.
+    two_g = scalar_multiply(2, G)
+    assert two_g.x == 0x7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978
+    assert two_g.y == 0x07775510DB8ED040293D9AC69F7430DBBA7DADE63CE982299E04B79D227873D1
+
+
+def test_low_order_scalar_vectors():
+    # k*G for k = n-1 equals -G (same x, negated y).
+    minus_g = scalar_multiply(N - 1, G)
+    assert minus_g.x == G.x
+    assert minus_g.y == CURVE_P256.p - G.y
+
+
+def test_sign_verify_round_trip():
+    secret = 0xDEADBEEF12345
+    public = derive_public_key(secret)
+    digest = hashlib.sha256(b"message").digest()
+    signature = sign_digest(secret, digest)
+    assert verify_digest(public, digest, signature)
+
+
+def test_signature_is_low_s():
+    digest = hashlib.sha256(b"whatever").digest()
+    signature = sign_digest(12345, digest)
+    assert signature.s <= N // 2
+
+
+def test_verify_rejects_wrong_digest():
+    secret = 42424242
+    public = derive_public_key(secret)
+    signature = sign_digest(secret, hashlib.sha256(b"a").digest())
+    assert not verify_digest(public, hashlib.sha256(b"b").digest(), signature)
+
+
+def test_verify_rejects_wrong_key():
+    digest = hashlib.sha256(b"msg").digest()
+    signature = sign_digest(111, digest)
+    assert not verify_digest(derive_public_key(222), digest, signature)
+
+
+def test_verify_rejects_out_of_range_signature_components():
+    secret, digest = 7, hashlib.sha256(b"x").digest()
+    public = derive_public_key(secret)
+    good = sign_digest(secret, digest)
+    assert not verify_digest(public, digest, Signature(0, good.s))
+    assert not verify_digest(public, digest, Signature(good.r, 0))
+    assert not verify_digest(public, digest, Signature(N, good.s))
+
+
+def test_verify_rejects_off_curve_key():
+    digest = hashlib.sha256(b"x").digest()
+    signature = sign_digest(7, digest)
+    assert not verify_digest(Point(1, 1), digest, signature)
+    assert not verify_digest(Point(0, 0), digest, signature)
+
+
+def test_signature_serialization_round_trip():
+    signature = sign_digest(99, hashlib.sha256(b"ser").digest())
+    assert Signature.from_bytes(signature.to_bytes()) == signature
+
+
+def test_signature_from_bytes_rejects_bad_length():
+    with pytest.raises(ValueError):
+        Signature.from_bytes(b"\x00" * 63)
+
+
+def test_sign_rejects_out_of_range_secret():
+    digest = hashlib.sha256(b"x").digest()
+    with pytest.raises(ValueError):
+        sign_digest(0, digest)
+    with pytest.raises(ValueError):
+        sign_digest(N, digest)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=N - 1), st.binary(min_size=1, max_size=64))
+def test_sign_verify_property(secret, message):
+    digest = hashlib.sha256(message).digest()
+    public = derive_public_key(secret)
+    signature = sign_digest(secret, digest)
+    assert verify_digest(public, digest, signature)
+    # Any single-bit flip in the digest must invalidate the signature.
+    flipped = bytes([digest[0] ^ 1]) + digest[1:]
+    assert not verify_digest(public, flipped, signature)

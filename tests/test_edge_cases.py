@@ -1,0 +1,113 @@
+"""Edge cases and error paths across the public API surface."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import DaseinVerifier, JournalNotFoundError, dasein_audit
+from repro.core.occult import verify_occult_approvals
+from repro.crypto import MultiSignature
+from repro.crypto.multisig import MultiSignatureError
+
+
+class TestLedgerViewEdges:
+    def test_entry_out_of_range(self, populated):
+        deployment, _receipts = populated
+        view = deployment.ledger.export_view()
+        with pytest.raises(JournalNotFoundError):
+            view.entry(-1)
+        with pytest.raises(JournalNotFoundError):
+            view.entry(10_000)
+
+    def test_fresh_ledger_exports_and_audits(self, deployment):
+        # Genesis-only ledger: still auditable.
+        view = deployment.ledger.export_view()
+        assert len(view.entries) == 1
+        report = dasein_audit(view, tsa_keys=deployment.tsa_keys)
+        assert report.passed
+
+
+class TestVerifierEdges:
+    def test_when_without_any_time_journals(self, deployment):
+        deployment.append("alice", b"x")
+        deployment.ledger.commit_block()
+        view = deployment.ledger.export_view()
+        verifier = DaseinVerifier(view, tsa_keys=deployment.tsa_keys)
+        bound, valid = verifier.verify_when(1)
+        assert bound is None and not valid
+
+    def test_journal_at_for_mutated_entry(self, populated):
+        deployment, _receipts = populated
+        from repro.core import OccultMode
+
+        record = deployment.ledger.prepare_occult(3, OccultMode.SYNC, "edge")
+        approvals = deployment.sign_approval(["dba", "regulator"], record.approval_digest())
+        deployment.ledger.execute_occult(record, approvals)
+        view = deployment.ledger.export_view()
+        verifier = DaseinVerifier(view, tsa_keys=deployment.tsa_keys)
+        assert verifier.journal_at(3) is None
+
+    def test_verify_who_unsigned_journal(self, populated):
+        deployment, receipts = populated
+        view = deployment.ledger.export_view()
+        verifier = DaseinVerifier(view, tsa_keys=deployment.tsa_keys)
+        journal = verifier.journal_at(receipts[0].jsn)
+        unsigned = dataclasses.replace(journal, client_signature=None)
+        assert not verifier.verify_who(unsigned)
+
+
+class TestOccultApprovalHelper:
+    def test_verify_occult_approvals_helper(self, populated):
+        deployment, _receipts = populated
+        record = deployment.ledger.prepare_occult(3, reason="helper")
+        digest = record.approval_digest()
+        approvals = deployment.sign_approval(["dba", "regulator"], digest)
+        required = deployment.ledger.occult_required_signers()
+        verify_occult_approvals(record, approvals, required)  # must not raise
+
+    def test_helper_rejects_wrong_record(self, populated):
+        deployment, _receipts = populated
+        record = deployment.ledger.prepare_occult(3, reason="helper")
+        other = deployment.ledger.prepare_occult(4, reason="other")
+        approvals = deployment.sign_approval(
+            ["dba", "regulator"], other.approval_digest()
+        )
+        with pytest.raises(MultiSignatureError, match="different occult record"):
+            verify_occult_approvals(record, approvals, deployment.ledger.occult_required_signers())
+
+
+class TestAuditEdges:
+    def test_audit_without_tsa_keys_fails_when(self, populated):
+        deployment, _receipts = populated
+        view = deployment.ledger.export_view()
+        report = dasein_audit(view)  # auditor knows no TSA keys
+        assert not report.passed
+        assert any(step.name == "time-journals" for step in report.failures())
+
+    def test_audit_report_failures_helper(self, populated):
+        deployment, _receipts = populated
+        report = dasein_audit(deployment.ledger.export_view(), tsa_keys=deployment.tsa_keys)
+        assert report.failures() == []
+
+    def test_audit_with_foreign_certificate(self, populated):
+        deployment, _receipts = populated
+        from repro.crypto import CertificateAuthority, KeyPair, Role
+
+        view = deployment.ledger.export_view()
+        foreign = CertificateAuthority("foreign-ca")
+        bad_cert = foreign.issue("intruder", Role.USER, KeyPair.generate(seed="i").public)
+        view.certificates["intruder"] = bad_cert
+        report = dasein_audit(view, tsa_keys=deployment.tsa_keys)
+        assert not report.passed
+        assert report.failures()[0].name == "certificates"
+
+
+class TestReceiptLookups:
+    def test_receipt_for_unknown_jsn(self, populated):
+        deployment, _receipts = populated
+        assert deployment.ledger.receipt_for(99_999) is None
+
+    def test_receipts_kept_per_jsn(self, populated):
+        deployment, receipts = populated
+        for receipt in receipts:
+            assert deployment.ledger.receipt_for(receipt.jsn) == receipt

@@ -1,0 +1,98 @@
+"""Canonical encoding: determinism, round-trips, and malformed input."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding import EncodingError, decode, encode
+
+
+def test_scalar_round_trips():
+    for value in (None, True, False, 0, 1, -1, 2**300, -(2**300), b"", b"\x00xyz", "", "héllo", 0.0, -2.5):
+        assert decode(encode(value)) == value
+
+
+def test_list_and_dict_round_trip():
+    value = {"a": [1, 2, [3, b"x"]], "b": None, "c": {"nested": "yes"}}
+    assert decode(encode(value)) == value
+
+
+def test_tuple_encodes_as_list():
+    assert decode(encode((1, 2))) == [1, 2]
+
+
+def test_dict_keys_sorted_canonically():
+    assert encode({"b": 1, "a": 2}) == encode({"a": 2, "b": 1})
+
+
+def test_distinct_values_encode_distinctly():
+    # Values that naive concatenation would confuse.
+    pairs = [
+        (["ab", "c"], ["a", "bc"]),
+        ([b"", b""], [b"\x00"]),
+        (1, "1"),
+        (1, True),
+        (0, False),
+        (b"1", "1"),
+        ([], {}),
+    ]
+    for left, right in pairs:
+        assert encode(left) != encode(right)
+
+
+def test_int_bool_distinction_preserved():
+    assert decode(encode(True)) is True
+    assert decode(encode(1)) == 1
+    assert decode(encode(1)) is not True
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(EncodingError):
+        encode({"x": set()})
+    with pytest.raises(EncodingError):
+        encode(object())
+
+
+def test_non_string_dict_keys_rejected():
+    with pytest.raises(EncodingError):
+        encode({1: "x"})
+
+
+def test_trailing_garbage_rejected():
+    data = encode([1, 2]) + b"\x00"
+    with pytest.raises(EncodingError):
+        decode(data)
+
+
+def test_truncated_input_rejected():
+    data = encode({"key": b"value bytes"})
+    with pytest.raises(EncodingError):
+        decode(data[:-3])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(EncodingError):
+        decode(b"Z")
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.binary(max_size=64)
+    | st.text(max_size=32)
+    | st.floats(allow_nan=False),
+    lambda children: st.lists(children, max_size=6)
+    | st.dictionaries(st.text(max_size=8), children, max_size=6),
+    max_leaves=24,
+)
+
+
+@given(json_like)
+def test_round_trip_property(value):
+    assert decode(encode(value)) == value
+
+
+@given(json_like, json_like)
+def test_injective_property(a, b):
+    if encode(a) == encode(b):
+        assert a == b

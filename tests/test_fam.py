@@ -1,0 +1,255 @@
+"""fam: Rule-1 epochs, jsn mapping, anchored/full proofs, purge erasure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import leaf_hash
+from repro.merkle.fam import AnchorStore, FamAccumulator, FamReplayer
+
+
+def digests(n, tag=b"j"):
+    return [leaf_hash(tag + i.to_bytes(4, "big")) for i in range(n)]
+
+
+class TestEpochStructure:
+    def test_rejects_zero_height(self):
+        with pytest.raises(ValueError):
+            FamAccumulator(0)
+
+    def test_rule_1_rollover(self):
+        fam = FamAccumulator(2)  # capacity 4
+        ds = digests(4)
+        for d in ds:
+            fam.append(d)
+        # Epoch 0 completed; a new epoch opened with the merged leaf.
+        assert fam.num_epochs == 2
+        assert fam.epoch_root(0) == fam.current_root()  # single merged leaf bags to it
+
+    def test_epoch_counts(self):
+        # capacity 4: epoch 0 holds 4 journals, later epochs hold 3.
+        fam = FamAccumulator(2)
+        for d in digests(4 + 3 + 3 + 1):
+            fam.append(d)
+        assert fam.num_epochs == 4
+        assert fam.size == 11
+
+    def test_locate_jsn_round_trip(self):
+        fam = FamAccumulator(2)
+        for d in digests(30):
+            fam.append(d)
+        for jsn in range(30):
+            epoch, slot = fam.locate(jsn)
+            assert fam.jsn_of(epoch, slot) == jsn
+            if epoch > 0:
+                assert slot >= 1  # slot 0 is the merged leaf
+
+    def test_locate_out_of_range(self):
+        fam = FamAccumulator(2)
+        fam.append(digests(1)[0])
+        with pytest.raises(IndexError):
+            fam.locate(1)
+
+    def test_jsn_of_merged_slot_rejected(self):
+        fam = FamAccumulator(2)
+        for d in digests(6):
+            fam.append(d)
+        with pytest.raises(ValueError):
+            fam.jsn_of(1, 0)
+
+    def test_leaf_digest(self):
+        fam = FamAccumulator(3)
+        ds = digests(20)
+        for d in ds:
+            fam.append(d)
+        for jsn in (0, 7, 8, 19):
+            assert fam.leaf_digest(jsn) == ds[jsn]
+
+
+class TestProofs:
+    @pytest.fixture()
+    def loaded(self):
+        fam = FamAccumulator(3)  # capacity 8
+        ds = digests(52)
+        for d in ds:
+            fam.append(d)
+        return fam, ds
+
+    def test_full_chain_proofs_verify(self, loaded):
+        fam, ds = loaded
+        root = fam.current_root()
+        for jsn in range(52):
+            proof = fam.get_proof(jsn, anchored=False)
+            assert FamAccumulator.verify_full(ds[jsn], proof, root), jsn
+
+    def test_full_chain_rejects_tampered_leaf(self, loaded):
+        fam, ds = loaded
+        proof = fam.get_proof(10, anchored=False)
+        assert not FamAccumulator.verify_full(leaf_hash(b"evil"), proof, fam.current_root())
+
+    def test_full_chain_rejects_wrong_root(self, loaded):
+        fam, ds = loaded
+        proof = fam.get_proof(10, anchored=False)
+        assert not FamAccumulator.verify_full(ds[10], proof, leaf_hash(b"zz"))
+
+    def test_anchored_proofs_verify(self, loaded):
+        fam, ds = loaded
+        anchors = AnchorStore()
+        for epoch in range(fam.num_epochs - 1):
+            anchors.add(epoch, fam.epoch_root(epoch))
+        for jsn in range(52):
+            proof = fam.get_proof(jsn, anchored=True)
+            assert not proof.link_proofs  # the whole point of aoa
+            assert fam.verify_with_anchors(ds[jsn], proof, anchors), jsn
+
+    def test_anchored_verification_fails_without_anchor(self, loaded):
+        fam, ds = loaded
+        proof = fam.get_proof(0, anchored=True)  # epoch 0, completed
+        assert not fam.verify_with_anchors(ds[0], proof, AnchorStore())
+
+    def test_live_epoch_needs_no_anchor(self, loaded):
+        fam, ds = loaded
+        jsn = 51  # in the live epoch
+        proof = fam.get_proof(jsn, anchored=True)
+        assert fam.verify_with_anchors(ds[jsn], proof, AnchorStore())
+
+    def test_anchored_cost_is_bounded_by_delta(self, loaded):
+        fam, _ds = loaded
+        for jsn in range(52):
+            assert fam.get_proof(jsn, anchored=True).anchored_cost <= fam.fractal_height
+
+    def test_full_cost_grows_with_epoch_distance(self, loaded):
+        fam, _ds = loaded
+        early = fam.get_proof(0, anchored=False)
+        late = fam.get_proof(51, anchored=False)
+        assert early.full_cost > late.full_cost  # older journal, longer chain
+
+    def test_proofs_remain_valid_as_ledger_grows_with_anchors(self):
+        fam = FamAccumulator(2)
+        ds = digests(100)
+        anchors = AnchorStore()
+        proofs = {}
+        for jsn, d in enumerate(ds):
+            fam.append(d)
+            for epoch in range(fam.num_epochs - 1):
+                if epoch not in anchors:
+                    anchors.add(epoch, fam.epoch_root(epoch))
+            if jsn % 7 == 0:
+                proofs[jsn] = fam.get_proof(jsn, anchored=True)
+        # Anchored proofs taken against *completed* epochs stay valid forever
+        # (a proof taken while its epoch was still live is against a partial
+        # tree and must be re-fetched once the epoch seals — by design).
+        for jsn, proof in proofs.items():
+            if proof.epoch_index < proof.num_epochs - 1:
+                assert fam.verify_with_anchors(ds[jsn], proof, anchors), jsn
+
+
+class TestAnchorStore:
+    def test_conflicting_anchor_rejected(self):
+        anchors = AnchorStore()
+        anchors.add(0, leaf_hash(b"a"))
+        with pytest.raises(ValueError):
+            anchors.add(0, leaf_hash(b"b"))
+        anchors.add(0, leaf_hash(b"a"))  # idempotent
+        assert len(anchors) == 1
+
+
+class TestSnapshots:
+    def test_root_at_matches_incremental(self):
+        fam = FamAccumulator(2)
+        ds = digests(40)
+        roots = []
+        for d in ds:
+            fam.append(d)
+            roots.append(fam.current_root())
+        for size in range(1, 41):
+            assert fam.root_at(size) == roots[size - 1], size
+
+    def test_replayer_matches_accumulator(self):
+        fam = FamAccumulator(3)
+        replayer = FamReplayer(3)
+        for d in digests(60):
+            fam.append(d)
+            replayer.append(d)
+            assert fam.current_root() == replayer.current_root()
+        assert replayer.epoch_roots == [fam.epoch_root(i) for i in range(fam.num_epochs - 1)]
+
+    def test_replayer_resumes_from_snapshot(self):
+        fam = FamAccumulator(2)
+        first, second = digests(23), digests(15, tag=b"k")
+        for d in first:
+            fam.append(d)
+        roots, live_size, peaks = fam.snapshot_at(23)
+        replayer = FamReplayer.from_snapshot(2, roots, live_size, peaks, journal_count=23)
+        assert replayer.current_root() == fam.current_root()
+        for d in second:
+            fam.append(d)
+            replayer.append(d)
+            assert fam.current_root() == replayer.current_root()
+
+    def test_resume_exactly_at_epoch_boundary(self):
+        fam = FamAccumulator(2)
+        ds = digests(12)
+        for d in ds[:4]:  # exactly one full epoch
+            fam.append(d)
+        roots, live_size, peaks = fam.snapshot_at(4)
+        replayer = FamReplayer.from_snapshot(2, roots, live_size, peaks, journal_count=4)
+        assert replayer.current_root() == fam.current_root()
+        for d in ds[4:]:
+            fam.append(d)
+            replayer.append(d)
+        assert replayer.current_root() == fam.current_root()
+
+
+class TestPurgeErasure:
+    def test_erase_up_to_drops_old_epochs(self):
+        fam = FamAccumulator(2)
+        ds = digests(20)
+        for d in ds:
+            fam.append(d)
+        before = fam.num_nodes()
+        erased = fam.erase_up_to(12)
+        assert erased > 0
+        assert fam.num_nodes() < before
+        # Old journals are unprovable; digests in erased epochs are gone.
+        with pytest.raises(KeyError):
+            fam.get_proof(0)
+        with pytest.raises(KeyError):
+            fam.leaf_digest(0)
+
+    def test_recent_journals_survive_erasure(self):
+        fam = FamAccumulator(2)
+        ds = digests(20)
+        for d in ds:
+            fam.append(d)
+        fam.erase_up_to(12)
+        root = fam.current_root()
+        epoch_of_12, _ = fam.locate(12)
+        for jsn in range(12, 20):
+            epoch, _slot = fam.locate(jsn)
+            if epoch >= epoch_of_12:
+                proof = fam.get_proof(jsn, anchored=False)
+                assert FamAccumulator.verify_full(ds[jsn], proof, root)
+
+    def test_erasure_preserves_current_root(self):
+        fam = FamAccumulator(2)
+        for d in digests(20):
+            fam.append(d)
+        root = fam.current_root()
+        fam.erase_up_to(12)
+        assert fam.current_root() == root
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=120),
+)
+def test_every_journal_provable_property(height, count):
+    fam = FamAccumulator(height)
+    ds = digests(count)
+    for d in ds:
+        fam.append(d)
+    root = fam.current_root()
+    for jsn in range(0, count, max(count // 10, 1)):
+        proof = fam.get_proof(jsn, anchored=False)
+        assert FamAccumulator.verify_full(ds[jsn], proof, root)

@@ -1,0 +1,141 @@
+"""Fine-grained purge erasure: "all left nodes on this path can be erased"."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import leaf_hash
+from repro.merkle.fam import FamAccumulator
+from repro.merkle.shrubs import ShrubsAccumulator
+
+
+def digests(n):
+    return [leaf_hash(i.to_bytes(4, "big")) for i in range(n)]
+
+
+class TestShrubsErasePrefix:
+    def test_root_unchanged(self):
+        acc = ShrubsAccumulator()
+        ds = digests(25)
+        acc.extend(ds)
+        root = acc.root()
+        acc.erase_prefix(13)
+        assert acc.root() == root
+
+    def test_retained_leaves_still_prove(self):
+        acc = ShrubsAccumulator()
+        ds = digests(25)
+        acc.extend(ds)
+        acc.erase_prefix(13)
+        for i in range(13, 25):
+            proof = acc.prove(i)
+            assert proof.verify(ds[i], acc.root()), i
+
+    def test_erased_leaves_unprovable(self):
+        acc = ShrubsAccumulator()
+        ds = digests(25)
+        acc.extend(ds)
+        acc.erase_prefix(13)
+        with pytest.raises(KeyError):
+            acc.leaf(3)
+        with pytest.raises(KeyError):
+            acc.prove(3)
+
+    def test_appends_continue_after_erasure(self):
+        acc = ShrubsAccumulator()
+        reference = ShrubsAccumulator()
+        ds = digests(20)
+        acc.extend(ds)
+        reference.extend(ds)
+        acc.erase_prefix(11)
+        more = [leaf_hash(b"more-%d" % i) for i in range(30)]
+        for digest in more:
+            acc.append_leaf(digest)
+            reference.append_leaf(digest)
+            assert acc.root() == reference.root()
+
+    def test_storage_reclaimed(self):
+        acc = ShrubsAccumulator()
+        acc.extend(digests(64))
+        before = acc.num_nodes()
+        erased = acc.erase_prefix(48)
+        assert erased > 0
+        assert acc.num_nodes() == before - erased
+        assert acc.num_nodes() < before // 2  # most of the prefix is gone
+
+    def test_erase_is_idempotent_and_monotone(self):
+        acc = ShrubsAccumulator()
+        acc.extend(digests(32))
+        first = acc.erase_prefix(10)
+        assert acc.erase_prefix(10) == 0
+        second = acc.erase_prefix(20)  # extend the erased region
+        assert second > 0
+
+    def test_bounds(self):
+        acc = ShrubsAccumulator()
+        acc.extend(digests(4))
+        assert acc.erase_prefix(0) == 0
+        with pytest.raises(ValueError):
+            acc.erase_prefix(5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_erasure_property(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=80))
+        cut = data.draw(st.integers(min_value=1, max_value=n - 1))
+        acc = ShrubsAccumulator()
+        ds = digests(n)
+        acc.extend(ds)
+        root = acc.root()
+        acc.erase_prefix(cut)
+        assert acc.root() == root
+        # Every retained leaf still proves; batch over the suffix too.
+        for i in range(cut, n):
+            assert acc.prove(i).verify(ds[i], root)
+        batch = acc.prove_batch(list(range(cut, n)))
+        assert ShrubsAccumulator.verify_batch(
+            {i: ds[i] for i in range(cut, n)}, batch, root
+        )
+
+
+class TestFamFineErasure:
+    def test_within_epoch_erasure(self):
+        fam = FamAccumulator(3)  # capacity 8
+        ds = digests(20)
+        for d in ds:
+            fam.append(d)
+        root = fam.current_root()
+        # Purge up to jsn 12 (inside epoch 1): epoch 0 fully erased, the
+        # purge epoch loses its left nodes.
+        before = fam.num_nodes()
+        erased = fam.erase_up_to(12, within_epoch=True)
+        assert erased > 0
+        assert fam.current_root() == root
+        # Retained journals still provable (anchored path).
+        for jsn in range(12, 20):
+            proof = fam.get_proof(jsn, anchored=True)
+            assert proof.epoch_proof.computed_root(ds[jsn]) is not None
+
+    def test_purged_journal_digests_gone(self):
+        fam = FamAccumulator(3)
+        ds = digests(20)
+        for d in ds:
+            fam.append(d)
+        fam.erase_up_to(12, within_epoch=True)
+        epoch_12, slot_12 = fam.locate(12)
+        epoch_9, _ = fam.locate(9)
+        if epoch_9 == epoch_12:  # same epoch, before the purge slot
+            with pytest.raises(KeyError):
+                fam.leaf_digest(9)
+
+    def test_coarse_mode_keeps_purge_epoch_whole(self):
+        fam = FamAccumulator(3)
+        ds = digests(20)
+        for d in ds:
+            fam.append(d)
+        fam.erase_up_to(12, within_epoch=False)
+        epoch_index, slot = fam.locate(12)
+        if slot > 0:
+            # Journals just before the purge point in the same epoch keep
+            # their digests under the coarse option.
+            same_epoch_jsn = fam.jsn_of(epoch_index, max(slot - 1, 1))
+            assert len(fam.leaf_digest(same_epoch_jsn)) == 32

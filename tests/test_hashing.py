@@ -1,0 +1,67 @@
+"""Domain-separated hashing primitives."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    EMPTY_DIGEST,
+    block_hash,
+    chain_hash,
+    clue_key_hash,
+    hexdigest,
+    journal_hash,
+    leaf_hash,
+    node_hash,
+    receipt_hash,
+    sha3_256,
+    sha256,
+)
+
+
+def test_digest_sizes():
+    for fn in (leaf_hash, journal_hash, block_hash, receipt_hash):
+        assert len(fn(b"data")) == DIGEST_SIZE
+    assert len(node_hash(EMPTY_DIGEST, EMPTY_DIGEST)) == DIGEST_SIZE
+
+
+def test_sha256_matches_stdlib():
+    assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+    assert sha3_256(b"abc") == hashlib.sha3_256(b"abc").digest()
+
+
+def test_domain_separation_between_contexts():
+    data = b"same input"
+    digests = {leaf_hash(data), journal_hash(data), block_hash(data), receipt_hash(data), sha256(data)}
+    assert len(digests) == 5
+
+
+def test_leaf_node_second_preimage_resistance_structure():
+    # A leaf carrying the concatenation of two digests must not hash to the
+    # interior node over those digests (the RFC 6962 attack).
+    left, right = leaf_hash(b"l"), leaf_hash(b"r")
+    assert leaf_hash(left + right) != node_hash(left, right)
+
+
+def test_node_hash_is_order_sensitive():
+    a, b = leaf_hash(b"a"), leaf_hash(b"b")
+    assert node_hash(a, b) != node_hash(b, a)
+
+
+def test_node_hash_rejects_bad_lengths():
+    with pytest.raises(ValueError):
+        node_hash(b"short", EMPTY_DIGEST)
+
+
+def test_clue_key_hash_uses_sha3():
+    assert clue_key_hash("DCI001") == hashlib.sha3_256(b"DCI001").digest()
+
+
+def test_chain_hash_links_both_sides():
+    a, b = leaf_hash(b"a"), leaf_hash(b"b")
+    assert chain_hash(a, b) != chain_hash(b, a)
+
+
+def test_hexdigest():
+    assert hexdigest(EMPTY_DIGEST) == "00" * 32

@@ -1,0 +1,124 @@
+"""Journal and receipt models: serialization, digests, signatures."""
+
+import dataclasses
+
+from repro.core import ClientRequest, Journal, JournalType, Receipt
+from repro.crypto import KeyPair
+from repro.crypto.hashing import EMPTY_DIGEST
+
+
+def make_request(**overrides):
+    base = dict(
+        ledger_uri="ledger://x",
+        client_id="alice",
+        payload=b"data",
+        clues=("c1", "c2"),
+        nonce=b"n",
+        client_timestamp=1.5,
+    )
+    base.update(overrides)
+    return ClientRequest.build(**base)
+
+
+def make_journal(request=None, jsn=7):
+    request = request or make_request()
+    return Journal(
+        jsn=jsn,
+        journal_type=request.journal_type,
+        client_id=request.client_id,
+        payload=request.payload,
+        clues=request.clues,
+        timestamp=2.0,
+        nonce=request.nonce,
+        request_hash=request.request_hash(),
+        client_signature=None,
+    )
+
+
+class TestClientRequest:
+    def test_request_hash_covers_payload(self):
+        assert make_request().request_hash() != make_request(payload=b"other").request_hash()
+
+    def test_request_hash_covers_metadata(self):
+        base = make_request()
+        assert base.request_hash() != make_request(client_id="bob").request_hash()
+        assert base.request_hash() != make_request(clues=("c1",)).request_hash()
+        assert base.request_hash() != make_request(nonce=b"m").request_hash()
+
+    def test_signing(self):
+        keypair = KeyPair.generate(seed="a")
+        signed = make_request().signed_by(keypair)
+        assert keypair.public.verify(signed.request_hash(), signed.signature)
+
+    def test_signature_excluded_from_request_hash(self):
+        keypair = KeyPair.generate(seed="a")
+        request = make_request()
+        assert request.request_hash() == request.signed_by(keypair).request_hash()
+
+
+class TestJournal:
+    def test_serialization_round_trip(self):
+        keypair = KeyPair.generate(seed="a")
+        request = make_request().signed_by(keypair)
+        journal = dataclasses.replace(make_journal(request), client_signature=request.signature)
+        restored = Journal.from_bytes(journal.to_bytes())
+        assert restored == journal
+        assert restored.tx_hash() == journal.tx_hash()
+
+    def test_tx_hash_covers_every_field(self):
+        journal = make_journal()
+        variants = [
+            dataclasses.replace(journal, jsn=8),
+            dataclasses.replace(journal, payload=b"tampered"),
+            dataclasses.replace(journal, client_id="mallory"),
+            dataclasses.replace(journal, clues=("c1",)),
+            dataclasses.replace(journal, timestamp=99.0),
+            dataclasses.replace(journal, journal_type=JournalType.TIME),
+        ]
+        hashes = {journal.tx_hash()} | {v.tx_hash() for v in variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_journal_types_enumerated(self):
+        assert {t.value for t in JournalType} == {"genesis", "normal", "time", "purge", "occult"}
+
+
+class TestReceipt:
+    def make_receipt(self):
+        return Receipt(
+            ledger_uri="ledger://x",
+            jsn=3,
+            request_hash=EMPTY_DIGEST,
+            tx_hash=EMPTY_DIGEST,
+            block_hash=EMPTY_DIGEST,
+            block_height=0,
+            ledger_root=EMPTY_DIGEST,
+            timestamp=1.0,
+        )
+
+    def test_sign_verify(self):
+        lsp = KeyPair.generate(seed="lsp")
+        receipt = self.make_receipt().signed_by(lsp)
+        assert receipt.verify(lsp.public)
+
+    def test_unsigned_receipt_fails(self):
+        lsp = KeyPair.generate(seed="lsp")
+        assert not self.make_receipt().verify(lsp.public)
+
+    def test_tampered_field_fails(self):
+        lsp = KeyPair.generate(seed="lsp")
+        receipt = self.make_receipt().signed_by(lsp)
+        for change in (
+            {"jsn": 4},
+            {"tx_hash": b"\x01" * 32},
+            {"ledger_root": b"\x02" * 32},
+            {"timestamp": 2.0},
+        ):
+            forged = dataclasses.replace(receipt, **change)
+            assert not forged.verify(lsp.public)
+
+    def test_serialization_round_trip(self):
+        lsp = KeyPair.generate(seed="lsp")
+        receipt = self.make_receipt().signed_by(lsp)
+        restored = Receipt.from_bytes(receipt.to_bytes())
+        assert restored == receipt
+        assert restored.verify(lsp.public)

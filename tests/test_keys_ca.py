@@ -1,0 +1,91 @@
+"""Key pairs, public-key encoding, and the CA substrate."""
+
+import pytest
+
+from repro.crypto import (
+    CertificateAuthority,
+    CertificateError,
+    KeyPair,
+    PublicKey,
+    Role,
+    sha256,
+)
+
+
+def test_seeded_generation_is_deterministic():
+    assert KeyPair.generate(seed="alice").secret == KeyPair.generate(seed="alice").secret
+    assert KeyPair.generate(seed="alice").secret != KeyPair.generate(seed="bob").secret
+
+
+def test_unseeded_generation_is_random():
+    assert KeyPair.generate().secret != KeyPair.generate().secret
+
+
+def test_sign_and_verify():
+    keypair = KeyPair.generate(seed="t")
+    digest = sha256(b"payload")
+    assert keypair.public.verify(digest, keypair.sign(digest))
+
+
+def test_public_key_round_trip():
+    keypair = KeyPair.generate(seed="t")
+    encoded = keypair.public.to_bytes()
+    assert encoded[0] == 0x04 and len(encoded) == 65
+    assert PublicKey.from_bytes(encoded) == keypair.public
+
+
+def test_public_key_from_bytes_rejects_garbage():
+    with pytest.raises(ValueError):
+        PublicKey.from_bytes(b"\x04" + b"\x01" * 64)  # off-curve
+    with pytest.raises(ValueError):
+        PublicKey.from_bytes(b"\x02" + b"\x00" * 64)  # wrong prefix
+
+
+def test_fingerprint_is_stable_and_distinct():
+    a = KeyPair.generate(seed="a").public
+    b = KeyPair.generate(seed="b").public
+    assert a.fingerprint() == a.fingerprint()
+    assert a.fingerprint() != b.fingerprint()
+
+
+class TestCertificateAuthority:
+    def test_issue_and_validate(self):
+        ca = CertificateAuthority("root")
+        keypair = KeyPair.generate(seed="member")
+        cert = ca.issue("alice", Role.USER, keypair.public)
+        assert cert.verify(ca.public_key)
+        ca.validate(cert)
+        assert ca.lookup("alice") == cert
+
+    def test_duplicate_member_rejected(self):
+        ca = CertificateAuthority("root")
+        keypair = KeyPair.generate(seed="member")
+        ca.issue("alice", Role.USER, keypair.public)
+        with pytest.raises(CertificateError):
+            ca.issue("alice", Role.DBA, keypair.public)
+
+    def test_unknown_member_lookup(self):
+        with pytest.raises(CertificateError):
+            CertificateAuthority("root").lookup("ghost")
+
+    def test_cert_from_other_ca_rejected(self):
+        ca1 = CertificateAuthority("ca1")
+        ca2 = CertificateAuthority("ca2")
+        cert = ca1.issue("alice", Role.USER, KeyPair.generate(seed="m").public)
+        with pytest.raises(CertificateError):
+            ca2.validate(cert)
+        assert not cert.verify(ca2.public_key)
+
+    def test_forged_certificate_fails(self):
+        import dataclasses
+
+        ca = CertificateAuthority("root")
+        cert = ca.issue("alice", Role.USER, KeyPair.generate(seed="m").public)
+        forged = dataclasses.replace(cert, role=Role.DBA)  # privilege escalation
+        assert not forged.verify(ca.public_key)
+        with pytest.raises(CertificateError):
+            ca.validate(forged)
+
+    def test_roles_cover_paper_parties(self):
+        names = {role.value for role in Role}
+        assert {"user", "lsp", "tsa", "dba", "regulator"} <= names

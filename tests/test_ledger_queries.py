@@ -1,0 +1,72 @@
+"""Operational query APIs: iterators, member/time filters, block lookup."""
+
+import pytest
+
+from repro.core import JournalType, OccultMode
+
+
+class TestIterJournals:
+    def test_full_iteration(self, populated):
+        deployment, _receipts = populated
+        journals = list(deployment.ledger.iter_journals())
+        assert len(journals) == deployment.ledger.size
+        assert [j.jsn for j in journals] == list(range(deployment.ledger.size))
+
+    def test_range_iteration(self, populated):
+        deployment, _receipts = populated
+        journals = list(deployment.ledger.iter_journals(3, 9))
+        assert [j.jsn for j in journals] == [3, 4, 5, 6, 7, 8]
+
+    def test_skips_occulted(self, populated):
+        deployment, _receipts = populated
+        record = deployment.ledger.prepare_occult(5, OccultMode.SYNC, "q")
+        approvals = deployment.sign_approval(["dba", "regulator"], record.approval_digest())
+        deployment.ledger.execute_occult(record, approvals)
+        jsns = [j.jsn for j in deployment.ledger.iter_journals()]
+        assert 5 not in jsns
+
+    def test_starts_at_pseudo_genesis_after_purge(self, populated):
+        deployment, _receipts = populated
+        pseudo, record = deployment.ledger.prepare_purge(8)
+        signers = list(deployment.ledger.purge_required_signers(8))
+        approvals = deployment.sign_approval(signers, record.approval_digest())
+        deployment.ledger.execute_purge(pseudo, record, approvals)
+        journals = list(deployment.ledger.iter_journals())
+        assert journals[0].jsn == 8
+
+
+class TestFilters:
+    def test_journals_by_member(self, populated):
+        deployment, _receipts = populated
+        alice_jsns = deployment.ledger.journals_by_member("alice")
+        assert alice_jsns
+        for jsn in alice_jsns:
+            assert deployment.ledger.get_journal(jsn).client_id == "alice"
+        lsp_jsns = deployment.ledger.journals_by_member("__lsp__")
+        types = {deployment.ledger.get_journal(j).journal_type for j in lsp_jsns}
+        assert JournalType.GENESIS in types
+
+    def test_journals_in_time_range(self, populated):
+        deployment, _receipts = populated
+        inside = deployment.ledger.journals_in_time_range(1.0, 2.0)
+        assert inside
+        for jsn in inside:
+            assert 1.0 <= deployment.ledger.get_journal(jsn).timestamp < 2.0
+        assert deployment.ledger.journals_in_time_range(1e9, 2e9) == []
+
+    def test_clues_in_range(self, deployment):
+        for i, clue in enumerate(("apple", "banana", "cherry")):
+            deployment.append("alice", b"x%d" % i, clues=(clue,))
+        scanned = deployment.ledger.clues_in_range("apple", "cherry")
+        assert [name for name, _ in scanned] == ["apple", "banana"]
+
+
+class TestBlockLookup:
+    def test_block_of_committed(self, populated):
+        deployment, _receipts = populated
+        block = deployment.ledger.block_of(5)
+        assert block is not None and block.contains_jsn(5)
+
+    def test_block_of_pending(self, deployment):
+        deployment.append("alice", b"x")  # block size 4: still pending
+        assert deployment.ledger.block_of(1) is None

@@ -1,0 +1,129 @@
+"""Stateful property testing: random operation sequences keep the ledger auditable.
+
+A hypothesis state machine drives arbitrary interleavings of appends (by
+several members, with/without clues), time anchors, block commits, occults,
+and purges — after every step the system invariants must hold, and at the
+end the full Dasein-complete audit must pass.  This is the strongest
+"no sequence of legitimate operations can wedge the ledger into an
+unauditable state" guarantee in the suite.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.core import JournalType, OccultMode, dasein_audit
+from repro.core.errors import MutationError
+
+from conftest import Deployment
+
+
+class LedgerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.deployment = Deployment(fractal_height=2, block_size=3)
+        self.occultable: list[int] = []
+        self.anchors_pending = False
+
+    # ------------------------------------------------------------------ ops
+
+    @rule(
+        who=st.sampled_from(["alice", "bob"]),
+        size=st.integers(min_value=0, max_value=64),
+        with_clue=st.booleans(),
+    )
+    def append(self, who, size, with_clue):
+        clues = ("STATE-CLUE",) if with_clue else ()
+        receipt = self.deployment.append(who, bytes([len(self.occultable) % 256]) * size, clues)
+        self.occultable.append(receipt.jsn)
+        self.deployment.clock.advance(0.05)
+
+    @rule()
+    def anchor_time(self):
+        self.deployment.ledger.anchor_time()
+        self.anchors_pending = True
+        self.deployment.clock.advance(0.05)
+
+    @rule()
+    def collect_evidence(self):
+        self.deployment.clock.advance(1.2)
+        self.deployment.ledger.collect_time_evidence()
+        self.anchors_pending = False
+
+    @rule()
+    def commit_block(self):
+        self.deployment.ledger.commit_block()
+
+    @precondition(lambda self: self.occultable)
+    @rule(mode=st.sampled_from([OccultMode.SYNC, OccultMode.ASYNC]), pick=st.integers(min_value=0, max_value=10**6))
+    def occult_one(self, mode, pick):
+        jsn = self.occultable.pop(pick % len(self.occultable))
+        if jsn < self.deployment.ledger.genesis_start:
+            return
+        try:
+            record = self.deployment.ledger.prepare_occult(jsn, mode, reason="fuzz")
+        except MutationError:
+            return
+        approvals = self.deployment.sign_approval(
+            ["dba", "regulator"], record.approval_digest()
+        )
+        self.deployment.ledger.execute_occult(record, approvals)
+
+    @rule()
+    def reorganize(self):
+        self.deployment.ledger.reorganize()
+
+    @rule(block_pick=st.integers(min_value=0, max_value=10**6))
+    def purge(self, block_pick):
+        ledger = self.deployment.ledger
+        boundaries = [
+            b.end_jsn for b in ledger.blocks if b.end_jsn > ledger.genesis_start
+        ]
+        if not boundaries:
+            return
+        boundary = boundaries[block_pick % len(boundaries)]
+        try:
+            pseudo, record = ledger.prepare_purge(boundary, reason="fuzz purge")
+        except MutationError:
+            return
+        signers = list(ledger.purge_required_signers(boundary))
+        approvals = self.deployment.sign_approval(signers, record.approval_digest())
+        ledger.execute_purge(pseudo, record, approvals)
+        self.occultable = [j for j in self.occultable if j >= boundary]
+
+    # ------------------------------------------------------------ invariants
+
+    @invariant()
+    def sizes_consistent(self):
+        ledger = self.deployment.ledger
+        assert ledger.size == ledger._fam.size
+        assert len(ledger._stream) == ledger.size
+
+    @invariant()
+    def retained_hashes_always_available(self):
+        ledger = self.deployment.ledger
+        for jsn in range(max(ledger.genesis_start, ledger.size - 5), ledger.size):
+            assert len(ledger.retained_hash(jsn)) == 32
+
+    @invariant()
+    def latest_journal_verifies(self):
+        ledger = self.deployment.ledger
+        if ledger.size > ledger.genesis_start:
+            jsn = ledger.size - 1
+            if not ledger.is_occulted(jsn):
+                journal = ledger.get_journal(jsn)
+                assert ledger.verify_journal(journal)
+
+    def teardown(self):
+        # The end-state must always be fully auditable.
+        self.deployment.clock.advance(1.5)
+        self.deployment.ledger.collect_time_evidence()
+        view = self.deployment.ledger.export_view()
+        report = dasein_audit(view, tsa_keys=self.deployment.tsa_keys)
+        assert report.passed, report.failures()
+
+
+LedgerMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=20, deadline=None
+)
+TestLedgerStateMachine = LedgerMachine.TestCase

@@ -1,0 +1,226 @@
+"""Merkle Patricia Trie: dict equivalence, proofs, persistence, history."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import EMPTY_DIGEST
+from repro.merkle.mpt import MPT, MPTProof, key_to_nibbles, nibbles_to_key
+from repro.storage.kv import CachedKVStore, KeyNotFoundError, MemoryKVStore
+
+
+class TestNibbles:
+    def test_round_trip(self):
+        for key in (b"", b"\x00", b"\xff\x01\xa5", bytes(range(16))):
+            assert nibbles_to_key(key_to_nibbles(key)) == key
+
+    def test_nibble_values(self):
+        assert list(key_to_nibbles(b"\xab")) == [0xA, 0xB]
+
+    def test_odd_nibbles_rejected(self):
+        with pytest.raises(ValueError):
+            nibbles_to_key(b"\x01")
+
+
+class TestBasics:
+    def test_empty_root(self):
+        assert MPT().root == EMPTY_DIGEST
+
+    def test_put_get_single(self):
+        trie = MPT()
+        trie.put(b"key", b"value")
+        assert trie.get(b"key") == b"value"
+
+    def test_update_changes_root(self):
+        trie = MPT()
+        r1 = trie.put(b"key", b"v1")
+        r2 = trie.put(b"key", b"v2")
+        assert r1 != r2
+        assert trie.get(b"key") == b"v2"
+
+    def test_get_missing_raises(self):
+        trie = MPT()
+        trie.put(b"a", b"1")
+        with pytest.raises(KeyNotFoundError):
+            trie.get(b"b")
+        assert trie.get_default(b"b") is None
+        assert trie.get_default(b"b", b"dflt") == b"dflt"
+
+    def test_contains(self):
+        trie = MPT()
+        trie.put(b"a", b"1")
+        assert b"a" in trie and b"b" not in trie
+
+    def test_prefix_keys(self):
+        # One key a prefix of another exercises branch-with-value nodes.
+        trie = MPT()
+        trie.put(b"ab", b"short")
+        trie.put(b"abcd", b"long")
+        assert trie.get(b"ab") == b"short"
+        assert trie.get(b"abcd") == b"long"
+        trie.delete(b"ab")
+        assert trie.get(b"abcd") == b"long"
+        assert b"ab" not in trie
+
+    def test_root_is_insertion_order_independent(self):
+        import itertools
+
+        pairs = [(b"abc", b"1"), (b"abd", b"2"), (b"xyz", b"3"), (b"ab", b"4")]
+        roots = set()
+        for perm in itertools.permutations(pairs):
+            trie = MPT()
+            for key, value in perm:
+                trie.put(key, value)
+            roots.add(trie.root)
+        assert len(roots) == 1
+
+    def test_delete_restores_previous_root(self):
+        trie = MPT()
+        trie.put(b"aaa", b"1")
+        trie.put(b"aab", b"2")
+        root_two = trie.root
+        trie.put(b"zzz", b"3")
+        trie.delete(b"zzz")
+        assert trie.root == root_two
+
+    def test_delete_missing_raises(self):
+        trie = MPT()
+        trie.put(b"a", b"1")
+        with pytest.raises(KeyNotFoundError):
+            trie.delete(b"b")
+
+    def test_delete_to_empty(self):
+        trie = MPT()
+        trie.put(b"a", b"1")
+        trie.delete(b"a")
+        assert trie.root == EMPTY_DIGEST
+
+
+class TestHistoricalRoots:
+    def test_old_roots_stay_queryable(self):
+        trie = MPT()
+        roots = {}
+        for i in range(20):
+            trie.put(b"k%02d" % i, b"v%02d" % i)
+            roots[i] = trie.root
+        # Every historical version still answers for exactly its contents.
+        assert trie.get_at(roots[5], b"k05") == b"v05"
+        assert trie.get_at(roots[5], b"k06") is None
+        assert trie.get_at(roots[19], b"k06") == b"v06"
+
+    def test_functional_put_preserves_source(self):
+        trie = MPT()
+        trie.put(b"a", b"1")
+        old_root = trie.root
+        new_root = trie.put_at(old_root, b"b", b"2")
+        assert trie.get_at(old_root, b"b") is None
+        assert trie.get_at(new_root, b"b") == b"2"
+        assert trie.get_at(new_root, b"a") == b"1"
+
+
+class TestProofs:
+    def test_membership_proof(self):
+        trie = MPT()
+        for i in range(50):
+            trie.put(b"key-%02d" % i, b"val-%02d" % i)
+        for i in (0, 7, 49):
+            proof = trie.prove(b"key-%02d" % i)
+            assert proof.value == b"val-%02d" % i
+            assert proof.verify(trie.root)
+
+    def test_non_membership_proof(self):
+        trie = MPT()
+        for i in range(20):
+            trie.put(b"key-%02d" % i, b"v")
+        proof = trie.prove(b"missing-key")
+        assert proof.value is None
+        assert proof.verify(trie.root)
+
+    def test_proof_rejects_wrong_root(self):
+        trie = MPT()
+        trie.put(b"a", b"1")
+        proof = trie.prove(b"a")
+        other = MPT()
+        other.put(b"a", b"2")
+        assert not proof.verify(other.root)
+
+    def test_proof_rejects_value_substitution(self):
+        import dataclasses
+
+        trie = MPT()
+        trie.put(b"a", b"real")
+        trie.put(b"b", b"other")
+        proof = trie.prove(b"a")
+        forged = dataclasses.replace(proof, value=b"fake")
+        assert not forged.verify(trie.root)
+
+    def test_proof_rejects_truncated_path(self):
+        import dataclasses
+
+        trie = MPT()
+        for i in range(30):
+            trie.put(b"k%02d" % i, b"v")
+        proof = trie.prove(b"k07")
+        if len(proof.nodes) > 1:
+            truncated = dataclasses.replace(proof, nodes=proof.nodes[:-1])
+            assert not truncated.verify(trie.root)
+
+    def test_proof_at_historical_root(self):
+        trie = MPT()
+        trie.put(b"a", b"1")
+        old_root = trie.root
+        trie.put(b"b", b"2")
+        proof = trie.prove(b"a", root=old_root)
+        assert proof.verify(old_root)
+
+    def test_empty_trie_non_membership(self):
+        trie = MPT()
+        proof = trie.prove(b"anything")
+        assert proof.value is None and proof.verify(EMPTY_DIGEST)
+
+
+class TestAgainstDict:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=6), st.binary(max_size=8)),
+            max_size=60,
+        ),
+        st.binary(min_size=1, max_size=6),
+    )
+    def test_model_equivalence(self, operations, probe):
+        trie = MPT()
+        model: dict[bytes, bytes] = {}
+        for key, value in operations:
+            trie.put(key, value)
+            model[key] = value
+        assert sorted(trie.items()) == sorted(model.items())
+        assert trie.get_default(probe) == model.get(probe)
+        proof = trie.prove(probe)
+        assert proof.value == model.get(probe)
+        assert proof.verify(trie.root)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(st.binary(min_size=1, max_size=5), st.binary(max_size=6), min_size=1, max_size=40),
+        st.data(),
+    )
+    def test_delete_equivalence(self, contents, data):
+        trie = MPT()
+        for key, value in contents.items():
+            trie.put(key, value)
+        keys = sorted(contents)
+        to_delete = data.draw(st.lists(st.sampled_from(keys), unique=True, max_size=len(keys)))
+        for key in to_delete:
+            trie.delete(key)
+            del contents[key]
+            assert sorted(trie.items()) == sorted(contents.items())
+
+
+class TestStores:
+    def test_works_over_cached_store(self):
+        trie = MPT(store=CachedKVStore(MemoryKVStore(), capacity=8))
+        for i in range(100):
+            trie.put(b"key-%03d" % i, b"v%03d" % i)
+        for i in range(100):
+            assert trie.get(b"key-%03d" % i) == b"v%03d" % i
+        assert trie.prove(b"key-050").verify(trie.root)

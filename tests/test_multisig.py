@@ -1,0 +1,76 @@
+"""Multi-signature sets (purge/occult prerequisites)."""
+
+import pytest
+
+from repro.crypto import CertificateAuthority, KeyPair, MultiSignature, Role, sha256
+from repro.crypto.multisig import MultiSignatureError
+
+
+@pytest.fixture()
+def parties():
+    ca = CertificateAuthority("root")
+    keys = {name: KeyPair.generate(seed=name) for name in ("dba", "alice", "bob")}
+    roles = {"dba": Role.DBA, "alice": Role.USER, "bob": Role.USER}
+    certs = {name: ca.issue(name, roles[name], kp.public) for name, kp in keys.items()}
+    return keys, certs
+
+
+def test_all_required_signatures_verify(parties):
+    keys, certs = parties
+    digest = sha256(b"operation")
+    ms = MultiSignature(digest=digest)
+    for name, keypair in keys.items():
+        ms.add(name, keypair.sign(digest))
+    ms.verify(certs)  # must not raise
+    assert ms.is_satisfied_by(certs)
+
+
+def test_missing_signer_detected(parties):
+    keys, certs = parties
+    digest = sha256(b"operation")
+    ms = MultiSignature(digest=digest)
+    ms.add("dba", keys["dba"].sign(digest))
+    with pytest.raises(MultiSignatureError, match="missing"):
+        ms.verify(certs)
+
+
+def test_invalid_signature_detected(parties):
+    keys, certs = parties
+    digest = sha256(b"operation")
+    ms = MultiSignature(digest=digest)
+    ms.add("dba", keys["dba"].sign(digest))
+    ms.add("alice", keys["alice"].sign(sha256(b"other digest")))  # wrong digest
+    ms.add("bob", keys["bob"].sign(digest))
+    with pytest.raises(MultiSignatureError, match="invalid"):
+        ms.verify(certs)
+
+
+def test_signature_by_wrong_key_detected(parties):
+    keys, certs = parties
+    digest = sha256(b"operation")
+    ms = MultiSignature(digest=digest)
+    ms.add("dba", keys["dba"].sign(digest))
+    ms.add("alice", keys["bob"].sign(digest))  # bob signs as alice
+    ms.add("bob", keys["bob"].sign(digest))
+    assert not ms.is_satisfied_by(certs)
+
+
+def test_extra_signers_allowed(parties):
+    keys, certs = parties
+    digest = sha256(b"operation")
+    ms = MultiSignature(digest=digest)
+    for name, keypair in keys.items():
+        ms.add(name, keypair.sign(digest))
+    only_dba = {"dba": certs["dba"]}
+    ms.verify(only_dba)  # alice/bob are extra, still fine
+
+
+def test_conflicting_resign_rejected(parties):
+    keys, _certs = parties
+    digest = sha256(b"operation")
+    ms = MultiSignature(digest=digest)
+    ms.add("dba", keys["dba"].sign(digest))
+    with pytest.raises(MultiSignatureError, match="conflicting"):
+        ms.add("dba", keys["alice"].sign(digest))
+    # Identical re-add is idempotent.
+    ms.add("dba", keys["dba"].sign(digest))

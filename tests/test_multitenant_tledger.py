@@ -1,0 +1,101 @@
+"""Multi-tenant T-Ledger: many ledgers sharing one public time notary.
+
+The T-Ledger is "a public TSA notary anchoring service for all ledgers"
+(§III-B2) — one Δτ-periodic TSA finalization covers digests from every
+registered ledger.  These tests drive several ledgers against one T-Ledger
+and check isolation, amortisation, and that each ledger's audit stands on
+the shared evidence.
+"""
+
+import pytest
+
+from repro.core import ClientRequest, Ledger, LedgerConfig, dasein_audit
+from repro.crypto import KeyPair, Role
+from repro.timeauth import SimClock, TimeLedger, TimeStampAuthority
+
+
+@pytest.fixture()
+def shared_world():
+    clock = SimClock()
+    tsa = TimeStampAuthority("shared-tsa", clock)
+    tledger = TimeLedger(clock, tsa, finalize_interval=1.0, admission_tolerance=2.0)
+    ledgers = {}
+    users = {}
+    for name in ("tenant-a", "tenant-b", "tenant-c"):
+        ledger = Ledger(
+            LedgerConfig(uri=f"ledger://{name}", fractal_height=3, block_size=4),
+            clock=clock,
+        )
+        ledger.attach_time_ledger(tledger)
+        user = KeyPair.generate(seed=f"user-{name}")
+        ledger.registry.register("u", Role.USER, user.public)
+        ledgers[name] = ledger
+        users[name] = user
+    return clock, tsa, tledger, ledgers, users
+
+
+def drive(clock, ledgers, users, rounds=6):
+    for round_number in range(rounds):
+        for name, ledger in ledgers.items():
+            request = ClientRequest.build(
+                ledger.config.uri, "u", b"%s r%d" % (name.encode(), round_number),
+                nonce=bytes([round_number]), client_timestamp=clock.now(),
+            ).signed_by(users[name])
+            ledger.append(request)
+            ledger.anchor_time()
+            clock.advance(0.11)
+    clock.advance(2.0)
+    for ledger in ledgers.values():
+        ledger.collect_time_evidence()
+        ledger.commit_block()
+
+
+def test_one_tsa_serves_all_tenants(shared_world):
+    clock, tsa, tledger, ledgers, users = shared_world
+    drive(clock, ledgers, users)
+    total_anchors = sum(len(l.time_journals) for l in ledgers.values())
+    assert total_anchors == 18  # 3 tenants x 6 rounds
+    # TSA stamps are per-finalization, shared by all tenants' submissions.
+    assert tsa.stamps_issued < total_anchors
+    assert tledger.size == total_anchors
+
+
+def test_every_tenant_audits_independently(shared_world):
+    clock, tsa, tledger, ledgers, users = shared_world
+    drive(clock, ledgers, users)
+    for name, ledger in ledgers.items():
+        report = dasein_audit(
+            ledger.export_view(), tsa_keys={"shared-tsa": tsa.public_key}
+        )
+        assert report.passed, (name, report.failures())
+
+
+def test_tenant_evidence_isolated(shared_world):
+    """One tenant's evidence cannot stand in for another's anchor."""
+    clock, tsa, tledger, ledgers, users = shared_world
+    drive(clock, ledgers, users)
+    ledger_a = ledgers["tenant-a"]
+    ledger_b = ledgers["tenant-b"]
+    jsn_a = ledger_a.time_journals[0]
+    jsn_b = ledger_b.time_journals[0]
+    evidence_b = ledger_b.time_evidence_for(jsn_b)
+    # Graft tenant-b's evidence onto tenant-a's view: the anchored-root
+    # cross-check in the verifier must reject it.
+    import dataclasses
+
+    view = ledger_a.export_view()
+    grafted = dict(view.time_evidence)
+    grafted[jsn_a] = evidence_b
+    forged_view = dataclasses.replace(view, time_evidence=grafted)
+    from repro.core import DaseinVerifier
+
+    verifier = DaseinVerifier(forged_view, tsa_keys={"shared-tsa": tsa.public_key})
+    _bound, valid = verifier.verify_when(1)
+    assert not valid
+
+
+def test_tenant_ledger_ids_recorded(shared_world):
+    clock, _tsa, tledger, ledgers, users = shared_world
+    drive(clock, ledgers, users, rounds=2)
+    recorded = {tledger.entry(seq).ledger_id for seq in range(tledger.size)}
+    assert recorded == {f"ledger://tenant-{x}" for x in "abc"}

@@ -1,0 +1,235 @@
+"""Purge and occult: prerequisites, protocols, and post-mutation verifiability."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    JournalOccultedError,
+    JournalPurgedError,
+    JournalType,
+    OccultMode,
+)
+from repro.core.errors import MutationError
+from repro.crypto import MultiSignature
+
+
+def do_occult(deployment, target, mode=OccultMode.SYNC, signers=("dba", "regulator")):
+    record = deployment.ledger.prepare_occult(target, mode, reason="test")
+    approvals = deployment.sign_approval(signers, record.approval_digest())
+    return record, deployment.ledger.execute_occult(record, approvals)
+
+
+def do_purge(deployment, point, **kwargs):
+    pseudo, record = deployment.ledger.prepare_purge(point, **kwargs)
+    signers = list(deployment.ledger.purge_required_signers(point))
+    approvals = deployment.sign_approval(signers, record.approval_digest())
+    return pseudo, record, deployment.ledger.execute_purge(pseudo, record, approvals)
+
+
+class TestOccult:
+    def test_sync_occult_hides_journal(self, populated):
+        deployment, _receipts = populated
+        _record, receipt = do_occult(deployment, 3)
+        journal = deployment.ledger.get_journal(receipt.jsn)
+        assert journal.journal_type is JournalType.OCCULT
+        with pytest.raises(JournalOccultedError):
+            deployment.ledger.get_journal(3)
+        assert deployment.ledger.is_occulted(3)
+
+    def test_retained_hash_survives(self, populated):
+        deployment, _receipts = populated
+        original_hash = deployment.ledger.get_journal(3).tx_hash()
+        do_occult(deployment, 3)
+        assert deployment.ledger.retained_hash(3) == original_hash
+
+    def test_sync_occult_erases_payload_immediately(self, populated):
+        deployment, _receipts = populated
+        do_occult(deployment, 3, OccultMode.SYNC)
+        assert deployment.ledger._stream.is_erased(3)
+
+    def test_async_occult_defers_erasure(self, populated):
+        deployment, _receipts = populated
+        do_occult(deployment, 3, OccultMode.ASYNC)
+        # Logically deleted at once...
+        with pytest.raises(JournalOccultedError):
+            deployment.ledger.get_journal(3)
+        assert not deployment.ledger._stream.is_erased(3)
+        assert deployment.ledger.pending_erasures == 1
+        # ...physically erased by the idle-batch reorganisation.
+        assert deployment.ledger.reorganize() == 1
+        assert deployment.ledger._stream.is_erased(3)
+        assert deployment.ledger.pending_erasures == 0
+
+    def test_missing_regulator_signature_rejected(self, populated):
+        deployment, _receipts = populated
+        record = deployment.ledger.prepare_occult(3)
+        approvals = deployment.sign_approval(["dba"], record.approval_digest())
+        with pytest.raises(MutationError, match="Prerequisite 2"):
+            deployment.ledger.execute_occult(record, approvals)
+
+    def test_missing_dba_signature_rejected(self, populated):
+        deployment, _receipts = populated
+        record = deployment.ledger.prepare_occult(3)
+        approvals = deployment.sign_approval(["regulator"], record.approval_digest())
+        with pytest.raises(MutationError, match="Prerequisite 2"):
+            deployment.ledger.execute_occult(record, approvals)
+
+    def test_signatures_over_wrong_record_rejected(self, populated):
+        deployment, _receipts = populated
+        record = deployment.ledger.prepare_occult(3)
+        other = deployment.ledger.prepare_occult(4)
+        approvals = deployment.sign_approval(
+            ["dba", "regulator"], other.approval_digest()
+        )
+        with pytest.raises(MutationError, match="different occult record"):
+            deployment.ledger.execute_occult(record, approvals)
+
+    def test_double_occult_rejected(self, populated):
+        deployment, _receipts = populated
+        do_occult(deployment, 3)
+        with pytest.raises(MutationError, match="already occulted"):
+            deployment.ledger.prepare_occult(3)
+
+    def test_system_journals_not_occultable(self, populated):
+        deployment, _receipts = populated
+        with pytest.raises(MutationError, match="only normal journals"):
+            deployment.ledger.prepare_occult(0)  # genesis
+
+    def test_occulted_journal_existence_still_verifiable(self, populated):
+        # Protocol 2: the retained hash keeps the accumulator chain intact.
+        deployment, _receipts = populated
+        retained = deployment.ledger.get_journal(3).tx_hash()
+        do_occult(deployment, 3)
+        from repro.merkle.fam import FamAccumulator
+
+        proof = deployment.ledger.get_proof(3, anchored=False)
+        assert FamAccumulator.verify_full(
+            retained, proof, deployment.ledger.current_root()
+        )
+
+    def test_subsequent_journals_unaffected(self, populated):
+        deployment, _receipts = populated
+        do_occult(deployment, 3)
+        journal = deployment.ledger.get_journal(4)
+        assert deployment.ledger.verify_journal(journal)
+
+
+class TestPurge:
+    def test_purge_erases_prefix(self, populated):
+        deployment, _receipts = populated
+        do_purge(deployment, 8)
+        for jsn in range(8):
+            with pytest.raises((JournalPurgedError, JournalOccultedError)):
+                deployment.ledger.get_journal(jsn)
+        assert deployment.ledger.genesis_start == 8
+
+    def test_purge_point_must_align_with_block(self, populated):
+        deployment, _receipts = populated
+        with pytest.raises(MutationError, match="block boundary"):
+            deployment.ledger.prepare_purge(7)
+
+    def test_purge_requires_all_owner_signatures(self, populated):
+        deployment, _receipts = populated
+        pseudo, record = deployment.ledger.prepare_purge(8)
+        signers = [s for s in deployment.ledger.purge_required_signers(8) if s != "alice"]
+        approvals = deployment.sign_approval(signers, record.approval_digest())
+        with pytest.raises(MutationError, match="Prerequisite 1"):
+            deployment.ledger.execute_purge(pseudo, record, approvals)
+
+    def test_pseudo_genesis_snapshots_purge_point_state(self, populated):
+        deployment, _receipts = populated
+        expected_root = deployment.ledger._fam.root_at(8)
+        boundary_block = next(b for b in deployment.ledger.blocks if b.end_jsn == 8)
+        pseudo, _record, _receipt = do_purge(deployment, 8)
+        assert pseudo.purge_point == 8
+        assert pseudo.fam_root == expected_root
+        assert pseudo.state_root == boundary_block.state_root
+
+    def test_purge_journal_recorded_and_linked(self, populated):
+        deployment, _receipts = populated
+        pseudo, record, receipt = do_purge(deployment, 8)
+        journal = deployment.ledger.get_journal(receipt.jsn)
+        assert journal.journal_type is JournalType.PURGE
+        from repro.core.purge import PurgeRecord
+
+        stored = PurgeRecord.from_bytes(journal.payload)
+        assert stored.pseudo_genesis_hash == pseudo.hash()  # the double link
+
+    def test_record_pseudo_mismatch_rejected(self, populated):
+        deployment, _receipts = populated
+        pseudo, record = deployment.ledger.prepare_purge(8)
+        forged = dataclasses.replace(record, purge_point=4)
+        signers = list(deployment.ledger.purge_required_signers(8))
+        approvals = deployment.sign_approval(signers, forged.approval_digest())
+        with pytest.raises(MutationError, match="does not match"):
+            deployment.ledger.execute_purge(pseudo, forged, approvals)
+
+    def test_survivors_remain_retrievable(self, populated):
+        deployment, _receipts = populated
+        survivor_payload = deployment.ledger.get_journal(5).payload
+        do_purge(deployment, 8, survivors=(5,))
+        journal = deployment.ledger.get_journal(5)  # from the survival stream
+        assert journal.payload == survivor_payload
+        with pytest.raises(JournalPurgedError):
+            deployment.ledger.get_journal(6)
+
+    def test_survivor_outside_range_rejected(self, populated):
+        deployment, _receipts = populated
+        with pytest.raises(MutationError, match="not in the purged range"):
+            deployment.ledger.prepare_purge(8, survivors=(9,))
+
+    def test_post_purge_journals_verify(self, populated):
+        deployment, _receipts = populated
+        do_purge(deployment, 8)
+        for jsn in range(8, deployment.ledger.size):
+            if deployment.ledger.is_occulted(jsn):
+                continue
+            journal = deployment.ledger.get_journal(jsn)
+            assert deployment.ledger.verify_journal(journal), jsn
+
+    def test_purge_with_fam_erasure(self, populated):
+        deployment, _receipts = populated
+        nodes_before = deployment.ledger._fam.num_nodes()
+        do_purge(deployment, 8, erase_fam_nodes=True)
+        assert deployment.ledger._fam.num_nodes() <= nodes_before
+        # Current commitments unchanged: later proofs still verify.
+        journal = deployment.ledger.get_journal(10)
+        assert deployment.ledger.verify_journal(journal)
+
+    def test_second_purge_after_first(self, populated):
+        deployment, _receipts = populated
+        do_purge(deployment, 8)
+        # Append more, commit, purge again at a later boundary.
+        for i in range(6):
+            deployment.append("alice", b"post-%d" % i)
+        deployment.ledger.commit_block()
+        boundary = deployment.ledger.blocks[-1].end_jsn
+        do_purge(deployment, boundary)
+        assert deployment.ledger.genesis_start == boundary
+        assert deployment.ledger.pseudo_genesis.purge_point == boundary
+
+    def test_purge_point_bounds(self, populated):
+        deployment, _receipts = populated
+        with pytest.raises(MutationError):
+            deployment.ledger.prepare_purge(0)
+        with pytest.raises(MutationError):
+            deployment.ledger.prepare_purge(10_000)
+
+    def test_purge_then_occult_interplay(self, populated):
+        deployment, _receipts = populated
+        do_purge(deployment, 8)
+        do_occult(deployment, 10)
+        with pytest.raises(JournalOccultedError):
+            deployment.ledger.get_journal(10)
+        # Occulting inside the purged region is impossible.
+        with pytest.raises(MutationError):
+            deployment.ledger.prepare_occult(3)
+
+    def test_storage_stats_reflect_mutations(self, populated):
+        deployment, _receipts = populated
+        do_occult(deployment, 9)
+        do_purge(deployment, 8)
+        stats = deployment.ledger.storage_stats()
+        assert stats["occulted"] == 1
+        assert stats["purged_prefix"] == 8

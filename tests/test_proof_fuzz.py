@@ -1,0 +1,126 @@
+"""Structural proof fuzzing: mutated proof objects must never verify.
+
+Complements the wire-level fuzz in test_proof_serialization: here the
+mutations are applied to the *decoded* proof structures (as a malicious
+server would), covering MPT proofs, batch proofs, and fam proofs.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import leaf_hash
+from repro.merkle.fam import FamAccumulator
+from repro.merkle.mpt import MPT
+from repro.merkle.proofs import PathStep
+from repro.merkle.shrubs import ShrubsAccumulator
+
+
+@pytest.fixture(scope="module")
+def mpt_world():
+    trie = MPT()
+    contents = {b"key-%02d" % i: b"value-%02d" % i for i in range(40)}
+    for key, value in contents.items():
+        trie.put(key, value)
+    return trie, contents
+
+
+class TestMPTProofFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_node_byte_flip_fails(self, mpt_world, data):
+        trie, contents = mpt_world
+        key = data.draw(st.sampled_from(sorted(contents)))
+        proof = trie.prove(key)
+        node_index = data.draw(st.integers(min_value=0, max_value=len(proof.nodes) - 1))
+        node = proof.nodes[node_index]
+        position = data.draw(st.integers(min_value=0, max_value=len(node) - 1))
+        mutated_node = bytearray(node)
+        mutated_node[position] ^= data.draw(st.integers(min_value=1, max_value=255))
+        mutated_nodes = list(proof.nodes)
+        mutated_nodes[node_index] = bytes(mutated_node)
+        forged = dataclasses.replace(proof, nodes=mutated_nodes)
+        assert not forged.verify(trie.root)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_key_substitution_fails(self, mpt_world, data):
+        trie, contents = mpt_world
+        keys = sorted(contents)
+        key = data.draw(st.sampled_from(keys))
+        other = data.draw(st.sampled_from(keys))
+        if key == other:
+            return
+        proof = trie.prove(key)
+        forged = dataclasses.replace(proof, key=other)
+        assert not forged.verify(trie.root)
+
+
+class TestMembershipProofFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_structural_mutations_fail(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=64))
+        acc = ShrubsAccumulator()
+        digests = [leaf_hash(b"%d" % i) for i in range(n)]
+        acc.extend(digests)
+        index = data.draw(st.integers(min_value=0, max_value=n - 1))
+        proof = acc.prove(index)
+        root = acc.root()
+        mutation = data.draw(st.sampled_from(["index", "flip_step", "drop_step", "flip_side"]))
+        # Note: tree_size is deliberately NOT fuzzed here — the bagged root
+        # does not bind the leaf count (see MembershipProof docstring), so a
+        # size-metadata mutation can legitimately still verify.  The layers
+        # where counts matter bind them explicitly and are tested there
+        # (test_cmtree forged-entry-count, test_timeauth tampered evidence).
+        if mutation == "index":
+            forged = dataclasses.replace(proof, leaf_index=(index + 1) % n)
+            if (index + 1) % n == index:
+                return
+        elif mutation == "flip_step" and proof.path:
+            step_index = data.draw(st.integers(min_value=0, max_value=len(proof.path) - 1))
+            step = proof.path[step_index]
+            new_path = list(proof.path)
+            new_path[step_index] = PathStep(leaf_hash(b"evil"), step.sibling_on_left)
+            forged = dataclasses.replace(proof, path=new_path)
+        elif mutation == "drop_step" and proof.path:
+            forged = dataclasses.replace(proof, path=proof.path[:-1])
+        elif mutation == "flip_side" and proof.path:
+            step = proof.path[0]
+            new_path = [PathStep(step.digest, not step.sibling_on_left)] + list(proof.path[1:])
+            forged = dataclasses.replace(proof, path=new_path)
+        else:
+            return
+        # A mutated proof may accidentally become a *valid proof of a
+        # different leaf digest*, but never of ours against our root.
+        assert not forged.verify(digests[index], root) or forged == proof
+
+
+class TestFamProofFuzz:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_link_chain_mutations_fail(self, data):
+        fam = FamAccumulator(2)
+        digests = [leaf_hash(b"j%d" % i) for i in range(30)]
+        for digest in digests:
+            fam.append(digest)
+        jsn = data.draw(st.integers(min_value=0, max_value=3))  # early epoch
+        proof = fam.get_proof(jsn, anchored=False)
+        if not proof.link_proofs:
+            return
+        root = fam.current_root()
+        mutation = data.draw(st.sampled_from(["drop_link", "swap_links", "wrong_leaf"]))
+        if mutation == "drop_link":
+            forged = dataclasses.replace(proof, link_proofs=proof.link_proofs[:-1])
+        elif mutation == "swap_links" and len(proof.link_proofs) >= 2:
+            links = list(reversed(proof.link_proofs))
+            forged = dataclasses.replace(proof, link_proofs=links)
+        elif mutation == "wrong_leaf":
+            bad_link = dataclasses.replace(proof.link_proofs[0], leaf_index=1)
+            forged = dataclasses.replace(
+                proof, link_proofs=[bad_link] + list(proof.link_proofs[1:])
+            )
+        else:
+            return
+        assert not FamAccumulator.verify_full(digests[jsn], forged, root) or forged == proof

@@ -1,0 +1,171 @@
+"""Ledger recovery: rebuilding every derived structure from the journal stream."""
+
+import pytest
+
+from repro.core import (
+    ClientRequest,
+    JournalOccultedError,
+    Ledger,
+    LedgerConfig,
+    OccultMode,
+    dasein_audit,
+)
+from repro.core.errors import LedgerError
+from repro.core.ledger import LSP_MEMBER_ID
+from repro.core.members import MemberRegistry
+from repro.crypto import KeyPair, MultiSignature, Role
+from repro.storage import FileStream, MemoryStream
+from repro.timeauth import SimClock, TimeLedger, TimeStampAuthority
+
+URI = "ledger://recovery"
+
+
+def build_original(journal_stream, clock, tledger, with_occult=True):
+    registry = MemberRegistry()
+    lsp = KeyPair.generate(seed="recovery-lsp")
+    config = LedgerConfig(uri=URI, fractal_height=3, block_size=4)
+    ledger = Ledger(config, clock=clock, registry=registry, lsp_keypair=lsp, journal_stream=journal_stream)
+    ledger.attach_time_ledger(tledger)
+    user = KeyPair.generate(seed="recovery-user")
+    dba = KeyPair.generate(seed="recovery-dba")
+    regulator = KeyPair.generate(seed="recovery-reg")
+    ledger.registry.register("user", Role.USER, user.public)
+    ledger.registry.register("dba", Role.DBA, dba.public)
+    ledger.registry.register("reg", Role.REGULATOR, regulator.public)
+    for i in range(14):
+        request = ClientRequest.build(
+            URI, "user", b"record-%03d" % i,
+            clues=("RCLUE",) if i % 3 == 0 else (),
+            nonce=bytes([i]), client_timestamp=clock.now(),
+        ).signed_by(user)
+        ledger.append(request)
+        clock.advance(0.2)
+        if i % 5 == 4:
+            ledger.anchor_time()
+    clock.advance(2.0)
+    ledger.collect_time_evidence()
+    if with_occult:
+        record = ledger.prepare_occult(4, OccultMode.SYNC, reason="test")
+        approvals = MultiSignature(digest=record.approval_digest())
+        approvals.add("dba", dba.sign(record.approval_digest()))
+        approvals.add("reg", regulator.sign(record.approval_digest()))
+        ledger.execute_occult(record, approvals)
+    return ledger, registry, lsp, user
+
+
+@pytest.fixture()
+def world():
+    clock = SimClock()
+    tsa = TimeStampAuthority("rec-tsa", clock)
+    tledger = TimeLedger(clock, tsa, finalize_interval=1.0, admission_tolerance=2.0)
+    return clock, tsa, tledger
+
+
+class TestRecovery:
+    def test_recovered_state_matches_original(self, world):
+        clock, _tsa, tledger = world
+        stream = MemoryStream()
+        original, registry, lsp, _user = build_original(stream, clock, tledger)
+        recovered = Ledger.recover(
+            original.config, stream, registry, lsp, clock=clock
+        )
+        assert recovered.size == original.size
+        assert recovered.current_root() == original.current_root()
+        assert recovered.state_root() == original.state_root()
+        assert recovered.time_journals == original.time_journals
+        assert recovered.list_tx("RCLUE") == original.list_tx("RCLUE")
+        assert recovered.is_occulted(4)
+
+    def test_recovered_journals_verify(self, world):
+        clock, _tsa, tledger = world
+        stream = MemoryStream()
+        original, registry, lsp, _user = build_original(stream, clock, tledger)
+        recovered = Ledger.recover(original.config, stream, registry, lsp, clock=clock)
+        for jsn in range(recovered.size):
+            if recovered.is_occulted(jsn):
+                with pytest.raises(JournalOccultedError):
+                    recovered.get_journal(jsn)
+                continue
+            journal = recovered.get_journal(jsn)
+            assert recovered.verify_journal(journal), jsn
+
+    def test_recovered_ledger_audits(self, world):
+        clock, tsa, tledger = world
+        stream = MemoryStream()
+        original, registry, lsp, _user = build_original(stream, clock, tledger)
+        recovered = Ledger.recover(original.config, stream, registry, lsp, clock=clock)
+        recovered.attach_time_ledger(tledger)
+        assert recovered.refresh_time_evidence() == len(recovered.time_journals)
+        # Occult approvals were off-stream: re-attach from operational records
+        # (a real deployment persists them; here the original still has them).
+        recovered._occult_records = original._occult_records
+        report = dasein_audit(
+            recovered.export_view(), tsa_keys={"rec-tsa": tsa.public_key}
+        )
+        assert report.passed, report.failures()
+
+    def test_recovered_ledger_accepts_new_appends(self, world):
+        clock, _tsa, tledger = world
+        stream = MemoryStream()
+        original, registry, lsp, user = build_original(stream, clock, tledger)
+        recovered = Ledger.recover(original.config, stream, registry, lsp, clock=clock)
+        request = ClientRequest.build(
+            URI, "user", b"post-recovery", nonce=b"pr", client_timestamp=clock.now()
+        ).signed_by(user)
+        receipt = recovered.append(request)
+        journal = recovered.get_journal(receipt.jsn)
+        assert recovered.verify_journal(journal)
+
+    def test_recovery_from_file_stream(self, world, tmp_path):
+        """Full durability loop: build over a file, reopen, recover."""
+        clock, _tsa, tledger = world
+        path = tmp_path / "journal.stream"
+        stream = FileStream(path)
+        original, registry, lsp, _user = build_original(stream, clock, tledger)
+        expected_root = original.current_root()
+        stream.close()
+        with FileStream(path) as reopened:
+            # PKI state lives outside the stream: rebuild the member set.
+            registry2 = MemberRegistry()
+            for member in ("user", "dba", "reg"):
+                cert = registry.certificate(member)
+                registry2.register(member, cert.role, cert.public_key)
+            recovered = Ledger.recover(original.config, reopened, registry2, lsp, clock=clock)
+            assert recovered.current_root() == expected_root
+
+    def test_fresh_receipt_issued(self, world):
+        clock, _tsa, tledger = world
+        stream = MemoryStream()
+        original, registry, lsp, _user = build_original(stream, clock, tledger)
+        recovered = Ledger.recover(original.config, stream, registry, lsp, clock=clock)
+        receipt = recovered.latest_receipt
+        assert receipt is not None
+        assert receipt.ledger_root == recovered.current_root()
+        assert receipt.verify(lsp.public)
+
+    def test_empty_stream_rejected(self, world):
+        clock, _tsa, _tledger = world
+        with pytest.raises(LedgerError, match="empty"):
+            Ledger.recover(
+                LedgerConfig(uri=URI), MemoryStream(), MemberRegistry(),
+                KeyPair.generate(seed="x"), clock=clock,
+            )
+
+    def test_purged_stream_rejected(self, world):
+        clock, _tsa, tledger = world
+        stream = MemoryStream()
+        original, registry, lsp, user = build_original(stream, clock, tledger, with_occult=False)
+        original.commit_block()
+        boundary = original.blocks[0].end_jsn
+        pseudo, record = original.prepare_purge(boundary)
+        approvals = MultiSignature(digest=record.approval_digest())
+        keys = {
+            "user": user,
+            "dba": KeyPair.generate(seed="recovery-dba"),  # deterministic fixture key
+            LSP_MEMBER_ID: lsp,
+        }
+        for member in original.purge_required_signers(boundary):
+            approvals.add(member, keys[member].sign(record.approval_digest()))
+        original.execute_purge(pseudo, record, approvals)
+        with pytest.raises(LedgerError, match="purged"):
+            Ledger.recover(original.config, stream, MemberRegistry(), lsp, clock=clock)

@@ -1,0 +1,151 @@
+"""Streams (memory + file) and KV stores."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage import (
+    CachedKVStore,
+    FileStream,
+    KeyNotFoundError,
+    MemoryKVStore,
+    MemoryStream,
+    RecordErasedError,
+    StreamError,
+)
+
+
+class TestMemoryStream:
+    def test_append_read_round_trip(self):
+        stream = MemoryStream()
+        offsets = [stream.append(b"rec-%d" % i) for i in range(5)]
+        assert offsets == [0, 1, 2, 3, 4]
+        for i in offsets:
+            assert stream.read(i) == b"rec-%d" % i
+
+    def test_out_of_range_read(self):
+        stream = MemoryStream()
+        with pytest.raises(StreamError):
+            stream.read(0)
+        stream.append(b"x")
+        with pytest.raises(StreamError):
+            stream.read(1)
+        with pytest.raises(StreamError):
+            stream.read(-1)
+
+    def test_erase_keeps_offsets_stable(self):
+        stream = MemoryStream()
+        for i in range(4):
+            stream.append(b"r%d" % i)
+        stream.erase(1)
+        assert stream.is_erased(1)
+        with pytest.raises(RecordErasedError):
+            stream.read(1)
+        assert stream.read(2) == b"r2"
+        assert len(stream) == 4
+
+    def test_erase_is_idempotent(self):
+        stream = MemoryStream()
+        stream.append(b"x")
+        stream.erase(0)
+        stream.erase(0)
+        assert stream.is_erased(0)
+
+    def test_iter_records_skips_erased(self):
+        stream = MemoryStream()
+        for i in range(6):
+            stream.append(b"%d" % i)
+        stream.erase(2)
+        stream.erase(4)
+        live = dict(stream.iter_records())
+        assert set(live) == {0, 1, 3, 5}
+        ranged = dict(stream.iter_records(1, 4))
+        assert set(ranged) == {1, 3}
+
+
+class TestFileStream:
+    def test_round_trip_and_reopen(self, tmp_path):
+        path = tmp_path / "journal.stream"
+        with FileStream(path) as stream:
+            for i in range(10):
+                stream.append(b"record-%d" % i * (i + 1))
+            stream.erase(3)
+        with FileStream(path) as reopened:
+            assert len(reopened) == 10
+            assert reopened.read(0) == b"record-0"
+            assert reopened.read(9) == b"record-9" * 10
+            assert reopened.is_erased(3)
+            with pytest.raises(RecordErasedError):
+                reopened.read(3)
+
+    def test_erase_overwrites_payload_bytes(self, tmp_path):
+        path = tmp_path / "s"
+        with FileStream(path) as stream:
+            stream.append(b"SENSITIVE-PERSONAL-DATA")
+            stream.erase(0)
+        raw = path.read_bytes()
+        assert b"SENSITIVE" not in raw  # physically gone, not just flagged
+
+    def test_empty_record(self, tmp_path):
+        with FileStream(tmp_path / "s") as stream:
+            stream.append(b"")
+            assert stream.read(0) == b""
+
+    @given(st.lists(st.binary(max_size=200), min_size=1, max_size=30))
+    def test_matches_memory_stream(self, records):
+        import tempfile, os
+
+        memory = MemoryStream()
+        fd, path = tempfile.mkstemp()
+        os.close(fd)
+        os.unlink(path)
+        try:
+            with FileStream(path) as disk:
+                for record in records:
+                    assert memory.append(record) == disk.append(record)
+                for offset in range(len(records)):
+                    assert memory.read(offset) == disk.read(offset)
+        finally:
+            if os.path.exists(path):
+                os.unlink(path)
+
+
+class TestKVStores:
+    def test_memory_kv_basics(self):
+        kv = MemoryKVStore()
+        kv.put(b"k", b"v")
+        assert kv.get(b"k") == b"v"
+        assert b"k" in kv and len(kv) == 1
+        kv.put(b"k", b"v2")
+        assert kv.get(b"k") == b"v2"
+        kv.delete(b"k")
+        assert b"k" not in kv
+        with pytest.raises(KeyNotFoundError):
+            kv.get(b"k")
+        with pytest.raises(KeyNotFoundError):
+            kv.delete(b"k")
+
+    def test_cached_kv_write_through_and_hits(self):
+        backend = MemoryKVStore()
+        cached = CachedKVStore(backend, capacity=2)
+        cached.put(b"a", b"1")
+        assert backend.get(b"a") == b"1"  # write-through
+        assert cached.get(b"a") == b"1"
+        assert cached.cache_hits == 1 and cached.backend_reads == 0
+
+    def test_cached_kv_eviction(self):
+        backend = MemoryKVStore()
+        cached = CachedKVStore(backend, capacity=2)
+        for key in (b"a", b"b", b"c"):
+            cached.put(key, key)
+        assert cached.get(b"a") == b"a"  # evicted -> backend read
+        assert cached.backend_reads == 1
+
+    def test_cached_kv_delete(self):
+        cached = CachedKVStore(MemoryKVStore(), capacity=4)
+        cached.put(b"a", b"1")
+        cached.delete(b"a")
+        assert b"a" not in cached
+
+    def test_cache_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CachedKVStore(MemoryKVStore(), capacity=0)
