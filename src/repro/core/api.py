@@ -30,6 +30,7 @@ __all__ = [
     "get_ledger",
     "drop_ledger",
     "append_tx",
+    "append_tx_batch",
     "list_tx",
     "get_proof",
     "verify",
@@ -100,6 +101,39 @@ def append_tx(
             client_timestamp=ledger.clock.now(),
         ).signed_by(keypair)
     return ledger.append(request)
+
+
+def append_tx_batch(
+    lgid: str,
+    client_id: str,
+    items: list[tuple[bytes, str | None]],
+    keypair: KeyPair | None = None,
+    requests: list[ClientRequest] | None = None,
+    max_workers: int | None = None,
+) -> list[Receipt]:
+    """Batched AppendTx: admit many transactions through one amortised pass.
+
+    Either pass pre-signed ``requests`` or ``items`` as ``(payload, clue)``
+    pairs plus a ``keypair`` to sign locally.  Admission is atomic — one bad
+    signature rejects the whole batch with the ledger untouched.
+    """
+    ledger = get_ledger(lgid)
+    if requests is None:
+        if keypair is None:
+            raise LedgerError("need signed requests or a keypair to sign with")
+        base_nonce = ledger.size
+        requests = [
+            ClientRequest.build(
+                lgid,
+                client_id,
+                payload,
+                clues=(clue,) if clue else (),
+                nonce=(base_nonce + index).to_bytes(8, "big"),
+                client_timestamp=ledger.clock.now(),
+            ).signed_by(keypair)
+            for index, (payload, clue) in enumerate(items)
+        ]
+    return ledger.append_batch(requests, max_workers=max_workers)
 
 
 def list_tx(lgid: str, clue: str) -> list[Journal]:

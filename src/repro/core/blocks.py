@@ -48,7 +48,13 @@ class Block:
         )
 
     def hash(self) -> Digest:
-        return block_hash(self.header_bytes())
+        # Memoized: every receipt issued between two seals re-reads the
+        # latest block's hash, and the header is immutable.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = block_hash(self.header_bytes())
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def contains_jsn(self, jsn: int) -> bool:
         return self.start_jsn <= jsn < self.end_jsn

@@ -87,6 +87,48 @@ class LedgerClient:
         self.state.receipts[receipt.jsn] = receipt
         return receipt
 
+    def append_batch(
+        self,
+        items: list[tuple[bytes, tuple[str, ...]]],
+        max_workers: int | None = None,
+    ) -> list[Receipt]:
+        """Sign and submit many ``(payload, clues)`` transactions at once.
+
+        Signs every request locally, submits through the server's amortised
+        :meth:`~repro.core.ledger.Ledger.append_batch`, then applies the same
+        per-receipt defence as :meth:`append`.  Admission is atomic: on
+        rejection no receipts are issued and the local nonce is unwound.
+        """
+        if not items:
+            return []
+        first_nonce = self._nonce
+        requests = []
+        for payload, clues in items:
+            self._nonce += 1
+            requests.append(
+                ClientRequest.build(
+                    self.ledger.config.uri,
+                    self.member_id,
+                    payload,
+                    clues=tuple(clues),
+                    nonce=self._nonce.to_bytes(8, "big"),
+                    client_timestamp=self.ledger.clock.now(),
+                ).signed_by(self.keypair)
+            )
+        try:
+            receipts = self.ledger.append_batch(requests, max_workers=max_workers)
+        except Exception:
+            self._nonce = first_nonce
+            raise
+        lsp_certificate = self.ledger.registry.certificate(LSP_MEMBER_ID)
+        for request, receipt in zip(requests, receipts):
+            if not receipt.verify(lsp_certificate.public_key):
+                raise VerificationFailure("LSP receipt signature invalid")
+            if receipt.request_hash != request.request_hash():
+                raise VerificationFailure("receipt does not cover the submitted request")
+            self.state.receipts[receipt.jsn] = receipt
+        return receipts
+
     def receipt_for(self, jsn: int) -> Receipt | None:
         return self.state.receipts.get(jsn)
 

@@ -7,6 +7,7 @@ __all__ = [
     "AuthenticationError",
     "AuthorizationError",
     "VerificationFailure",
+    "IntegrityError",
     "MutationError",
     "JournalNotFoundError",
     "JournalOccultedError",
@@ -28,6 +29,14 @@ class AuthorizationError(LedgerError):
 
 class VerificationFailure(LedgerError):
     """A verification that should pass on honest data did not."""
+
+
+class IntegrityError(LedgerError):
+    """Internal ledger structures desynchronised (stream vs. jsn counter).
+
+    Unlike an ``assert`` this survives ``python -O``; it indicates a bug or
+    on-disk corruption, never a recoverable client error.
+    """
 
 
 class MutationError(LedgerError):

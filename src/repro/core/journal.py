@@ -48,24 +48,36 @@ class ClientRequest:
     signature: Signature | None = None
 
     def request_hash(self) -> Digest:
-        """The digest the client signs — covers the entire transaction."""
-        return receipt_hash(
-            encode(
-                {
-                    "ledger_uri": self.ledger_uri,
-                    "client_id": self.client_id,
-                    "journal_type": self.journal_type.value,
-                    "payload": self.payload,
-                    "clues": list(self.clues),
-                    "nonce": self.nonce,
-                    "client_timestamp": self.client_timestamp,
-                }
+        """The digest the client signs — covers the entire transaction.
+
+        Memoized: the hash is consumed at least twice per append (signature
+        admission, then journal construction), and the request is frozen.
+        """
+        cached = self.__dict__.get("_request_hash")
+        if cached is None:
+            cached = receipt_hash(
+                encode(
+                    {
+                        "ledger_uri": self.ledger_uri,
+                        "client_id": self.client_id,
+                        "journal_type": self.journal_type.value,
+                        "payload": self.payload,
+                        "clues": list(self.clues),
+                        "nonce": self.nonce,
+                        "client_timestamp": self.client_timestamp,
+                    }
+                )
             )
-        )
+            object.__setattr__(self, "_request_hash", cached)
+        return cached
 
     def signed_by(self, keypair: KeyPair) -> "ClientRequest":
         """Return a copy carrying the client's signature pi_c."""
-        return replace(self, signature=keypair.sign(self.request_hash()))
+        digest = self.request_hash()
+        signed = replace(self, signature=keypair.sign(digest))
+        # The hash excludes the signature, so the copy shares it.
+        object.__setattr__(signed, "_request_hash", digest)
+        return signed
 
     @classmethod
     def build(
@@ -109,22 +121,30 @@ class Journal:
     client_signature: Signature | None
 
     def to_bytes(self) -> bytes:
-        """Canonical serialization (the bytes stored on the journal stream)."""
-        return encode(
-            {
-                "jsn": self.jsn,
-                "journal_type": self.journal_type.value,
-                "client_id": self.client_id,
-                "payload": self.payload,
-                "clues": list(self.clues),
-                "timestamp": self.timestamp,
-                "nonce": self.nonce,
-                "request_hash": self.request_hash,
-                "client_signature": (
-                    self.client_signature.to_bytes() if self.client_signature else b""
-                ),
-            }
-        )
+        """Canonical serialization (the bytes stored on the journal stream).
+
+        Memoized — ``_commit`` serialises once for the stream write and once
+        more (via :meth:`tx_hash`) for the fam leaf.
+        """
+        cached = self.__dict__.get("_bytes")
+        if cached is None:
+            cached = encode(
+                {
+                    "jsn": self.jsn,
+                    "journal_type": self.journal_type.value,
+                    "client_id": self.client_id,
+                    "payload": self.payload,
+                    "clues": list(self.clues),
+                    "timestamp": self.timestamp,
+                    "nonce": self.nonce,
+                    "request_hash": self.request_hash,
+                    "client_signature": (
+                        self.client_signature.to_bytes() if self.client_signature else b""
+                    ),
+                }
+            )
+            object.__setattr__(self, "_bytes", cached)
+        return cached
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Journal":
@@ -145,5 +165,12 @@ class Journal:
         )
 
     def tx_hash(self) -> Digest:
-        """The server-side journal digest accumulated by fam (§III-C)."""
-        return journal_hash(self.to_bytes())
+        """The server-side journal digest accumulated by fam (§III-C).
+
+        Memoized alongside :meth:`to_bytes`.
+        """
+        cached = self.__dict__.get("_tx_hash")
+        if cached is None:
+            cached = journal_hash(self.to_bytes())
+            object.__setattr__(self, "_tx_hash", cached)
+        return cached

@@ -1,7 +1,16 @@
 """Cryptographic substrate: hashing, ECDSA, PKI, and multi-signatures."""
 
 from .ca import Certificate, CertificateAuthority, CertificateError, Role
-from .ecdsa import CURVE_P256, Curve, Point, Signature, sign_digest, verify_digest
+from .ecdsa import (
+    CURVE_P256,
+    Curve,
+    Point,
+    Signature,
+    sign_digest,
+    sign_digests,
+    verify_digest,
+    verify_digests,
+)
 from .hashing import (
     DIGEST_SIZE,
     EMPTY_DIGEST,
@@ -17,7 +26,7 @@ from .hashing import (
     sha3_256,
     sha256,
 )
-from .keys import KeyPair, PublicKey
+from .keys import KeyPair, PublicKey, verify_batch
 from .multisig import MultiSignature, MultiSignatureError
 
 __all__ = [
@@ -30,7 +39,9 @@ __all__ = [
     "Point",
     "Signature",
     "sign_digest",
+    "sign_digests",
     "verify_digest",
+    "verify_digests",
     "DIGEST_SIZE",
     "EMPTY_DIGEST",
     "Digest",
@@ -46,6 +57,7 @@ __all__ = [
     "sha256",
     "KeyPair",
     "PublicKey",
+    "verify_batch",
     "MultiSignature",
     "MultiSignatureError",
 ]

@@ -10,14 +10,30 @@ reproduction has no external crypto dependency:
   and never leaks the key through bad randomness,
 * low-level ``sign_digest`` / ``verify_digest`` working on 32-byte digests.
 
-This is a faithful, test-covered implementation of the textbook algorithms —
-adequate for a research artifact, not hardened against side channels.
+Because signing and verification sit on every hot path of the ledger (pi_c
+admission, pi_s receipts), the module carries two implementations:
+
+* a **naive double-and-add ladder** (:func:`scalar_multiply`,
+  :func:`sign_digest_naive`, :func:`verify_digest_naive`) kept as the audited
+  reference, and
+* a **fast path** used by default: windowed fixed-base tables with affine
+  entries (:class:`FixedWindowTable`, shared per-curve generator tables built
+  lazily), Strauss–Shamir dual-scalar multiplication for the uncached verify
+  (:func:`shamir_multiply`), and an LRU of per-public-key window tables so the
+  LSP workload — many verifications of the same few clients — skips the
+  doubling ladder entirely.
+
+Both paths produce identical signatures (RFC 6979 is deterministic) and are
+cross-checked in ``tests/test_ecdsa_fastpath.py``.  This is a faithful,
+test-covered implementation of the textbook algorithms — adequate for a
+research artifact, not hardened against side channels.
 """
 
 from __future__ import annotations
 
 import hashlib
 import hmac
+from collections import OrderedDict
 from dataclasses import dataclass
 
 __all__ = [
@@ -25,9 +41,19 @@ __all__ = [
     "Curve",
     "Point",
     "Signature",
+    "FixedWindowTable",
     "sign_digest",
     "verify_digest",
+    "sign_digests",
+    "verify_digests",
+    "sign_digest_naive",
+    "verify_digest_naive",
     "derive_public_key",
+    "scalar_multiply",
+    "scalar_multiply_base",
+    "shamir_multiply",
+    "precompute_public_key",
+    "clear_fast_path_caches",
 ]
 
 
@@ -206,7 +232,291 @@ def derive_public_key(secret: int, curve: Curve = CURVE_P256) -> Point:
     """Public key Q = d * G for a secret scalar d in [1, n-1]."""
     if not 1 <= secret < curve.n:
         raise ValueError("secret key out of range")
-    return scalar_multiply(secret, curve.generator, curve)
+    return scalar_multiply_base(secret, curve)
+
+
+# ---------------------------------------------------------------------------
+# Fast path: windowed fixed-base tables and Strauss–Shamir.
+#
+# The naive ladder above runs ~256 doublings plus ~128 additions per scalar
+# multiplication.  The structures below trade memory for time:
+#
+# * ``FixedWindowTable`` precomputes d * 2^(w*i) * P for every window i and
+#   digit d, so k*P becomes ~ceil(256/w) *additions only* — no doublings.
+#   Table entries are normalised to affine coordinates in one shot with
+#   Montgomery's batch-inversion trick, so the hot loop uses the cheaper
+#   mixed Jacobian+affine addition formula (7M + 4S).
+# * The per-curve generator table serves ``sign_digest`` (k*G) and the u1*G
+#   half of verification; per-public-key tables are built lazily and kept in
+#   an LRU so repeat verifications of the same client reuse them.
+# * ``shamir_multiply`` computes u1*G + u2*Q in one interleaved pass sharing
+#   a single doubling chain — the fast path for keys not (yet) in the LRU.
+# ---------------------------------------------------------------------------
+
+
+def _jacobian_mixed_add(
+    acc: tuple[int, int, int], x2: int, y2: int, curve: Curve
+) -> tuple[int, int, int]:
+    """Add the *affine* point (x2, y2) to the Jacobian point ``acc``.
+
+    madd-2007-bl: 7M + 4S, versus 11M + 5S for the general Jacobian add —
+    this is the inner-loop workhorse of every table-based multiplication.
+    """
+    x1, y1, z1 = acc
+    if z1 == 0:
+        return (x2, y2, 1)
+    p = curve.p
+    z1z1 = z1 * z1 % p
+    u2 = x2 * z1z1 % p
+    s2 = y2 * z1z1 * z1 % p
+    if u2 == x1:
+        if s2 != y1:
+            return (1, 1, 0)
+        return _jacobian_double(acc, curve)
+    # Lazy reduction: h, i4, and r2 stay unreduced (|value| < 4p) — every
+    # place they feed is followed by a product reduction, so skipping their
+    # own ``%`` saves three of the divisions that dominate this formula.
+    h = u2 - x1
+    hh = h * h % p
+    i4 = 4 * hh
+    j = h * i4 % p
+    r2 = 2 * (s2 - y1)
+    v = x1 * i4 % p
+    nx = (r2 * r2 - j - 2 * v) % p
+    ny = (r2 * (v - nx) - 2 * y1 * j) % p
+    nz = 2 * z1 * h % p
+    return (nx, ny, nz)
+
+
+def _batch_inverse(values: list[int], modulus: int) -> list[int]:
+    """Invert many nonzero values with a single ``pow`` (Montgomery's trick).
+
+    Each extra element costs three modular multiplications instead of a full
+    extended-Euclid/exponentiation inversion — the amortisation behind the
+    batch sign/verify entry points below.
+    """
+    prefix: list[int] = []
+    acc = 1
+    for value in values:
+        acc = acc * value % modulus
+        prefix.append(acc)
+    inv = pow(acc, -1, modulus)
+    out = [0] * len(values)
+    for i in range(len(values) - 1, -1, -1):
+        if i:
+            out[i] = inv * prefix[i - 1] % modulus
+            inv = inv * values[i] % modulus
+        else:
+            out[i] = inv
+    return out
+
+
+def _batch_to_affine(
+    points: list[tuple[int, int, int]], p: int
+) -> list[tuple[int, int]]:
+    """Normalise Jacobian points to affine with one modular inversion.
+
+    Montgomery's trick: invert the product of all z's once, then peel off
+    individual z^-1 values with two multiplications each.  Every input must
+    be a finite point (z != 0).
+    """
+    prefix: list[int] = []
+    acc = 1
+    for _x, _y, z in points:
+        acc = acc * z % p
+        prefix.append(acc)
+    inv = pow(acc, -1, p)
+    out: list[tuple[int, int]] = [(0, 0)] * len(points)
+    for i in range(len(points) - 1, -1, -1):
+        x, y, z = points[i]
+        if i:
+            z_inv = inv * prefix[i - 1] % p
+            inv = inv * z % p
+        else:
+            z_inv = inv
+        z_inv2 = z_inv * z_inv % p
+        out[i] = (x * z_inv2 % p, y * z_inv2 * z_inv % p)
+    return out
+
+
+class FixedWindowTable:
+    """Precomputed radix-2^w multiples of one point, for add-only k*P.
+
+    Stores d * 2^(w*i) * P in affine form for every window index i and digit
+    d in [1, 2^w).  ``multiply`` then decomposes k into base-2^w digits and
+    sums one table entry per non-zero digit: ~ceil(bits/w) mixed additions
+    and zero doublings.  Build cost is one pass of Jacobian arithmetic plus
+    a single batch inversion, so tables amortise quickly on hot keys.
+    """
+
+    __slots__ = ("curve", "width", "num_windows", "_entries")
+
+    def __init__(self, point: Point, width: int, curve: Curve = CURVE_P256) -> None:
+        if not 2 <= width <= 10:
+            raise ValueError("window width must be in [2, 10]")
+        if point.is_infinity():
+            raise ValueError("cannot build a window table for the identity")
+        self.curve = curve
+        self.width = width
+        self.num_windows = (curve.n.bit_length() + width - 1) // width
+        per_window = (1 << width) - 1
+        jacobians: list[tuple[int, int, int]] = []
+        base = _to_jacobian(point)
+        for _ in range(self.num_windows):
+            entry = base
+            jacobians.append(entry)
+            for _d in range(per_window - 1):
+                entry = _jacobian_add(entry, base, curve)
+                jacobians.append(entry)
+            for _s in range(width):
+                base = _jacobian_double(base, curve)
+        # On a prime-order curve no small multiple of a finite point is the
+        # identity, so every entry is finite and batch-normalisable.
+        self._entries = _batch_to_affine(jacobians, curve.p)
+
+    def multiply_jacobian(self, k: int) -> tuple[int, int, int]:
+        """k * P in Jacobian coordinates (add-only window scan).
+
+        The mixed addition is inlined with lazy reduction — this loop *is*
+        the sign/verify hot path, and the call/tuple traffic plus the three
+        skippable ``%`` reductions are worth ~20% per scalar multiplication.
+        """
+        k %= self.curve.n
+        curve = self.curve
+        p = curve.p
+        width = self.width
+        mask = (1 << width) - 1
+        entries = self._entries
+        offset = 0
+        x1 = y1 = 0
+        z1 = 0  # z1 == 0 encodes the identity
+        while k:
+            digit = k & mask
+            if digit:
+                x2, y2 = entries[offset + digit - 1]
+                if z1 == 0:
+                    x1, y1, z1 = x2, y2, 1
+                else:
+                    z1z1 = z1 * z1 % p
+                    u2 = x2 * z1z1 % p
+                    s2 = y2 * z1z1 % p * z1 % p
+                    if u2 == x1:
+                        if s2 != y1:
+                            z1 = 0  # P + (-P): back to the identity
+                        else:
+                            x1, y1, z1 = _jacobian_double((x1, y1, z1), curve)
+                    else:
+                        h = u2 - x1
+                        hh = h * h % p
+                        i4 = 4 * hh
+                        j = h * i4 % p
+                        r2 = 2 * (s2 - y1)
+                        v = x1 * i4 % p
+                        nx = (r2 * r2 - j - 2 * v) % p
+                        y1 = (r2 * (v - nx) - 2 * y1 * j) % p
+                        z1 = 2 * z1 * h % p
+                        x1 = nx
+            k >>= width
+            offset += mask
+        if z1 == 0:
+            return (1, 1, 0)
+        return (x1, y1, z1)
+
+    def multiply(self, k: int) -> Point:
+        """k * P as an affine point."""
+        return _from_jacobian(self.multiply_jacobian(k), self.curve)
+
+
+#: Window width of the shared per-curve generator tables.
+GENERATOR_WINDOW = 8
+#: Window width of cached per-public-key tables.
+PUBKEY_WINDOW = 6
+#: Maximum number of public keys whose tables are retained (LRU eviction).
+PUBKEY_CACHE_SIZE = 128
+#: A key's table is built on its Nth verification (1 = build immediately).
+PUBKEY_CACHE_THRESHOLD = 2
+
+_GEN_TABLES: dict[str, FixedWindowTable] = {}
+_PUBKEY_TABLES: "OrderedDict[tuple[str, int, int], FixedWindowTable]" = OrderedDict()
+_PUBKEY_SEEN: dict[tuple[str, int, int], int] = {}
+
+
+def _generator_table(curve: Curve) -> FixedWindowTable:
+    table = _GEN_TABLES.get(curve.name)
+    if table is None:
+        table = FixedWindowTable(curve.generator, GENERATOR_WINDOW, curve)
+        _GEN_TABLES[curve.name] = table
+    return table
+
+
+def scalar_multiply_base(k: int, curve: Curve = CURVE_P256) -> Point:
+    """k * G via the precomputed fixed-base window table (no doublings)."""
+    return _generator_table(curve).multiply(k)
+
+
+def precompute_public_key(point: Point, curve: Curve = CURVE_P256) -> FixedWindowTable:
+    """Build (or refresh) the cached window table for a public key.
+
+    Callers that know a key is about to verify many signatures — e.g. the
+    batched append pipeline — use this to pay the table build once up front.
+    The caller is responsible for only passing on-curve points.
+    """
+    key = (curve.name, point.x, point.y)
+    table = _PUBKEY_TABLES.get(key)
+    if table is None:
+        table = FixedWindowTable(point, PUBKEY_WINDOW, curve)
+        _PUBKEY_TABLES[key] = table
+        while len(_PUBKEY_TABLES) > PUBKEY_CACHE_SIZE:
+            _PUBKEY_TABLES.popitem(last=False)
+    else:
+        _PUBKEY_TABLES.move_to_end(key)
+    return table
+
+
+def _note_pubkey_use(key: tuple[str, int, int], point: Point, curve: Curve):
+    """Count a verification against ``point``; build its table when hot."""
+    seen = _PUBKEY_SEEN.get(key, 0) + 1
+    if seen >= PUBKEY_CACHE_THRESHOLD:
+        _PUBKEY_SEEN.pop(key, None)
+        return precompute_public_key(point, curve)
+    if len(_PUBKEY_SEEN) >= 4096:  # bound the counter map on adversarial churn
+        _PUBKEY_SEEN.clear()
+    _PUBKEY_SEEN[key] = seen
+    return None
+
+
+def clear_fast_path_caches() -> None:
+    """Drop every cached table (tests / memory pressure)."""
+    _GEN_TABLES.clear()
+    _PUBKEY_TABLES.clear()
+    _PUBKEY_SEEN.clear()
+
+
+def _shamir_jacobian(
+    u1: int, u2: int, point: Point, curve: Curve
+) -> tuple[int, int, int]:
+    """u1*G + u2*Q via Strauss–Shamir: one shared doubling chain."""
+    g = curve.generator
+    gq = point_add(g, point, curve)
+    gq_affine = None if gq.is_infinity() else (gq.x, gq.y)
+    gx, gy = g.x, g.y
+    qx, qy = point.x, point.y
+    acc = (1, 1, 0)
+    for i in range(max(u1.bit_length(), u2.bit_length()) - 1, -1, -1):
+        acc = _jacobian_double(acc, curve)
+        bits = ((u1 >> i) & 1) | (((u2 >> i) & 1) << 1)
+        if bits == 1:
+            acc = _jacobian_mixed_add(acc, gx, gy, curve)
+        elif bits == 2:
+            acc = _jacobian_mixed_add(acc, qx, qy, curve)
+        elif bits == 3 and gq_affine is not None:
+            acc = _jacobian_mixed_add(acc, gq_affine[0], gq_affine[1], curve)
+    return acc
+
+
+def shamir_multiply(u1: int, u2: int, point: Point, curve: Curve = CURVE_P256) -> Point:
+    """Compute ``u1*G + u2*point`` in one interleaved Strauss–Shamir pass."""
+    return _from_jacobian(_shamir_jacobian(u1 % curve.n, u2 % curve.n, point, curve), curve)
 
 
 # ---------------------------------------------------------------------------
@@ -239,20 +549,22 @@ def rfc6979_nonce(secret: int, digest: bytes, curve: Curve = CURVE_P256) -> int:
     k = b"\x00" * holen
     priv_bytes = _int2octets(secret, curve)
     msg_bytes = _bits2octets(digest, curve)
-    k = hmac.new(k, v + b"\x00" + priv_bytes + msg_bytes, hashlib.sha256).digest()
-    v = hmac.new(k, v, hashlib.sha256).digest()
-    k = hmac.new(k, v + b"\x01" + priv_bytes + msg_bytes, hashlib.sha256).digest()
-    v = hmac.new(k, v, hashlib.sha256).digest()
+    # hmac.digest is the one-shot OpenSSL fast path — same output as
+    # hmac.new(...).digest(), several times cheaper per call.
+    k = hmac.digest(k, v + b"\x00" + priv_bytes + msg_bytes, "sha256")
+    v = hmac.digest(k, v, "sha256")
+    k = hmac.digest(k, v + b"\x01" + priv_bytes + msg_bytes, "sha256")
+    v = hmac.digest(k, v, "sha256")
     while True:
         t = b""
         while len(t) < curve.byte_length:
-            v = hmac.new(k, v, hashlib.sha256).digest()
+            v = hmac.digest(k, v, "sha256")
             t += v
         candidate = _bits2int(t, curve.n)
         if 1 <= candidate < curve.n:
             return candidate
-        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
-        v = hmac.new(k, v, hashlib.sha256).digest()
+        k = hmac.digest(k, v + b"\x00", "sha256")
+        v = hmac.digest(k, v, "sha256")
 
 
 # ---------------------------------------------------------------------------
@@ -260,15 +572,15 @@ def rfc6979_nonce(secret: int, digest: bytes, curve: Curve = CURVE_P256) -> int:
 # ---------------------------------------------------------------------------
 
 
-def sign_digest(secret: int, digest: bytes, curve: Curve = CURVE_P256) -> Signature:
-    """Sign a (32-byte) message digest, returning a low-s signature."""
+def _sign_digest_core(secret: int, digest: bytes, curve: Curve, kg_multiply) -> Signature:
+    """RFC 6979 signing loop, parameterised over the k*G multiplier."""
     if not 1 <= secret < curve.n:
         raise ValueError("secret key out of range")
     z = _bits2int(digest, curve.n)
     counter = 0
     while True:
         k = rfc6979_nonce(secret, digest + counter.to_bytes(4, "big") if counter else digest, curve)
-        point = scalar_multiply(k, curve.generator, curve)
+        point = kg_multiply(k)
         r = point.x % curve.n
         if r == 0:
             counter += 1
@@ -282,6 +594,113 @@ def sign_digest(secret: int, digest: bytes, curve: Curve = CURVE_P256) -> Signat
         return Signature(r, s)
 
 
+def sign_digest(secret: int, digest: bytes, curve: Curve = CURVE_P256) -> Signature:
+    """Sign a (32-byte) message digest, returning a low-s signature.
+
+    Uses the precomputed fixed-base generator table for k*G; output is
+    bit-identical to :func:`sign_digest_naive` (RFC 6979 is deterministic).
+    """
+    table = _generator_table(curve)
+    return _sign_digest_core(secret, digest, curve, table.multiply)
+
+
+def sign_digest_naive(secret: int, digest: bytes, curve: Curve = CURVE_P256) -> Signature:
+    """Reference signer using the plain double-and-add ladder."""
+    return _sign_digest_core(
+        secret, digest, curve, lambda k: scalar_multiply(k, curve.generator, curve)
+    )
+
+
+def sign_digests(
+    secret: int, digests: list[bytes], curve: Curve = CURVE_P256
+) -> list[Signature]:
+    """Sign many digests with one key, sharing the per-signature inversions.
+
+    Output is bit-identical to calling :func:`sign_digest` per digest (RFC
+    6979 nonces are deterministic), but the ``k^-1 mod n`` and the R-point
+    normalisation ``z^-1 mod p`` — two of the three ``pow`` calls in a
+    signature — are batched across the whole list with Montgomery's trick.
+    The receipt signer of the batched append pipeline lives on this.
+    """
+    if not 1 <= secret < curve.n:
+        raise ValueError("secret key out of range")
+    if not digests:
+        return []
+    table = _generator_table(curve)
+    n = curve.n
+    nonces = [rfc6979_nonce(secret, digest, curve) for digest in digests]
+    # k in [1, n) on a prime-order curve means k*G is always finite, so every
+    # R point batch-normalises and every nonce batch-inverts.
+    r_points = _batch_to_affine([table.multiply_jacobian(k) for k in nonces], curve.p)
+    nonce_inverses = _batch_inverse(nonces, n)
+    out: list[Signature] = []
+    for digest, (x, _y), k_inv in zip(digests, r_points, nonce_inverses):
+        r = x % n
+        if r:
+            s = k_inv * (_bits2int(digest, n) + r * secret) % n
+            if s:
+                if s > n // 2:
+                    s = n - s
+                out.append(Signature(r, s))
+                continue
+        # r == 0 or s == 0 (astronomically rare): take the retrying scalar
+        # path so the output still matches sign_digest exactly.
+        out.append(_sign_digest_core(secret, digest, curve, table.multiply))
+    return out
+
+
+def _resolve_pubkey_table(public_key: Point, curve: Curve):
+    """Validate a verification key and look up its cached window table.
+
+    Returns ``(usable, table_or_None)``.  A cached table implies the key was
+    already checked on-curve, so the hit path skips that work entirely.
+    """
+    if public_key.is_infinity():
+        return False, None
+    cache_key = (curve.name, public_key.x, public_key.y)
+    table = _PUBKEY_TABLES.get(cache_key)
+    if table is not None:
+        _PUBKEY_TABLES.move_to_end(cache_key)
+        return True, table
+    if not is_on_curve(public_key, curve):
+        return False, None
+    return True, _note_pubkey_use(cache_key, public_key, curve)
+
+
+def _verify_prepared(
+    public_key: Point, z: int, r: int, w: int, table, curve: Curve
+) -> bool:
+    """The verification tail once ``w = s^-1 mod n`` is in hand.
+
+    Dispatch: with a window table, u1*G and u2*Q are two add-only table
+    scans; otherwise a single Strauss–Shamir pass handles both scalars.  The
+    final comparison ``x(R) mod n == r`` is done projectively — R.x == r iff
+    X == c * Z^2 for some c in {r, r + n} below p — avoiding the last field
+    inversion.
+    """
+    u1 = (z * w) % curve.n
+    u2 = (r * w) % curve.n
+    if table is not None:
+        jac = _jacobian_add(
+            _generator_table(curve).multiply_jacobian(u1),
+            table.multiply_jacobian(u2),
+            curve,
+        )
+    else:
+        jac = _shamir_jacobian(u1, u2, public_key, curve)
+    x, _y, zc = jac
+    if zc == 0:
+        return False
+    p = curve.p
+    zz = zc * zc % p
+    candidate = r
+    while candidate < p:
+        if (x - candidate * zz) % p == 0:
+            return True
+        candidate += curve.n
+    return False
+
+
 def verify_digest(
     public_key: Point, digest: bytes, signature: Signature, curve: Curve = CURVE_P256
 ) -> bool:
@@ -290,6 +709,51 @@ def verify_digest(
     Returns ``False`` (never raises) for malformed signatures or off-curve
     keys, so callers can treat the result as a plain proof bit.
     """
+    r, s = signature.r, signature.s
+    if not (1 <= r < curve.n and 1 <= s < curve.n):
+        return False
+    usable, table = _resolve_pubkey_table(public_key, curve)
+    if not usable:
+        return False
+    z = _bits2int(digest, curve.n)
+    w = _inverse_mod(s, curve.n)
+    return _verify_prepared(public_key, z, r, w, table, curve)
+
+
+def verify_digests(
+    checks: list[tuple[Point, bytes, Signature]], curve: Curve = CURVE_P256
+) -> list[bool]:
+    """Verify many ``(public_key, digest, signature)`` triples at once.
+
+    Verdicts are exactly what :func:`verify_digest` would return per item
+    (including LRU warm-up side effects), but every ``s^-1 mod n`` shares one
+    Montgomery batch inversion — malformed items are sifted out first so they
+    never poison the shared product.
+    """
+    results = [False] * len(checks)
+    prepared: list[tuple[int, Point, int, int, object]] = []
+    s_values: list[int] = []
+    for index, (public_key, digest, signature) in enumerate(checks):
+        r, s = signature.r, signature.s
+        if not (1 <= r < curve.n and 1 <= s < curve.n):
+            continue
+        usable, table = _resolve_pubkey_table(public_key, curve)
+        if not usable:
+            continue
+        prepared.append((index, public_key, _bits2int(digest, curve.n), r, table))
+        s_values.append(s)
+    if not prepared:
+        return results
+    inverses = _batch_inverse(s_values, curve.n)
+    for (index, public_key, z, r, table), w in zip(prepared, inverses):
+        results[index] = _verify_prepared(public_key, z, r, w, table, curve)
+    return results
+
+
+def verify_digest_naive(
+    public_key: Point, digest: bytes, signature: Signature, curve: Curve = CURVE_P256
+) -> bool:
+    """Reference verifier: two naive ladders and an affine final check."""
     if public_key.is_infinity() or not is_on_curve(public_key, curve):
         return False
     r, s = signature.r, signature.s

@@ -18,11 +18,14 @@ from .ecdsa import (
     Signature,
     derive_public_key,
     is_on_curve,
+    precompute_public_key,
     sign_digest,
+    sign_digests,
     verify_digest,
+    verify_digests,
 )
 
-__all__ = ["PublicKey", "KeyPair"]
+__all__ = ["PublicKey", "KeyPair", "verify_batch"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +59,19 @@ class PublicKey:
     def verify(self, digest: bytes, signature: Signature) -> bool:
         """Verify ``signature`` over a 32-byte digest.  Never raises."""
         return verify_digest(self.point, digest, signature, self.curve)
+
+    def precompute(self) -> "PublicKey":
+        """Eagerly build this key's window table in the verifier cache.
+
+        Batch admission calls this before fanning out signature checks so
+        every verification of the key runs add-only table scans.  Returns
+        ``self`` for chaining.  Raises ``ValueError`` for an invalid point
+        (off-curve keys can never verify anyway).
+        """
+        if self.point.is_infinity() or not is_on_curve(self.point, self.curve):
+            raise ValueError("cannot precompute an invalid public key")
+        precompute_public_key(self.point, self.curve)
+        return self
 
 
 @dataclass(frozen=True)
@@ -91,3 +107,33 @@ class KeyPair:
     def sign(self, digest: bytes) -> Signature:
         """Sign a 32-byte digest with this key pair's secret."""
         return sign_digest(self.secret, digest, self.public.curve)
+
+    def sign_batch(self, digests: list[bytes]) -> list[Signature]:
+        """Sign many digests, amortising the modular inversions.
+
+        Bit-identical output to ``[self.sign(d) for d in digests]`` — RFC
+        6979 is deterministic — but roughly two of the three ``pow`` calls
+        per signature collapse into one shared batch inversion.
+        """
+        return sign_digests(self.secret, digests, self.public.curve)
+
+
+def verify_batch(checks: list[tuple[PublicKey, bytes, Signature]]) -> list[bool]:
+    """Batch-verify ``(public_key, digest, signature)`` triples.
+
+    Same verdict per item as :meth:`PublicKey.verify`, with the ``s^-1``
+    inversions shared per curve.  Never raises — malformed inputs simply
+    verify ``False``.
+    """
+    results = [False] * len(checks)
+    by_curve: dict[str, tuple[Curve, list]] = {}
+    for index, (public_key, digest, signature) in enumerate(checks):
+        group = by_curve.setdefault(public_key.curve.name, (public_key.curve, []))
+        group[1].append((index, public_key.point, digest, signature))
+    for curve, items in by_curve.values():
+        verdicts = verify_digests(
+            [(point, digest, sig) for _i, point, digest, sig in items], curve
+        )
+        for (index, _point, _digest, _sig), ok in zip(items, verdicts):
+            results[index] = ok
+    return results

@@ -175,6 +175,28 @@ class CMTree:
         self._mpt.put(key, _encode_clue_value(accumulator))
         return version
 
+    def add_many(self, clue: str, journal_digests: list[Digest]) -> list[int]:
+        """Insert several digests for one clue; returns their versions.
+
+        Equivalent to ``[self.add(clue, d) for d in journal_digests]`` but
+        refreshes the clue's CM-Tree1 value **once** after all CM-Tree2
+        appends.  The MPT path rehash dominates single-entry insertion cost,
+        so grouping per-clue batches amortises the expensive layer — the
+        CM-Tree half of the batched append pipeline.  The final MPT state is
+        identical because CM-Tree1 only commits the latest (size, frontier).
+        """
+        if not journal_digests:
+            return []
+        key = clue_key_hash(clue)
+        accumulator = self._accumulators.get(key)
+        if accumulator is None:
+            accumulator = ShrubsAccumulator()
+            self._accumulators[key] = accumulator
+            self._clue_names[key] = clue
+        versions = [accumulator.append_leaf(digest) for digest in journal_digests]
+        self._mpt.put(key, _encode_clue_value(accumulator))
+        return versions
+
     # ---------------------------------------------------------------- reads
 
     def has_clue(self, clue: str) -> bool:

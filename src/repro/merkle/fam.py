@@ -226,6 +226,25 @@ class FamAccumulator:
             self._roll_epoch()
         return jsn
 
+    def append_many(self, digests: list[Digest]) -> list[int]:
+        """Accumulate several journal digests; returns their jsns, in order.
+
+        Same state evolution as repeated :meth:`append` (Rule-1 rollovers
+        included) without the per-call bookkeeping — the fam half of the
+        batched append pipeline.
+        """
+        epochs = self._epochs
+        capacity = self.epoch_capacity
+        jsns: list[int] = []
+        for digest in digests:
+            live = epochs[-1]
+            live.append_leaf(digest)
+            jsns.append(self._size)
+            self._size += 1
+            if live.size == capacity:
+                self._roll_epoch()
+        return jsns
+
     def _roll_epoch(self) -> None:
         completed_root = self._epochs[-1].root()
         self._epoch_roots.append(completed_root)

@@ -44,6 +44,15 @@ class Stream(ABC):
     def append(self, record: bytes) -> int:
         """Append ``record``; return its offset (0-based, dense)."""
 
+    def append_many(self, records: list[bytes]) -> list[int]:
+        """Append several records; return their offsets, in order.
+
+        The base implementation loops over :meth:`append`.  Backends with
+        per-append durability costs (flush/fsync) override this to batch
+        the I/O — the group-commit half of ``Ledger.append_batch``.
+        """
+        return [self.append(record) for record in records]
+
     @abstractmethod
     def read(self, offset: int) -> bytes:
         """Read the record at ``offset``.
@@ -116,10 +125,16 @@ class FileStream(Stream):
 
     Erasure overwrites the payload bytes with zeros and flips the record's
     flag byte in place, so offsets of later records are unaffected.
+
+    With ``durable=True`` every append (and erase) is followed by an
+    ``fsync``, making commits crash-safe at ~100 us a piece; ``append_many``
+    then issues a *single* fsync for the whole batch — the classic WAL
+    group-commit amortisation.
     """
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
+    def __init__(self, path: str | os.PathLike[str], *, durable: bool = False) -> None:
         self._path = os.fspath(path)
+        self._durable = durable
         # Positions (file offsets) of each record header, rebuilt on open.
         self._positions: list[int] = []
         self._erased: list[bool] = []
@@ -148,9 +163,31 @@ class FileStream(Stream):
         self._file.write(_HEADER.pack(len(record), _FLAG_LIVE))
         self._file.write(record)
         self._file.flush()
+        if self._durable:
+            os.fsync(self._file.fileno())
         self._positions.append(position)
         self._erased.append(False)
         return len(self._positions) - 1
+
+    def append_many(self, records: list[bytes]) -> list[int]:
+        if not records:
+            return []
+        self._file.seek(0, os.SEEK_END)
+        position = self._file.tell()
+        chunks: list[bytes] = []
+        offsets: list[int] = []
+        for record in records:
+            chunks.append(_HEADER.pack(len(record), _FLAG_LIVE))
+            chunks.append(record)
+            self._positions.append(position)
+            self._erased.append(False)
+            offsets.append(len(self._positions) - 1)
+            position += _HEADER.size + len(record)
+        self._file.write(b"".join(chunks))
+        self._file.flush()
+        if self._durable:
+            os.fsync(self._file.fileno())
+        return offsets
 
     def read(self, offset: int) -> bytes:
         self._check_offset(offset)
@@ -177,6 +214,8 @@ class FileStream(Stream):
         self._file.write(_HEADER.pack(length, _FLAG_ERASED))
         self._file.write(b"\x00" * length)
         self._file.flush()
+        if self._durable:
+            os.fsync(self._file.fileno())
         self._erased[offset] = True
 
     def is_erased(self, offset: int) -> bool:
