@@ -13,7 +13,6 @@ import pytest
 from repro.bench import fig8
 from repro.crypto.hashing import leaf_hash
 from repro.merkle.fam import FamAccumulator
-from repro.merkle.tim import TimAccumulator
 
 
 @pytest.mark.parametrize("height", [2, 6, 10])

@@ -5,8 +5,6 @@ models' per-verification cost on identical 50-entry clues (the Fig 9(a)
 comparison point) and the 1000-entry latency point of Fig 9(b).
 """
 
-import pytest
-
 from repro.bench import fig9
 
 

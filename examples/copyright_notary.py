@@ -62,7 +62,7 @@ def main() -> None:
             client_timestamp=clock.now(),
         ).signed_by(keys[who])
         receipt = ledger.append(request)
-        anchor = ledger.anchor_time()
+        ledger.anchor_time()
         return receipt
 
     # --- The artwork's lifecycle -------------------------------------------

@@ -66,10 +66,11 @@ def main() -> None:
     # --- Season 1: two shipments move through the chain -------------------
     print("== season 1: appending shipment records ==")
     for shipment in ("SHIP-0001", "SHIP-0002"):
-        append(ledger, clock, keys, "grain-warehouse", b"outbound manifest " + shipment.encode(), (shipment,))
-        append(ledger, clock, keys, "oil-manufacturer", b"processing record " + shipment.encode(), (shipment,))
-        append(ledger, clock, keys, "cotton-retailer", b"delivery receipt " + shipment.encode(), (shipment,))
-        append(ledger, clock, keys, "bank", b"settlement invoice " + shipment.encode(), (shipment, "SETTLEMENTS"))
+        tag = shipment.encode()
+        append(ledger, clock, keys, "grain-warehouse", b"outbound manifest " + tag, (shipment,))
+        append(ledger, clock, keys, "oil-manufacturer", b"processing record " + tag, (shipment,))
+        append(ledger, clock, keys, "cotton-retailer", b"delivery receipt " + tag, (shipment,))
+        append(ledger, clock, keys, "bank", b"settlement invoice " + tag, (shipment, "SETTLEMENTS"))
         ledger.anchor_time()
     clock.advance(2.0)
     ledger.collect_time_evidence()
@@ -113,8 +114,9 @@ def main() -> None:
     # --- Season 2 continues on the purged ledger ---------------------------
     print("== season 2 ==")
     for shipment in ("SHIP-0003",):
-        append(ledger, clock, keys, "grain-warehouse", b"outbound manifest " + shipment.encode(), (shipment,))
-        append(ledger, clock, keys, "bank", b"settlement invoice " + shipment.encode(), (shipment, "SETTLEMENTS"))
+        tag = shipment.encode()
+        append(ledger, clock, keys, "grain-warehouse", b"outbound manifest " + tag, (shipment,))
+        append(ledger, clock, keys, "bank", b"settlement invoice " + tag, (shipment, "SETTLEMENTS"))
         ledger.anchor_time()
     clock.advance(2.0)
     ledger.collect_time_evidence()

@@ -24,7 +24,6 @@ from repro.timeauth import (
     SimClock,
     TimeLedger,
     TimeStampAuthority,
-    StaleRequestError,
     run_one_way_amplification,
     run_tledger_stale_submission,
     run_two_way_window,

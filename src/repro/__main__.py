@@ -105,7 +105,9 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--full", action="store_true", help="full-size sweeps")
     bench.set_defaults(fn=_cmd_bench)
 
-    sub.add_parser("attack", help="timestamp-attack scenarios (Figure 5)").set_defaults(fn=_cmd_attack)
+    sub.add_parser("attack", help="timestamp-attack scenarios (Figure 5)").set_defaults(
+        fn=_cmd_attack
+    )
     sub.add_parser("table1", help="print the Table-I matrix").set_defaults(fn=_cmd_table1)
 
     args = parser.parse_args(argv)

@@ -21,7 +21,7 @@ measures it against the journal count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..crypto.ecdsa import Signature
 from ..crypto.hashing import Digest, leaf_hash, sha256

@@ -158,7 +158,11 @@ def _mutation_ablation() -> list[list[str]]:
 
     return [
         ["occult SYNC (erase inline)", f"{sync_ms:.1f} ms", "payload gone at return"],
-        ["occult ASYNC (reorganize later)", f"{async_ms:.1f} ms", "payload gone after reorganize()"],
+        [
+            "occult ASYNC (reorganize later)",
+            f"{async_ms:.1f} ms",
+            "payload gone after reorganize()",
+        ],
         [
             "purge, fam retained",
             f"{keep_before:,} -> {keep_after:,} nodes",
@@ -177,7 +181,9 @@ def _interval_ablation() -> list[list[str]]:
     for interval in (0.25, 1.0, 5.0):
         clock = SimClock()
         tsa = TimeStampAuthority("tsa", clock)
-        tledger = TimeLedger(clock, tsa, finalize_interval=interval, admission_tolerance=2 * interval)
+        tledger = TimeLedger(
+            clock, tsa, finalize_interval=interval, admission_tolerance=2 * interval
+        )
         # One simulated minute at 10 submissions/second.
         seqs = []
         for i in range(600):

@@ -132,7 +132,9 @@ def measured_python_append_tps(count: int = 60) -> float:
     user = KeyPair.generate(seed="fig10-user")
     ledger.registry.register("u", Role.USER, user.public)
     requests = [
-        ClientRequest.build("ledger://fig10", "u", b"x" * 256, nonce=i.to_bytes(4, "big")).signed_by(user)
+        ClientRequest.build(
+            "ledger://fig10", "u", b"x" * 256, nonce=i.to_bytes(4, "big")
+        ).signed_by(user)
         for i in range(count)
     ]
 
@@ -207,7 +209,10 @@ def render(result: Fig10Result) -> str:
         ["Fabric", f"{result.notarization_latency_ms['Fabric']:.1f}"],
         [
             "ratio",
-            f"{result.notarization_latency_ms['Fabric'] / result.notarization_latency_ms['LedgerDB']:.0f}x",
+            "{:.0f}x".format(
+                result.notarization_latency_ms["Fabric"]
+                / result.notarization_latency_ms["LedgerDB"]
+            ),
         ],
     ]
     lineage_tps_rows = [

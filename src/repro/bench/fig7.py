@@ -23,7 +23,6 @@ from dataclasses import dataclass
 from ..crypto.hashing import leaf_hash, sha256
 from ..crypto.keys import KeyPair
 from ..merkle.fam import FamAccumulator
-from ..merkle.shrubs import ShrubsAccumulator
 from ..sim.costmodel import LEDGERDB_PROFILE, CostMeter
 from ..timeauth.clock import SimClock
 from ..timeauth.tledger import TimeLedger

@@ -111,7 +111,6 @@ def append_tps_tim(tim: TimAccumulator, batch: int = APPEND_BATCH) -> Timing:
 def proof_tps_fam(fam: FamAccumulator, samples: int = PROOF_SAMPLES) -> Timing:
     rng = random.Random(13)
     jsns = [rng.randrange(fam.size) for _ in range(samples)]
-    anchors = None
 
     def work() -> None:
         for jsn in jsns:

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from ..crypto.hashing import leaf_hash
 from ..merkle.ccmpt import ClueCounterMPT
 from ..merkle.cmtree import CMTree
-from ..merkle.shrubs import ShrubsAccumulator
 from ..merkle.tim import TimAccumulator
 from .timing import measure, render_table
 
@@ -42,7 +41,9 @@ class _World:
     forced_clues: list[tuple[str, int]]  # (name, entry count)
 
 
-def build_world(total_journals: int, seed: int = 5, forced_clue_sizes: tuple[int, ...] = ()) -> _World:
+def build_world(
+    total_journals: int, seed: int = 5, forced_clue_sizes: tuple[int, ...] = ()
+) -> _World:
     """A ledger of ``total_journals`` whose clues hold 1–100 entries each.
 
     ``forced_clue_sizes`` additionally creates clues with exactly those
@@ -223,7 +224,9 @@ def render(result: Fig9Result) -> str:
     model_rows.append(
         ["speedup"]
         + [
-            f"{modeled_latency_ms('ccMPT', size, 50) / modeled_latency_ms('CM-Tree', size, 50):.0f}x"
+            "{:.0f}x".format(
+                modeled_latency_ms("ccMPT", size, 50) / modeled_latency_ms("CM-Tree", size, 50)
+            )
             for size in paper_sizes
         ]
     )

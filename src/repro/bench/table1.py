@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..baselines.capabilities import TABLE_I, render_table_i
+from ..baselines.capabilities import render_table_i
 from ..crypto.hashing import leaf_hash
 from ..merkle.bim import BimLedger
 from ..merkle.fam import FamAccumulator

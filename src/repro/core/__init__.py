@@ -13,6 +13,7 @@ from .errors import (
     JournalPurgedError,
     LedgerError,
     MutationError,
+    RecoveryError,
     VerificationFailure,
 )
 from .journal import ClientRequest, Journal, JournalType
@@ -39,6 +40,7 @@ __all__ = [
     "JournalPurgedError",
     "LedgerError",
     "MutationError",
+    "RecoveryError",
     "VerificationFailure",
     "ClientRequest",
     "Journal",

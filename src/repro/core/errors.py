@@ -9,6 +9,7 @@ __all__ = [
     "VerificationFailure",
     "IntegrityError",
     "MutationError",
+    "RecoveryError",
     "JournalNotFoundError",
     "JournalOccultedError",
     "JournalPurgedError",
@@ -41,6 +42,18 @@ class IntegrityError(LedgerError):
 
 class MutationError(LedgerError):
     """A purge/occult operation violated its prerequisite or protocol."""
+
+
+class RecoveryError(LedgerError):
+    """Rebuilding a ledger from its durable stream is impossible as asked.
+
+    Raised when the stream is empty, when a replayed journal contradicts its
+    slot (jsn mismatch), or when state the stream alone cannot reconstruct
+    (a purged prefix without its pseudo-genesis) is required.  Storage-level
+    damage surfaces separately as
+    :class:`repro.storage.stream.StreamCorruptionError` — that one means the
+    bytes are bad, this one means the bytes are fine but insufficient.
+    """
 
 
 class JournalNotFoundError(LedgerError):

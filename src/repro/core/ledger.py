@@ -45,6 +45,7 @@ from .errors import (
     JournalPurgedError,
     LedgerError,
     MutationError,
+    RecoveryError,
 )
 from .journal import ClientRequest, Journal, JournalType
 from .members import MemberRegistry
@@ -133,6 +134,9 @@ class Ledger:
         self.registry.register(LSP_MEMBER_ID, Role.LSP, self._lsp_keypair.public)
 
         self._stream = journal_stream if journal_stream is not None else MemoryStream()
+        #: What the stream's open-time scan did to a crashed tail (an
+        #: OpenReport for FileStream backends, None otherwise).
+        self.recovery_report = getattr(self._stream, "open_report", None)
         self._survival_stream = MemoryStream()
         self._fam = FamAccumulator(self.config.fractal_height)
         self._cmtree = CMTree()
@@ -191,11 +195,21 @@ class Ledger:
         The registry and LSP key pair are deployment secrets/PKI state kept
         outside the stream (as in any real system) and must be supplied.
 
+        Crash handling: a durable :class:`~repro.storage.stream.FileStream`
+        already rolled back any torn or uncommitted tail when it was opened
+        (DESIGN.md §9), so this replay sees only committed records — the
+        recovered ledger is the exact pre-crash commit point.  What the
+        stream did to the tail is surfaced as :attr:`recovery_report`
+        (``None`` for backends without an open-time scan) so operators can
+        log how many in-flight records a crash rolled back; corruption
+        surfaces from the stream itself as ``StreamCorruptionError``, and
+        states the stream alone cannot rebuild raise :class:`RecoveryError`.
+
         A fresh receipt for the last journal is issued after recovery so
         clients and audits have a current pi_s.
         """
         if len(journal_stream) == 0:
-            raise LedgerError("cannot recover from an empty stream")
+            raise RecoveryError("cannot recover from an empty stream")
         ledger = cls.__new__(cls)
         ledger.config = config
         ledger.clock = clock or SimClock()
@@ -205,6 +219,7 @@ class Ledger:
             registry.register(LSP_MEMBER_ID, Role.LSP, lsp_keypair.public)
 
         ledger._stream = journal_stream
+        ledger.recovery_report = getattr(journal_stream, "open_report", None)
         ledger._survival_stream = MemoryStream()
         ledger._fam = FamAccumulator(config.fractal_height)
         ledger._cmtree = CMTree()
@@ -246,7 +261,7 @@ class Ledger:
                     # Purged slot: its digest is irrecoverable from the
                     # stream alone — purge recovery needs the pseudo-genesis
                     # snapshot, which lives outside the journal stream.
-                    raise LedgerError(
+                    raise RecoveryError(
                         f"slot {jsn} was purged; recovery from the stream "
                         "alone is only supported for unpurged ledgers"
                     )
@@ -258,7 +273,9 @@ class Ledger:
                 continue
             journal = Journal.from_bytes(journal_stream.read(jsn))
             if journal.jsn != jsn:
-                raise LedgerError(f"stream corrupt: slot {jsn} holds jsn {journal.jsn}")
+                raise RecoveryError(
+                    f"stream corrupt: slot {jsn} holds jsn {journal.jsn}"
+                )
             tx_hash = journal.tx_hash()
             ledger._fam.append(tx_hash)
             for clue in journal.clues:
@@ -268,10 +285,14 @@ class Ledger:
                 ledger._time_journals.append(jsn)
             elif journal.journal_type is JournalType.OCCULT:
                 record = OccultRecord.from_bytes(journal.payload)
-                ledger._occult_records.append((jsn, record, MultiSignature(digest=record.approval_digest())))
+                ledger._occult_records.append(
+                    (jsn, record, MultiSignature(digest=record.approval_digest()))
+                )
             elif journal.journal_type is JournalType.PURGE:
                 precord = PurgeRecord.from_bytes(journal.payload)
-                ledger._purge_records.append((jsn, precord, MultiSignature(digest=precord.approval_digest())))
+                ledger._purge_records.append(
+                    (jsn, precord, MultiSignature(digest=precord.approval_digest()))
+                )
                 ledger._genesis_start = max(ledger._genesis_start, precord.purge_point)
             if (jsn + 1) % config.block_size == 0:
                 ledger._seal_recovered_block(jsn + 1)

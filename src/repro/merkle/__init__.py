@@ -1,7 +1,14 @@
 """Merkle tree family: Shrubs, fam, tim, bim, MPT, ccMPT, and CM-Tree."""
 
 from .bamt import BamtAccumulator, BamtProof
-from .bim import BimLedger, BlockHeader, LightClient, SPVProof, merkle_path_padded, merkle_root_padded
+from .bim import (
+    BimLedger,
+    BlockHeader,
+    LightClient,
+    SPVProof,
+    merkle_path_padded,
+    merkle_root_padded,
+)
 from .ccmpt import CCMPTClueProof, ClueCounterMPT
 from .cmtree import ClueProof, ClueVerificationError, CMTree
 from .consistency import ConsistencyProof, prove_consistency

@@ -18,7 +18,14 @@ from ..crypto.hashing import EMPTY_DIGEST, Digest, block_hash, leaf_hash, node_h
 from ..encoding import encode
 from .proofs import PathStep, fold_path
 
-__all__ = ["BlockHeader", "SPVProof", "BimLedger", "LightClient", "merkle_root_padded", "merkle_path_padded"]
+__all__ = [
+    "BlockHeader",
+    "SPVProof",
+    "BimLedger",
+    "LightClient",
+    "merkle_root_padded",
+    "merkle_path_padded",
+]
 
 
 def merkle_root_padded(leaves: list[Digest]) -> Digest:

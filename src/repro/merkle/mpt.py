@@ -283,13 +283,17 @@ class MPT:
 
         Raises :class:`KeyNotFoundError` if absent.
         """
-        new_root = self._delete(self.root if self.root != EMPTY_DIGEST else None, key_to_nibbles(key))
+        new_root = self._delete(
+            self.root if self.root != EMPTY_DIGEST else None, key_to_nibbles(key)
+        )
         self.root = new_root if new_root is not None else EMPTY_DIGEST
         return self.root
 
     def _delete(self, digest: Digest | None, nibbles: bytes) -> Digest | None:
         if digest is None:
-            raise KeyNotFoundError(nibbles_to_key(nibbles) if len(nibbles) % 2 == 0 else bytes(nibbles))
+            raise KeyNotFoundError(
+                nibbles_to_key(nibbles) if len(nibbles) % 2 == 0 else bytes(nibbles)
+            )
         node = self._load(digest)
         kind = node[0]
         if kind == "leaf":

@@ -200,7 +200,10 @@ class BatchProof:
             {
                 "leaf_indices": list(self.leaf_indices),
                 "tree_size": self.tree_size,
-                "nodes": [[level, index, digest] for (level, index), digest in sorted(self.nodes.items())],
+                "nodes": [
+                    [level, index, digest]
+                    for (level, index), digest in sorted(self.nodes.items())
+                ],
                 "peaks_left": list(self.peaks_left),
                 "peaks_right": list(self.peaks_right),
             }

@@ -26,7 +26,6 @@ from .proofs import (
     MembershipProof,
     PathStep,
     bag_peaks,
-    fold_path,
     peak_positions,
 )
 

@@ -20,7 +20,7 @@ records the calibration constants next to every affected experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "CostProfile",

@@ -1,7 +1,16 @@
 """Storage substrate: append-only streams and KV node stores."""
 
+from .checksum import crc32c
 from .kv import CachedKVStore, KeyNotFoundError, KVStore, MemoryKVStore
-from .stream import FileStream, MemoryStream, RecordErasedError, Stream, StreamError
+from .stream import (
+    FileStream,
+    MemoryStream,
+    OpenReport,
+    RecordErasedError,
+    Stream,
+    StreamCorruptionError,
+    StreamError,
+)
 
 __all__ = [
     "CachedKVStore",
@@ -10,7 +19,10 @@ __all__ = [
     "MemoryKVStore",
     "FileStream",
     "MemoryStream",
+    "OpenReport",
     "RecordErasedError",
     "Stream",
+    "StreamCorruptionError",
     "StreamError",
+    "crc32c",
 ]

@@ -1,0 +1,246 @@
+"""Fault injection for the stream file system — the crash-recovery harness.
+
+Reproducing a power loss in a unit test means answering one question: *which
+prefix of the bytes the process issued actually reached the disk?*  The model
+here is the standard one for append-mostly logs (and the one LevelDB/RocksDB
+test against): a crash persists every byte of every completed I/O operation
+before the crash point, plus an arbitrary prefix of the operation in flight;
+nothing after.  Bit rot is modelled separately by flipping bits in a closed
+file.
+
+Pieces:
+
+* :class:`FaultPlan` — the schedule: which I/O operation (write/flush/fsync,
+  counted in issue order) crashes, and for a torn write, how many bytes of
+  it survive.  A plan also traces every operation so a dry run can enumerate
+  the crash points worth injecting.
+* :class:`FaultyFile` — a file wrapper that executes the plan, raising
+  :class:`InjectedCrash` at the scheduled boundary.  It derives from
+  ``BaseException`` so no ``except Exception`` on the commit path can
+  accidentally "handle" a power loss.
+* :class:`FaultyStream` — a :class:`~repro.storage.stream.FileStream` wired
+  through a :class:`FaultyFile`; what crash-recovery tests instantiate.
+* :func:`flip_bit` / :func:`flip_byte` — offline corruption of a closed
+  stream file, for checksum-detection tests.
+
+Typical use (see ``tests/test_crash_recovery.py``)::
+
+    plan = FaultPlan()
+    stream = FaultyStream(path, plan, durable=True)
+    ...build pre-state...
+    plan.arm(crash_op=2, partial_bytes=17)
+    with pytest.raises(InjectedCrash):
+        ledger.append_batch(batch)
+    stream.abandon()                  # the dead process's handle
+    recovered = FileStream(path)      # the restarted process's open()
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import BinaryIO
+
+__all__ = [
+    "InjectedCrash",
+    "FaultPlan",
+    "FaultyFile",
+    "FaultyStream",
+    "CrashPoint",
+    "flip_bit",
+    "flip_byte",
+]
+
+from .stream import FileStream
+
+
+class InjectedCrash(BaseException):
+    """The simulated power loss.
+
+    Deliberately a ``BaseException``: production code that catches broad
+    ``Exception`` around the commit path must not be able to swallow a crash
+    and continue as if the write had happened.
+    """
+
+    def __init__(self, op_index: int, kind: str, detail: str = "") -> None:
+        extra = f" ({detail})" if detail else ""
+        super().__init__(f"injected crash at I/O op {op_index} [{kind}]{extra}")
+        self.op_index = op_index
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One enumerable fault site: ``kind`` op number ``op_index``; for torn
+    writes, ``size`` bounds the surviving-prefix choices (0..size)."""
+
+    op_index: int
+    kind: str  # "write" | "flush" | "fsync"
+    size: int  # bytes issued by a write op; 0 for flush/fsync
+
+
+@dataclass
+class FaultPlan:
+    """Schedule and trace of I/O operations for one :class:`FaultyFile`.
+
+    Unarmed, the plan only traces (a dry run).  :meth:`arm` resets the
+    operation counter and schedules the crash, so the op indices seen by a
+    dry run of the same workload line up exactly.
+    """
+
+    crash_op: int | None = None
+    partial_bytes: int | None = None  # torn-write survivors; None = 0
+    armed: bool = False
+    op_index: int = 0
+    trace: list[CrashPoint] = field(default_factory=list)
+
+    def arm(self, crash_op: int, partial_bytes: int | None = None) -> None:
+        """Schedule a crash at operation ``crash_op`` (0-based) and restart
+        the operation counter; for write ops, ``partial_bytes`` of the
+        in-flight data survive on disk."""
+        self.crash_op = crash_op
+        self.partial_bytes = partial_bytes
+        self.armed = True
+        self.op_index = 0
+        self.trace = []
+
+    def reset(self) -> None:
+        """Back to dry-run tracing from operation 0."""
+        self.armed = False
+        self.crash_op = None
+        self.partial_bytes = None
+        self.op_index = 0
+        self.trace = []
+
+    def crash_points(self) -> list[CrashPoint]:
+        """The fault sites a traced run exposed (one per I/O operation)."""
+        return list(self.trace)
+
+    # Internal: called by FaultyFile for every I/O op, in order.
+    def _observe(self, kind: str, size: int = 0) -> bool:
+        index = self.op_index
+        self.trace.append(CrashPoint(op_index=index, kind=kind, size=size))
+        self.op_index += 1
+        return self.armed and index == self.crash_op
+
+
+class FaultyFile:
+    """A binary-file proxy that crashes on schedule.
+
+    All data-plane operations (``write``/``flush``/``fsync``) report to the
+    :class:`FaultPlan`; control-plane operations (seek/read/tell/truncate)
+    pass straight through.  A torn write persists ``plan.partial_bytes`` of
+    the issued buffer — flushed, so the bytes genuinely reach the backing
+    file before the crash fires — then raises :class:`InjectedCrash`.
+    """
+
+    def __init__(self, raw: BinaryIO, plan: FaultPlan) -> None:
+        self._raw = raw
+        self.plan = plan
+
+    # ------------------------------------------------------------ data plane
+
+    def write(self, data: bytes) -> int:
+        if self.plan._observe("write", len(data)):
+            survivors = min(self.plan.partial_bytes or 0, len(data))
+            if survivors:
+                self._raw.write(data[:survivors])
+            self._raw.flush()
+            raise InjectedCrash(
+                self.plan.op_index - 1,
+                "write",
+                f"{survivors}/{len(data)} bytes persisted",
+            )
+        return self._raw.write(data)
+
+    def flush(self) -> None:
+        if self.plan._observe("flush"):
+            # The buffered bytes were already written through to the OS by
+            # this in-process model, so a flush-boundary crash persists them
+            # all — the "write completed, commit fsync lost" image.
+            self._raw.flush()
+            raise InjectedCrash(self.plan.op_index - 1, "flush")
+        self._raw.flush()
+
+    def fsync(self) -> None:
+        if self.plan._observe("fsync"):
+            raise InjectedCrash(self.plan.op_index - 1, "fsync")
+        self._raw.flush()
+        os.fsync(self._raw.fileno())
+
+    # --------------------------------------------------------- control plane
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        return self._raw.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._raw.tell()
+
+    def read(self, size: int = -1) -> bytes:
+        return self._raw.read(size)
+
+    def truncate(self, size: int | None = None) -> int:
+        return self._raw.truncate(size)
+
+    def fileno(self) -> int:
+        return self._raw.fileno()
+
+    def close(self) -> None:
+        self._raw.close()
+
+
+class FaultyStream(FileStream):
+    """A :class:`FileStream` whose file I/O runs through a fault plan.
+
+    ``durable=True`` by default: crash-recovery tests are about the durable
+    configuration — that is the mode whose guarantees matter.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        plan: FaultPlan,
+        *,
+        durable: bool = True,
+    ) -> None:
+        self.fault_plan = plan
+        super().__init__(
+            path,
+            durable=durable,
+            file_factory=lambda raw: FaultyFile(raw, plan),
+        )
+
+    def abandon(self) -> None:
+        """Drop the crashed process's handle without flushing anything more.
+
+        After an :class:`InjectedCrash` the in-memory index is ahead of the
+        disk; the only valid next step is a fresh ``FileStream(path)`` in
+        the "restarted process".
+        """
+        self._raw_close()
+
+    def _raw_close(self) -> None:
+        try:
+            self._file.close()
+        except ValueError:  # already closed
+            pass
+
+
+# --------------------------------------------------------------- corruption
+
+
+def flip_bit(path: str | os.PathLike[str], bit_index: int) -> None:
+    """Flip one bit of a closed file (bit ``bit_index % 8`` of byte
+    ``bit_index // 8``) — the unit of silent media corruption."""
+    flip_byte(path, bit_index // 8, 1 << (bit_index % 8))
+
+
+def flip_byte(path: str | os.PathLike[str], byte_index: int, mask: int = 0xFF) -> None:
+    """XOR ``mask`` into one byte of a closed file."""
+    with open(path, "r+b") as handle:
+        handle.seek(byte_index)
+        original = handle.read(1)
+        if len(original) != 1:
+            raise ValueError(f"byte {byte_index} is past EOF of {os.fspath(path)}")
+        handle.seek(byte_index)
+        handle.write(bytes([original[0] ^ mask]))

@@ -6,13 +6,52 @@ dense integer offset (the journal stream is addressed by jsn).  Two backends
 are provided:
 
 * :class:`MemoryStream` — list-backed, used by tests and benchmarks;
-* :class:`FileStream`  — length-prefixed records in a single file with an
-  in-memory offset index, demonstrating durable operation.
+* :class:`FileStream`  — a crash-consistent, corruption-detecting log of
+  checksummed records in a single file with an in-memory offset index.
 
 Streams support *erasure* of individual records (required by occult's
 asynchronous data reorganisation and by purge): an erased slot keeps its
 offset but its payload is gone.  Erasure is exposed separately from append so
 that the ledger layer can enforce its multi-signature prerequisites first.
+
+Crash-consistency model (DESIGN.md §9)
+--------------------------------------
+
+The on-disk format is::
+
+    superblock := b"LDBSTRM2"                                            (8 bytes)
+    record     := length:u32 | flags:u8 | pcrc:u32 | hcrc:u32 | payload  (13 + length)
+
+``flags`` carries two bits: ``ERASED`` (payload scrubbed in place) and
+``COMMIT`` (this record terminates a commit — set on every single append and
+on the *last* record of an ``append_many`` batch, making the batch's final
+header its commit epilogue).  ``pcrc`` is the CRC32C of the payload (zero
+for erased records, whose scrubbed payload is don't-care); ``hcrc`` is the
+CRC32C of the preceding nine header bytes, making the header self-validating
+— crucially, a corrupted *length* field can never masquerade as a torn tail
+and silently swallow the committed records behind it.
+
+``open()`` scans and verifies the whole file:
+
+* an incomplete final record (header or payload cut short, with every
+  header that *is* complete passing its ``hcrc``) is a **torn tail** — the
+  crash happened mid-write — and is truncated away;
+* intact trailing records *after the last COMMIT record* belong to a batch
+  whose commit epilogue never reached the disk and are truncated with it
+  (this is the atomicity half of group commit: a batch recovers all-or-
+  nothing);
+* any checksum mismatch — ``hcrc`` on a complete header, ``pcrc`` on a
+  complete record — is **corruption**, wherever it sits, and raises
+  :class:`StreamCorruptionError` with the record offset and a precise
+  reason: corruption is never silently returned as data, and because CRC32C
+  detects all single-bit and sub-32-bit-burst errors, no single flipped bit
+  anywhere in the file can alias into a valid parse.
+
+The fault model assumes a torn write persists some *prefix* of the issued
+bytes (standard sector-append semantics) and that the 13-byte record header
+rewrite performed by :meth:`FileStream.erase` is atomic (headers are far
+smaller than a 512-byte sector).  See :mod:`repro.storage.faults` for the
+injection harness that exercises every crash point of this model.
 """
 
 from __future__ import annotations
@@ -20,13 +59,43 @@ from __future__ import annotations
 import os
 import struct
 from abc import ABC, abstractmethod
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import BinaryIO, Iterator
 
-__all__ = ["Stream", "MemoryStream", "FileStream", "StreamError", "RecordErasedError"]
+from .checksum import crc32c
+
+__all__ = [
+    "Stream",
+    "MemoryStream",
+    "FileStream",
+    "StreamError",
+    "StreamCorruptionError",
+    "RecordErasedError",
+    "OpenReport",
+]
 
 
 class StreamError(Exception):
     """Raised on out-of-range access or backend corruption."""
+
+
+class StreamCorruptionError(StreamError):
+    """The backing file holds bytes that cannot be honest data.
+
+    ``offset`` is the record slot (or byte position, for framing damage
+    before any record parses) where verification failed; ``reason`` states
+    the exact check that failed.  This is deliberately *not* recoverable:
+    mid-stream corruption means the ledger's durable history was tampered
+    with or rotted, and only an auditor with external evidence (receipts,
+    anchored roots) can adjudicate what was lost.
+    """
+
+    def __init__(self, offset: int, reason: str, *, path: str | None = None) -> None:
+        where = f" in {path}" if path else ""
+        super().__init__(f"stream corrupt at record {offset}{where}: {reason}")
+        self.offset = offset
+        self.reason = reason
+        self.path = path
 
 
 class RecordErasedError(StreamError):
@@ -35,6 +104,27 @@ class RecordErasedError(StreamError):
     def __init__(self, offset: int) -> None:
         super().__init__(f"record at offset {offset} has been erased")
         self.offset = offset
+
+
+@dataclass(frozen=True)
+class OpenReport:
+    """What :class:`FileStream` did to the file while opening it.
+
+    A clean open reports zeros everywhere.  After a crash, ``truncated_*``
+    describe the torn/uncommitted tail that was rolled back (the pre-commit
+    state the ledger recovers to) and ``scrubbed_records`` counts interrupted
+    erasures whose payload zeroing was completed.
+    """
+
+    records: int = 0
+    truncated_records: int = 0
+    truncated_bytes: int = 0
+    truncation_reason: str = ""
+    scrubbed_records: tuple[int, ...] = field(default=())
+
+    @property
+    def clean(self) -> bool:
+        return self.truncated_records == 0 and self.truncated_bytes == 0
 
 
 class Stream(ABC):
@@ -114,58 +204,197 @@ class MemoryStream(Stream):
         return len(self._records)
 
 
-# FileStream record layout: [u32 length][u8 erased-flag][payload bytes].
-_HEADER = struct.Struct(">IB")
-_FLAG_LIVE = 0
-_FLAG_ERASED = 1
+# FileStream record layout: [u32 length][u8 flags][u32 pcrc][u32 hcrc][payload].
+_HEADER = struct.Struct(">IBII")
+_HEADER_PREFIX = struct.Struct(">IBI")  # the hcrc-covered fixed part
+_MAGIC = b"LDBSTRM2"
+_FLAG_ERASED = 0x01
+_FLAG_COMMIT = 0x02
+_KNOWN_FLAGS = _FLAG_ERASED | _FLAG_COMMIT
+
+
+def _pack_record_header(length: int, flags: int, payload: bytes) -> bytes:
+    """Serialize a header: payload CRC (zero for erased) + header CRC."""
+    pcrc = 0 if flags & _FLAG_ERASED else crc32c(payload)
+    hcrc = crc32c(_HEADER_PREFIX.pack(length, flags, pcrc))
+    return _HEADER.pack(length, flags, pcrc, hcrc)
+
+
+def _header_crc_ok(length: int, flags: int, pcrc: int, hcrc: int) -> bool:
+    return hcrc == crc32c(_HEADER_PREFIX.pack(length, flags, pcrc))
 
 
 class FileStream(Stream):
-    """Durable stream of length-prefixed records in one file.
+    """Durable, crash-consistent stream of checksummed records in one file.
 
-    Erasure overwrites the payload bytes with zeros and flips the record's
-    flag byte in place, so offsets of later records are unaffected.
+    Erasure overwrites the payload bytes with zeros and rewrites the record's
+    header in place (flags + checksum), so offsets of later records are
+    unaffected; the header is rewritten *before* the payload is scrubbed, so
+    a crash mid-erase recovers as an erased record whose scrub ``open()``
+    completes.
 
     With ``durable=True`` every append (and erase) is followed by an
     ``fsync``, making commits crash-safe at ~100 us a piece; ``append_many``
     then issues a *single* fsync for the whole batch — the classic WAL
-    group-commit amortisation.
+    group-commit amortisation.  The COMMIT flag on the batch's final record
+    is the commit epilogue: on reopen, a batch missing it rolls back whole.
+
+    ``file_factory`` lets a test harness interpose on the underlying file
+    object (see :class:`repro.storage.faults.FaultyFile`); production code
+    never passes it.
     """
 
-    def __init__(self, path: str | os.PathLike[str], *, durable: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        durable: bool = False,
+        file_factory=None,
+    ) -> None:
         self._path = os.fspath(path)
         self._durable = durable
         # Positions (file offsets) of each record header, rebuilt on open.
         self._positions: list[int] = []
+        self._lengths: list[int] = []
         self._erased: list[bool] = []
         mode = "r+b" if os.path.exists(self._path) else "w+b"
-        self._file = open(self._path, mode)
-        self._load_index()
+        raw: BinaryIO = open(self._path, mode)
+        self._file = file_factory(raw) if file_factory is not None else raw
+        try:
+            self.open_report = self._load_index()
+        except BaseException:
+            self._file.close()
+            raise
 
-    def _load_index(self) -> None:
+    # ------------------------------------------------------------- open scan
+
+    def _load_index(self) -> OpenReport:
         self._file.seek(0, os.SEEK_END)
         size = self._file.tell()
+        if size < len(_MAGIC):
+            # A fresh file, or a crash during creation before the superblock
+            # was durable: (re)write the superblock from scratch.
+            self._file.seek(0)
+            self._file.truncate(0)
+            self._file.write(_MAGIC)
+            self._flush()
+            return OpenReport()
         self._file.seek(0)
-        position = 0
+        if self._file.read(len(_MAGIC)) != _MAGIC:
+            raise StreamCorruptionError(
+                0, "bad superblock magic (not a stream file, or header rot)",
+                path=self._path,
+            )
+
+        position = len(_MAGIC)
+        scrubbed: list[int] = []
+        # End position of the last record carrying the COMMIT flag; records
+        # beyond it belong to a batch whose epilogue never hit the disk.
+        committed_end = position
+        committed_count = 0
+        torn_reason = ""
         while position < size:
             header = self._file.read(_HEADER.size)
             if len(header) < _HEADER.size:
-                raise StreamError(f"truncated record header at {position} in {self._path}")
-            length, flag = _HEADER.unpack(header)
+                torn_reason = (
+                    f"torn record header at byte {position} "
+                    f"({len(header)} of {_HEADER.size} bytes)"
+                )
+                break
+            length, flags, pcrc, hcrc = _HEADER.unpack(header)
+            offset = len(self._positions)
+            # The header checksum first: with a self-validated header, a
+            # corrupted length field can never fake a torn tail, so any
+            # truncation below provably discards only uncommitted bytes.
+            if not _header_crc_ok(length, flags, pcrc, hcrc):
+                raise StreamCorruptionError(
+                    offset, "header checksum mismatch", path=self._path
+                )
+            if flags & ~_KNOWN_FLAGS:
+                raise StreamCorruptionError(
+                    offset, f"unknown flag bits 0x{flags & ~_KNOWN_FLAGS:02x}",
+                    path=self._path,
+                )
+            end = position + _HEADER.size + length
+            if end > size:
+                torn_reason = (
+                    f"torn record payload at byte {position} "
+                    f"(need {length}, have {size - position - _HEADER.size})"
+                )
+                break
+            if flags & _FLAG_ERASED:
+                # Complete an interrupted erasure: the header committed the
+                # erase, so the payload must end up zeroed (idempotent).
+                payload = self._file.read(length)
+                if payload.strip(b"\x00"):
+                    self._file.seek(position + _HEADER.size)
+                    self._file.write(b"\x00" * length)
+                    scrubbed.append(offset)
+            else:
+                payload = self._file.read(length)
+                if pcrc != crc32c(payload):
+                    raise StreamCorruptionError(
+                        offset, "payload checksum mismatch", path=self._path
+                    )
             self._positions.append(position)
-            self._erased.append(flag == _FLAG_ERASED)
-            position += _HEADER.size + length
-            self._file.seek(position)
+            self._lengths.append(length)
+            self._erased.append(bool(flags & _FLAG_ERASED))
+            position = end
+            if flags & _FLAG_COMMIT:
+                committed_end = end
+                committed_count = len(self._positions)
+
+        truncated_records = len(self._positions) - committed_count
+        truncated_bytes = size - committed_end
+        if truncated_bytes:
+            if not torn_reason:
+                torn_reason = (
+                    f"{truncated_records} intact record(s) past the last "
+                    "commit epilogue (uncommitted batch tail)"
+                )
+            # Roll the file back to the last committed record boundary: the
+            # torn/uncommitted tail never happened.
+            del self._positions[committed_count:]
+            del self._lengths[committed_count:]
+            del self._erased[committed_count:]
+            self._file.seek(committed_end)
+            self._file.truncate(committed_end)
+            self._flush()
+        if scrubbed and not truncated_bytes:
+            self._flush()
+        return OpenReport(
+            records=len(self._positions),
+            truncated_records=truncated_records,
+            truncated_bytes=truncated_bytes,
+            truncation_reason=torn_reason if truncated_bytes else "",
+            scrubbed_records=tuple(scrubbed),
+        )
+
+    # ------------------------------------------------------------ durability
+
+    def _flush(self) -> None:
+        self._file.flush()
+        if self._durable:
+            self._fsync()
+
+    def _fsync(self) -> None:
+        # A fault-injecting wrapper intercepts fsync as a first-class op;
+        # plain files go through os.fsync.
+        fsync = getattr(self._file, "fsync", None)
+        if fsync is not None:
+            fsync()
+        else:
+            os.fsync(self._file.fileno())
+
+    # --------------------------------------------------------------- appends
 
     def append(self, record: bytes) -> int:
         self._file.seek(0, os.SEEK_END)
         position = self._file.tell()
-        self._file.write(_HEADER.pack(len(record), _FLAG_LIVE))
-        self._file.write(record)
-        self._file.flush()
-        if self._durable:
-            os.fsync(self._file.fileno())
+        self._file.write(_pack_record_header(len(record), _FLAG_COMMIT, record) + record)
+        self._flush()
         self._positions.append(position)
+        self._lengths.append(len(record))
         self._erased.append(False)
         return len(self._positions) - 1
 
@@ -176,46 +405,77 @@ class FileStream(Stream):
         position = self._file.tell()
         chunks: list[bytes] = []
         offsets: list[int] = []
-        for record in records:
-            chunks.append(_HEADER.pack(len(record), _FLAG_LIVE))
+        last = len(records) - 1
+        for index, record in enumerate(records):
+            # Only the batch's final record carries the commit epilogue: a
+            # reopen after a crash anywhere inside this write rolls the
+            # whole batch back (all-or-nothing group commit).
+            flags = _FLAG_COMMIT if index == last else 0
+            chunks.append(_pack_record_header(len(record), flags, record))
             chunks.append(record)
             self._positions.append(position)
+            self._lengths.append(len(record))
             self._erased.append(False)
             offsets.append(len(self._positions) - 1)
             position += _HEADER.size + len(record)
         self._file.write(b"".join(chunks))
-        self._file.flush()
-        if self._durable:
-            os.fsync(self._file.fileno())
+        self._flush()
         return offsets
+
+    # ----------------------------------------------------------------- reads
 
     def read(self, offset: int) -> bytes:
         self._check_offset(offset)
         if self._erased[offset]:
             raise RecordErasedError(offset)
         self._file.seek(self._positions[offset])
-        length, flag = _HEADER.unpack(self._file.read(_HEADER.size))
-        if flag == _FLAG_ERASED:  # stale in-memory index (crash recovery path)
+        header = self._file.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise StreamCorruptionError(
+                offset, "record header truncated under an open stream",
+                path=self._path,
+            )
+        length, flags, pcrc, hcrc = _HEADER.unpack(header)
+        # Verify on every read, not just at open: a flipped bit must never
+        # flow into tx-hash recomputation as if it were honest data.
+        if not _header_crc_ok(length, flags, pcrc, hcrc):
+            raise StreamCorruptionError(
+                offset, "header checksum mismatch", path=self._path
+            )
+        if flags & _FLAG_ERASED:  # stale in-memory index (concurrent erase)
             self._erased[offset] = True
             raise RecordErasedError(offset)
         data = self._file.read(length)
         if len(data) < length:
-            raise StreamError(f"truncated record body at offset {offset}")
+            raise StreamCorruptionError(
+                offset, f"record body truncated (need {length}, got {len(data)})",
+                path=self._path,
+            )
+        if pcrc != crc32c(data):
+            raise StreamCorruptionError(
+                offset, "payload checksum mismatch", path=self._path
+            )
         return data
+
+    # --------------------------------------------------------------- erasure
 
     def erase(self, offset: int) -> None:
         self._check_offset(offset)
         if self._erased[offset]:
             return
         position = self._positions[offset]
+        length = self._lengths[offset]
+        # Header first (atomic in-place rewrite of 13 bytes), then scrub.  A
+        # crash between the two recovers as an erased record whose payload
+        # zeroing open() completes — the erase fully happened or fully didn't.
+        # COMMIT is set unconditionally: an erasable record was by definition
+        # already committed, and the flag keeps it inside the committed
+        # prefix if it happens to be the final record of the file.
         self._file.seek(position)
-        length, _flag = _HEADER.unpack(self._file.read(_HEADER.size))
-        self._file.seek(position)
-        self._file.write(_HEADER.pack(length, _FLAG_ERASED))
+        self._file.write(_pack_record_header(length, _FLAG_ERASED | _FLAG_COMMIT, b""))
+        self._flush()
         self._file.write(b"\x00" * length)
-        self._file.flush()
-        if self._durable:
-            os.fsync(self._file.fileno())
+        self._flush()
         self._erased[offset] = True
 
     def is_erased(self, offset: int) -> bool:

@@ -29,7 +29,14 @@ from .clock import Clock
 from .pegging import TimeBound
 from .tsa import TimeStampAuthority, TimeStampToken, TSAPool
 
-__all__ = ["NotaryEntry", "NotaryReceipt", "Finalization", "TimeEvidence", "TimeLedger", "StaleRequestError"]
+__all__ = [
+    "NotaryEntry",
+    "NotaryReceipt",
+    "Finalization",
+    "TimeEvidence",
+    "TimeLedger",
+    "StaleRequestError",
+]
 
 
 class StaleRequestError(Exception):

@@ -11,7 +11,13 @@ import random
 from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["payload_bytes", "NotarizationWorkload", "LineageWorkload", "NotarizationDoc", "LineageOp"]
+__all__ = [
+    "payload_bytes",
+    "NotarizationWorkload",
+    "LineageWorkload",
+    "NotarizationDoc",
+    "LineageOp",
+]
 
 
 def payload_bytes(rng: random.Random, size: int) -> bytes:

@@ -1,10 +1,20 @@
 """Shared fixtures: a populated ledger deployment with members and time notary."""
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.core import ClientRequest, Ledger, LedgerConfig
 from repro.crypto import KeyPair, Role
 from repro.timeauth import SimClock, TimeLedger, TimeStampAuthority
+
+# Hypothesis profiles: local runs keep the library defaults (100 examples);
+# the CI crash-safety job exports HYPOTHESIS_PROFILE=ci for a deeper sweep
+# (and pins --hypothesis-seed, so a red build is reproducible bit-for-bit).
+hypothesis_settings.register_profile("ci", max_examples=200, deadline=None)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    hypothesis_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 LEDGER_URI = "ledger://test"
 

@@ -2,9 +2,7 @@
 
 import dataclasses
 
-import pytest
-
-from repro.core import JournalType, OccultMode, dasein_audit
+from repro.core import OccultMode, dasein_audit
 from repro.core.journal import Journal
 from repro.crypto import KeyPair
 

@@ -12,7 +12,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import dasein_audit
-from repro.core.journal import Journal
 
 from conftest import Deployment
 

@@ -25,7 +25,10 @@ class TestTable1Module:
         result = table1.run()
         text = table1.render(result)
         assert "LedgerDB" in text and "Factom" in text
-        assert result.storage_nodes["fam after purge (erased epochs)"] < result.storage_nodes["fam (LedgerDB)"]
+        assert (
+            result.storage_nodes["fam after purge (erased epochs)"]
+            < result.storage_nodes["fam (LedgerDB)"]
+        )
 
 
 class TestTable2Module:

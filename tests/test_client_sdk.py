@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.core import LedgerClient, OccultMode, api
+from repro.core import LedgerClient, api
 from repro.core.api import VerifyLevel, VerifyTarget
 from repro.core.errors import LedgerError, VerificationFailure
 

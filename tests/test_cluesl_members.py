@@ -56,7 +56,14 @@ class TestClueSkipList:
         assert csl.num_clues() == 3
 
     @settings(max_examples=30, deadline=None)
-    @given(st.dictionaries(st.text(min_size=1, max_size=8), st.integers(min_value=1, max_value=20), min_size=1, max_size=20))
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.integers(min_value=1, max_value=20),
+            min_size=1,
+            max_size=20,
+        )
+    )
     def test_matches_dict_model(self, spec):
         csl = ClueSkipList()
         model = {}

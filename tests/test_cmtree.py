@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.hashing import leaf_hash
-from repro.merkle.cmtree import ClueProof, CMTree, decode_clue_value, encode_clue_value
+from repro.merkle.cmtree import CMTree, decode_clue_value, encode_clue_value
 
 
 def build_tree(entries_per_clue: dict[str, int]) -> tuple[CMTree, dict[str, list[bytes]]]:
@@ -172,7 +172,6 @@ class TestSnapshots:
     def test_clue_snapshot_at_historical_size(self):
         tree = CMTree()
         digests = [leaf_hash(b"%d" % i) for i in range(8)]
-        roots = []
         for d in digests:
             tree.add("c", d)
         clue, size, peaks = tree.clue_snapshot_at("c", 4)
@@ -181,7 +180,9 @@ class TestSnapshots:
         resumed = FrontierAccumulator(size, list(peaks))
         for d in digests[4:]:
             resumed.append_leaf(d)
-        full = tree._accumulators[__import__("repro.crypto.hashing", fromlist=["clue_key_hash"]).clue_key_hash("c")]
+        from repro.crypto.hashing import clue_key_hash
+
+        full = tree._accumulators[clue_key_hash("c")]
         assert resumed.root() == full.root()
 
 

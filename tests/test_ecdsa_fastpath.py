@@ -231,7 +231,10 @@ def test_verify_digests_matches_individual_verdicts():
 
 def test_verify_digests_all_malformed_short_circuits():
     digest = hashlib.sha256(b"x").digest()
-    checks = [(Point(1, 1), digest, Signature(1, 1)), (derive_public_key(5), digest, Signature(0, 1))]
+    checks = [
+        (Point(1, 1), digest, Signature(1, 1)),
+        (derive_public_key(5), digest, Signature(0, 1)),
+    ]
     assert verify_digests(checks) == [False, False]
 
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import DaseinVerifier, JournalNotFoundError, dasein_audit
 from repro.core.occult import verify_occult_approvals
-from repro.crypto import MultiSignature
 from repro.crypto.multisig import MultiSignatureError
 
 

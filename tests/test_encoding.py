@@ -7,7 +7,10 @@ from repro.encoding import EncodingError, decode, encode
 
 
 def test_scalar_round_trips():
-    for value in (None, True, False, 0, 1, -1, 2**300, -(2**300), b"", b"\x00xyz", "", "héllo", 0.0, -2.5):
+    scalars = (
+        None, True, False, 0, 1, -1, 2**300, -(2**300), b"", b"\x00xyz", "", "héllo", 0.0, -2.5
+    )
+    for value in scalars:
         assert decode(encode(value)) == value
 
 

@@ -1,0 +1,117 @@
+"""Self-tests of the fault-injection harness (repro.storage.faults).
+
+The crash-recovery suite trusts the harness to model a power loss
+faithfully; these tests pin that model down: op counting lines up between
+dry runs and armed runs, torn writes persist exactly the scheduled prefix,
+and the crash exception cannot be swallowed by ``except Exception``.
+"""
+
+import os
+
+import pytest
+
+from repro.storage import FileStream
+from repro.storage.faults import (
+    FaultPlan,
+    FaultyStream,
+    InjectedCrash,
+    flip_bit,
+    flip_byte,
+)
+
+
+class TestFaultPlan:
+    def test_dry_run_traces_all_ops(self, tmp_path):
+        plan = FaultPlan()
+        stream = FaultyStream(tmp_path / "s", plan)
+        plan.reset()
+        stream.append(b"hello")
+        kinds = [point.kind for point in plan.crash_points()]
+        assert kinds == ["write", "flush", "fsync"]
+        assert plan.crash_points()[0].size == 13 + 5
+        stream.close()
+
+    def test_armed_indices_match_dry_run(self, tmp_path):
+        plan = FaultPlan()
+        stream = FaultyStream(tmp_path / "s", plan)
+        plan.reset()
+        stream.append(b"first")
+        trace = plan.crash_points()
+        plan.arm(crash_op=trace[-1].op_index)  # the fsync
+        with pytest.raises(InjectedCrash) as exc_info:
+            stream.append(b"second")
+        assert exc_info.value.kind == "fsync"
+        assert exc_info.value.op_index == trace[-1].op_index
+        stream.abandon()
+
+    def test_non_durable_stream_never_fsyncs(self, tmp_path):
+        plan = FaultPlan()
+        stream = FaultyStream(tmp_path / "s", plan, durable=False)
+        plan.reset()
+        stream.append(b"x")
+        assert [p.kind for p in plan.crash_points()] == ["write", "flush"]
+        stream.close()
+
+
+class TestTornWrites:
+    def test_exact_prefix_survives(self, tmp_path):
+        path = tmp_path / "s"
+        plan = FaultPlan()
+        stream = FaultyStream(path, plan)
+        stream.append(b"committed")
+        size_before = os.path.getsize(path)
+        plan.arm(crash_op=0, partial_bytes=7)
+        with pytest.raises(InjectedCrash):
+            stream.append(b"torn-away")
+        stream.abandon()
+        assert os.path.getsize(path) == size_before + 7
+        with FileStream(path) as reopened:  # and the tail rolls back
+            assert len(reopened) == 1
+            assert os.path.getsize(path) == size_before
+
+    def test_zero_prefix_persists_nothing(self, tmp_path):
+        path = tmp_path / "s"
+        plan = FaultPlan()
+        stream = FaultyStream(path, plan)
+        stream.append(b"committed")
+        size_before = os.path.getsize(path)
+        plan.arm(crash_op=0, partial_bytes=0)
+        with pytest.raises(InjectedCrash):
+            stream.append(b"lost")
+        stream.abandon()
+        assert os.path.getsize(path) == size_before
+
+    def test_injected_crash_pierces_broad_except(self, tmp_path):
+        """InjectedCrash is a BaseException: commit-path 'except Exception'
+        blocks must not be able to absorb a simulated power loss."""
+        plan = FaultPlan()
+        stream = FaultyStream(tmp_path / "s", plan)
+        plan.arm(crash_op=0, partial_bytes=0)
+        with pytest.raises(InjectedCrash):
+            try:
+                stream.append(b"x")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("InjectedCrash was swallowed by 'except Exception'")
+        stream.abandon()
+
+
+class TestBitFlips:
+    def test_flip_byte_round_trips(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"\x00\x0f\xf0")
+        flip_byte(path, 1, 0xFF)
+        assert path.read_bytes() == b"\x00\xf0\xf0"
+        flip_byte(path, 1, 0xFF)
+        assert path.read_bytes() == b"\x00\x0f\xf0"
+
+    def test_flip_bit_addresses_bits(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(bytes(2))
+        flip_bit(path, 9)  # bit 1 of byte 1
+        assert path.read_bytes() == b"\x00\x02"
+
+    def test_flip_past_eof_rejected(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"ab")
+        with pytest.raises(ValueError, match="past EOF"):
+            flip_byte(path, 2)

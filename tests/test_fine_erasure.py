@@ -65,7 +65,7 @@ class TestShrubsErasePrefix:
     def test_erase_is_idempotent_and_monotone(self):
         acc = ShrubsAccumulator()
         acc.extend(digests(32))
-        first = acc.erase_prefix(10)
+        assert acc.erase_prefix(10) > 0
         assert acc.erase_prefix(10) == 0
         second = acc.erase_prefix(20)  # extend the erased region
         assert second > 0
@@ -106,7 +106,6 @@ class TestFamFineErasure:
         root = fam.current_root()
         # Purge up to jsn 12 (inside epoch 1): epoch 0 fully erased, the
         # purge epoch loses its left nodes.
-        before = fam.num_nodes()
         erased = fam.erase_up_to(12, within_epoch=True)
         assert erased > 0
         assert fam.current_root() == root

@@ -33,7 +33,13 @@ def test_sha256_matches_stdlib():
 
 def test_domain_separation_between_contexts():
     data = b"same input"
-    digests = {leaf_hash(data), journal_hash(data), block_hash(data), receipt_hash(data), sha256(data)}
+    digests = {
+        leaf_hash(data),
+        journal_hash(data),
+        block_hash(data),
+        receipt_hash(data),
+        sha256(data),
+    }
     assert len(digests) == 5
 
 

@@ -99,7 +99,9 @@ class TestGCOSupplyChain:
 
     def test_regulated_data_occult_then_audit(self, world):
         clock, tsa_pool, tledger, ledger, parties = world
-        bad = self.append(ledger, clock, parties, "bank", b"PII: leaked identity", clues=("SETTLEMENT",))
+        bad = self.append(
+            ledger, clock, parties, "bank", b"PII: leaked identity", clues=("SETTLEMENT",)
+        )
         for i in range(5):
             self.append(ledger, clock, parties, "oil-mfg", b"rec%d" % i)
         ledger.anchor_time()
@@ -166,7 +168,9 @@ class TestTSAFailover:
         ledger.registry.register("u", Role.USER, user.public)
 
         authorities[0].available = False  # one authority down
-        request = ClientRequest.build("ledger://ha", "u", b"x", client_timestamp=clock.now()).signed_by(user)
+        request = ClientRequest.build(
+            "ledger://ha", "u", b"x", client_timestamp=clock.now()
+        ).signed_by(user)
         ledger.append(request)
         ledger.anchor_time()
         clock.advance(1.5)

@@ -13,11 +13,11 @@ from repro.core import (
     LedgerConfig,
     LSP_MEMBER_ID,
 )
-from repro.core.errors import LedgerError, MutationError
-from repro.crypto import KeyPair, Role
+from repro.core.errors import LedgerError
+from repro.crypto import KeyPair
 from repro.merkle.fam import FamAccumulator
 
-from conftest import LEDGER_URI, Deployment
+from conftest import LEDGER_URI
 
 
 class TestAppendPipeline:
@@ -72,7 +72,10 @@ class TestAppendPipeline:
             deployment.ledger.append(request)
 
     def test_clients_cannot_append_system_journals(self, deployment):
-        for journal_type in (JournalType.TIME, JournalType.PURGE, JournalType.OCCULT, JournalType.GENESIS):
+        system_types = (
+            JournalType.TIME, JournalType.PURGE, JournalType.OCCULT, JournalType.GENESIS
+        )
+        for journal_type in system_types:
             request = deployment.request("alice", b"x", journal_type=journal_type)
             with pytest.raises(AuthenticationError, match="normal journals"):
                 deployment.ledger.append(request)

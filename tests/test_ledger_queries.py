@@ -1,7 +1,5 @@
 """Operational query APIs: iterators, member/time filters, block lookup."""
 
-import pytest
-
 from repro.core import JournalType, OccultMode
 
 

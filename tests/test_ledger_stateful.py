@@ -12,7 +12,7 @@ from hypothesis import settings
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, precondition, rule
 from hypothesis import strategies as st
 
-from repro.core import JournalType, OccultMode, dasein_audit
+from repro.core import OccultMode, dasein_audit
 from repro.core.errors import MutationError
 
 from conftest import Deployment
@@ -55,7 +55,10 @@ class LedgerMachine(RuleBasedStateMachine):
         self.deployment.ledger.commit_block()
 
     @precondition(lambda self: self.occultable)
-    @rule(mode=st.sampled_from([OccultMode.SYNC, OccultMode.ASYNC]), pick=st.integers(min_value=0, max_value=10**6))
+    @rule(
+        mode=st.sampled_from([OccultMode.SYNC, OccultMode.ASYNC]),
+        pick=st.integers(min_value=0, max_value=10**6),
+    )
     def occult_one(self, mode, pick):
         jsn = self.occultable.pop(pick % len(self.occultable))
         if jsn < self.deployment.ledger.genesis_start:

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.hashing import EMPTY_DIGEST
-from repro.merkle.mpt import MPT, MPTProof, key_to_nibbles, nibbles_to_key
+from repro.merkle.mpt import MPT, key_to_nibbles, nibbles_to_key
 from repro.storage.kv import CachedKVStore, KeyNotFoundError, MemoryKVStore
 
 
@@ -201,7 +201,9 @@ class TestAgainstDict:
 
     @settings(max_examples=30, deadline=None)
     @given(
-        st.dictionaries(st.binary(min_size=1, max_size=5), st.binary(max_size=6), min_size=1, max_size=40),
+        st.dictionaries(
+            st.binary(min_size=1, max_size=5), st.binary(max_size=6), min_size=1, max_size=40
+        ),
         st.data(),
     )
     def test_delete_equivalence(self, contents, data):

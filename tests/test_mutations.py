@@ -11,7 +11,6 @@ from repro.core import (
     OccultMode,
 )
 from repro.core.errors import MutationError
-from repro.crypto import MultiSignature
 
 
 def do_occult(deployment, target, mode=OccultMode.SYNC, signers=("dba", "regulator")):

@@ -10,7 +10,7 @@ from repro.core import (
     OccultMode,
     dasein_audit,
 )
-from repro.core.errors import LedgerError
+from repro.core.errors import LedgerError, RecoveryError
 from repro.core.ledger import LSP_MEMBER_ID
 from repro.core.members import MemberRegistry
 from repro.crypto import KeyPair, MultiSignature, Role
@@ -24,7 +24,9 @@ def build_original(journal_stream, clock, tledger, with_occult=True):
     registry = MemberRegistry()
     lsp = KeyPair.generate(seed="recovery-lsp")
     config = LedgerConfig(uri=URI, fractal_height=3, block_size=4)
-    ledger = Ledger(config, clock=clock, registry=registry, lsp_keypair=lsp, journal_stream=journal_stream)
+    ledger = Ledger(
+        config, clock=clock, registry=registry, lsp_keypair=lsp, journal_stream=journal_stream
+    )
     ledger.attach_time_ledger(tledger)
     user = KeyPair.generate(seed="recovery-user")
     dba = KeyPair.generate(seed="recovery-dba")
@@ -151,6 +153,14 @@ class TestRecovery:
                 KeyPair.generate(seed="x"), clock=clock,
             )
 
+    def test_empty_stream_raises_recovery_error(self, world):
+        clock, _tsa, _tledger = world
+        with pytest.raises(RecoveryError):
+            Ledger.recover(
+                LedgerConfig(uri=URI), MemoryStream(), MemberRegistry(),
+                KeyPair.generate(seed="x"), clock=clock,
+            )
+
     def test_purged_stream_rejected(self, world):
         clock, _tsa, tledger = world
         stream = MemoryStream()
@@ -169,3 +179,135 @@ class TestRecovery:
         original.execute_purge(pseudo, record, approvals)
         with pytest.raises(LedgerError, match="purged"):
             Ledger.recover(original.config, stream, MemberRegistry(), lsp, clock=clock)
+
+
+class TestFileStreamBatchMutationRecovery:
+    """Recovery after ``append_batch`` interleaved with physical erasures
+    (occult SYNC/ASYNC, purge) on a durable ``FileStream`` — the group-commit
+    write path and the in-place erase path exercising one on-disk file."""
+
+    URI = "ledger://batch-recovery"
+
+    def _build(self, path, clock, with_occults=True):
+        registry = MemberRegistry()
+        lsp = KeyPair.generate(seed="batchrec-lsp")
+        keys = {
+            "user": KeyPair.generate(seed="batchrec-user"),
+            "dba": KeyPair.generate(seed="batchrec-dba"),
+            "reg": KeyPair.generate(seed="batchrec-reg"),
+        }
+        config = LedgerConfig(uri=self.URI, fractal_height=4, block_size=4)
+        stream = FileStream(path, durable=True)
+        ledger = Ledger(
+            config, clock=clock, registry=registry,
+            lsp_keypair=lsp, journal_stream=stream,
+        )
+        ledger.registry.register("user", Role.USER, keys["user"].public)
+        ledger.registry.register("dba", Role.DBA, keys["dba"].public)
+        ledger.registry.register("reg", Role.REGULATOR, keys["reg"].public)
+
+        def batch(start, count):
+            return [
+                ClientRequest.build(
+                    self.URI, "user", b"batch-%03d" % i,
+                    clues=("BCLUE",) if i % 2 == 0 else (),
+                    nonce=i.to_bytes(4, "big"), client_timestamp=clock.now(),
+                ).signed_by(keys["user"])
+                for i in range(start, start + count)
+            ]
+
+        ledger.append_batch(batch(0, 7))
+        if with_occults:
+            # One synchronous erase and one deferred to reorganize(): both
+            # rewrite record headers in place between the two batch writes.
+            for target, mode in ((2, OccultMode.SYNC), (5, OccultMode.ASYNC)):
+                record = ledger.prepare_occult(target, mode, reason="erasure-mix")
+                approvals = MultiSignature(digest=record.approval_digest())
+                approvals.add("dba", keys["dba"].sign(record.approval_digest()))
+                approvals.add("reg", keys["reg"].sign(record.approval_digest()))
+                ledger.execute_occult(record, approvals)
+            assert ledger.pending_erasures == 1
+            ledger.reorganize()
+        ledger.append_batch(batch(100, 6))
+        return ledger, stream, registry, lsp, keys
+
+    @staticmethod
+    def _reregister(registry):
+        fresh = MemberRegistry()
+        for member in ("user", "dba", "reg"):
+            cert = registry.certificate(member)
+            fresh.register(member, cert.role, cert.public_key)
+        return fresh
+
+    def test_batch_and_occult_interleaving_recovers(self, tmp_path):
+        clock = SimClock()
+        path = tmp_path / "batch.stream"
+        ledger, stream, registry, lsp, _keys = self._build(path, clock)
+        expected = (
+            ledger.size,
+            ledger.current_root(),
+            ledger.state_root(),
+            ledger.list_tx("BCLUE"),
+        )
+        stream.close()
+        with FileStream(path) as reopened:
+            assert reopened.open_report.clean
+            recovered = Ledger.recover(
+                ledger.config, reopened, self._reregister(registry), lsp, clock=clock
+            )
+            assert (
+                recovered.size,
+                recovered.current_root(),
+                recovered.state_root(),
+                recovered.list_tx("BCLUE"),
+            ) == expected
+            for jsn in (2, 5):  # the two occult targets
+                assert recovered.is_occulted(jsn)
+                with pytest.raises(JournalOccultedError):
+                    recovered.get_journal(jsn)
+            for jsn in range(recovered.size):
+                if recovered.is_occulted(jsn):
+                    continue
+                assert recovered.verify_journal(recovered.get_journal(jsn)), jsn
+
+    def test_recovered_batch_ledger_accepts_new_batches(self, tmp_path):
+        clock = SimClock()
+        path = tmp_path / "batch.stream"
+        ledger, stream, registry, lsp, keys = self._build(path, clock)
+        stream.close()
+        with FileStream(path) as reopened:
+            recovered = Ledger.recover(
+                ledger.config, reopened, self._reregister(registry), lsp, clock=clock
+            )
+            follow_up = [
+                ClientRequest.build(
+                    self.URI, "user", b"post-recovery-%d" % i,
+                    nonce=(1000 + i).to_bytes(4, "big"),
+                    client_timestamp=clock.now(),
+                ).signed_by(keys["user"])
+                for i in range(3)
+            ]
+            receipts = recovered.append_batch(follow_up)
+            for receipt in receipts:
+                journal = recovered.get_journal(receipt.jsn)
+                assert recovered.verify_journal(journal)
+
+    def test_purged_file_stream_raises_recovery_error(self, tmp_path):
+        clock = SimClock()
+        path = tmp_path / "purged.stream"
+        ledger, stream, registry, lsp, keys = self._build(
+            path, clock, with_occults=False
+        )
+        pseudo, record = ledger.prepare_purge(4)
+        approvals = MultiSignature(digest=record.approval_digest())
+        signer_keys = {"user": keys["user"], "dba": keys["dba"], LSP_MEMBER_ID: lsp}
+        for member in ledger.purge_required_signers(4):
+            approvals.add(member, signer_keys[member].sign(record.approval_digest()))
+        ledger.execute_purge(pseudo, record, approvals)
+        stream.close()
+        with FileStream(path) as reopened:
+            with pytest.raises(RecoveryError, match="purged"):
+                Ledger.recover(
+                    ledger.config, reopened, self._reregister(registry), lsp,
+                    clock=clock,
+                )

@@ -1,5 +1,8 @@
 """Streams (memory + file) and KV stores."""
 
+import os
+import struct
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -10,8 +13,11 @@ from repro.storage import (
     MemoryKVStore,
     MemoryStream,
     RecordErasedError,
+    StreamCorruptionError,
     StreamError,
+    crc32c,
 )
+from repro.storage.stream import _HEADER, _MAGIC
 
 
 class TestMemoryStream:
@@ -107,6 +113,176 @@ class TestFileStream:
         finally:
             if os.path.exists(path):
                 os.unlink(path)
+
+
+class TestCrc32c:
+    def test_known_vectors(self):
+        # RFC 3720 appendix B.4 test patterns.
+        assert crc32c(b"") == 0x00000000
+        assert crc32c(b"123456789") == 0xE3069283
+        assert crc32c(b"\x00" * 32) == 0x8A9136AA
+        assert crc32c(b"\xff" * 32) == 0x62A8AB43
+
+    def test_chaining_matches_one_shot(self):
+        data = bytes(range(256))
+        assert crc32c(data[100:], crc32c(data[:100])) == crc32c(data)
+
+
+class TestFileStreamCrashConsistency:
+    """The §9 contract: torn tails roll back, corruption is refused."""
+
+    @staticmethod
+    def _build(path, records=(b"alpha", b"bravo", b"charlie")):
+        with FileStream(path, durable=True) as stream:
+            for record in records:
+                stream.append(record)
+        return os.path.getsize(path)
+
+    def test_open_report_clean_on_healthy_file(self, tmp_path):
+        path = tmp_path / "s"
+        self._build(path)
+        with FileStream(path) as stream:
+            assert stream.open_report.clean
+            assert stream.open_report.records == 3
+
+    def test_truncated_header_rolls_back_not_struct_error(self, tmp_path):
+        """Regression: a header cut short used to escape as struct.error."""
+        path = tmp_path / "s"
+        size = self._build(path)
+        os.truncate(path, size - len(b"charlie") - 2)  # mid-header of rec 2
+        with FileStream(path) as stream:
+            assert len(stream) == 2
+            assert stream.read(1) == b"bravo"
+            report = stream.open_report
+            assert not report.clean
+            assert "torn record header" in report.truncation_reason
+
+    def test_truncated_payload_rolls_back(self, tmp_path):
+        path = tmp_path / "s"
+        size = self._build(path)
+        os.truncate(path, size - 3)
+        with FileStream(path) as stream:
+            assert len(stream) == 2
+            assert "torn record payload" in stream.open_report.truncation_reason
+        # The rollback is durable: a second open sees a clean file.
+        with FileStream(path) as stream:
+            assert stream.open_report.clean
+
+    def test_truncation_under_open_stream_raises_not_struct_error(self, tmp_path):
+        """Regression: reads off a shrunk file used to raise struct.error."""
+        path = tmp_path / "s"
+        with FileStream(path) as stream:
+            stream.append(b"first")
+            stream.append(b"second-record")
+            os.truncate(path, os.path.getsize(path) - 8)
+            with pytest.raises(StreamCorruptionError):
+                stream.read(1)
+
+    def test_bad_magic_refused(self, tmp_path):
+        path = tmp_path / "s"
+        self._build(path)
+        with open(path, "r+b") as handle:
+            handle.write(b"NOTMAGIC")
+        with pytest.raises(StreamCorruptionError, match="superblock"):
+            FileStream(path)
+
+    def test_flipped_payload_byte_refused(self, tmp_path):
+        path = tmp_path / "s"
+        size = self._build(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 1)
+            original = handle.read(1)[0]
+            handle.seek(size - 1)
+            handle.write(bytes([original ^ 0x10]))
+        with pytest.raises(StreamCorruptionError, match="payload checksum"):
+            FileStream(path)
+
+    def test_flipped_length_cannot_fake_torn_tail(self, tmp_path):
+        """A corrupted length field must fail the header CRC, not silently
+        truncate the committed records behind it."""
+        path = tmp_path / "s"
+        self._build(path)
+        with FileStream(path) as stream:
+            position = stream._positions[0]
+        with open(path, "r+b") as handle:
+            handle.seek(position)
+            original = handle.read(1)[0]
+            handle.seek(position)
+            handle.write(bytes([original ^ 0x80]))  # length += 2**31
+        with pytest.raises(StreamCorruptionError, match="header checksum"):
+            FileStream(path)
+
+    def test_unknown_flag_bits_refused(self, tmp_path):
+        """Even a header whose CRC validates is refused on unknown flags
+        (format-version safety: future bits must not be misread as today's)."""
+        path = tmp_path / "s"
+        self._build(path)
+        with FileStream(path) as stream:
+            position = stream._positions[1]
+            length = stream._lengths[1]
+        with open(path, "r+b") as handle:
+            handle.seek(position + _HEADER.size)
+            payload = handle.read(length)
+            flags = 0x04 | 0x02
+            pcrc = crc32c(payload)
+            hcrc = crc32c(struct.pack(">IBI", length, flags, pcrc))
+            handle.seek(position)
+            handle.write(_HEADER.pack(length, flags, pcrc, hcrc))
+        with pytest.raises(StreamCorruptionError, match="unknown flag"):
+            FileStream(path)
+
+    def test_uncommitted_suffix_rolls_back(self, tmp_path):
+        """Records after the last commit epilogue vanish on reopen: the
+        group-commit batch is all-or-nothing."""
+        path = tmp_path / "s"
+        self._build(path, records=(b"keep-me",))
+        # Forge a batch whose final (committing) record never made it: two
+        # intact records, neither carrying the COMMIT flag.
+        with open(path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            for payload in (b"uncommitted-1", b"uncommitted-2"):
+                pcrc = crc32c(payload)
+                hcrc = crc32c(struct.pack(">IBI", len(payload), 0, pcrc))
+                handle.write(_HEADER.pack(len(payload), 0, pcrc, hcrc) + payload)
+        with FileStream(path) as stream:
+            assert len(stream) == 1
+            assert stream.read(0) == b"keep-me"
+            report = stream.open_report
+            assert report.truncated_records == 2
+            assert "uncommitted batch tail" in report.truncation_reason
+
+    def test_interrupted_erase_is_completed_on_open(self, tmp_path):
+        """Erase writes its header before scrubbing; a crash between the two
+        recovers as an erased record whose payload open() re-zeroes."""
+        path = tmp_path / "s"
+        self._build(path, records=(b"SENSITIVE-BYTES", b"tail"))
+        with FileStream(path) as stream:
+            position = stream._positions[0]
+            length = stream._lengths[0]
+        with open(path, "r+b") as handle:  # the erase header, payload intact
+            flags = 0x01 | 0x02  # ERASED | COMMIT
+            hcrc = crc32c(struct.pack(">IBI", length, flags, 0))
+            handle.seek(position)
+            handle.write(_HEADER.pack(length, flags, 0, hcrc))
+        with FileStream(path) as stream:
+            assert stream.open_report.scrubbed_records == (0,)
+            assert stream.is_erased(0)
+            assert stream.read(1) == b"tail"
+        assert b"SENSITIVE" not in (tmp_path / "s").read_bytes()
+
+    def test_fresh_file_gets_superblock(self, tmp_path):
+        with FileStream(tmp_path / "s") as stream:
+            assert len(stream) == 0
+        assert (tmp_path / "s").read_bytes() == _MAGIC
+
+    def test_crash_before_superblock_durable_recreates_it(self, tmp_path):
+        path = tmp_path / "s"
+        path.write_bytes(_MAGIC[:3])  # torn superblock write
+        with FileStream(path) as stream:
+            assert len(stream) == 0
+            stream.append(b"first")
+        with FileStream(path) as stream:
+            assert stream.read(0) == b"first"
 
 
 class TestKVStores:

@@ -32,7 +32,6 @@ class TestTim:
         tim = TimAccumulator()
         for i in range(1024):
             tim.append_digest(leaf_hash(i.to_bytes(4, "big")))
-        early_small = None
         # The same leaf's proof gets longer as the tree grows.
         proof_small = tim.get_proof(0, at_size=16)
         proof_large = tim.get_proof(0, at_size=1024)

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.core import DaseinVerifier, JournalType
+from repro.core import DaseinVerifier
 from repro.core.verification import parse_time_journal
 
 

@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.worldstate import StateEntry, StateProof, WorldState
+from repro.core.worldstate import StateProof, WorldState
 from repro.crypto.hashing import sha256
 
 
