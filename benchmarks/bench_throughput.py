@@ -18,6 +18,13 @@ Two sections:
   inversions.
 
 ``--quick`` shrinks iteration counts to a smoke-test scale for CI.
+
+``--obs`` turns on the observability layer (repro.obs) for the append
+section and adds a per-phase ``observability`` breakdown to the JSON report
+— span call counts and mean wall/self microseconds for every instrumented
+phase, so a regression can be localised (fsync? CM-Tree? signing?) from the
+artifact alone.  The timed numbers then include the (small) metrics
+overhead, so CI's gated comparison always runs *without* ``--obs``.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import obs  # noqa: E402
 from repro.core import ClientRequest, Ledger, LedgerConfig  # noqa: E402
 from repro.crypto import KeyPair, Role  # noqa: E402
 from repro.crypto import ecdsa  # noqa: E402
@@ -175,10 +183,34 @@ def bench_append(batch_size: int, rounds: int, warmup: int) -> dict:
     }
 
 
+def _phase_breakdown(snapshot: dict) -> dict:
+    """Condense an obs snapshot into per-phase rows for the JSON report."""
+    phases = {}
+    histograms = snapshot["histograms"]
+    for name, hist in histograms.items():
+        if not name.endswith(".wall_us"):
+            continue
+        phase = name[: -len(".wall_us")]
+        self_hist = histograms.get(f"{phase}.self_us", {})
+        phases[phase] = {
+            "calls": hist["count"],
+            "wall_us_mean": hist["mean"],
+            "wall_us_total": hist["sum"],
+            "self_us_mean": self_hist.get("mean", 0.0),
+            "self_us_total": self_hist.get("sum", 0.0),
+        }
+    return {"phases": phases, "counters": snapshot["counters"]}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="smoke-test scale (CI-friendly)"
+    )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable the observability layer and embed per-phase breakdowns",
     )
     parser.add_argument(
         "--out",
@@ -193,9 +225,17 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.quick:
         ecdsa_report = bench_ecdsa(iterations=8, naive_iterations=3)
-        append_report = bench_append(batch_size=8, rounds=1, warmup=8)
     else:
         ecdsa_report = bench_ecdsa(iterations=64, naive_iterations=16)
+
+    if args.obs:
+        # Only the append section runs instrumented: the ecdsa section's
+        # point is the raw fast-path latency.
+        obs.enable()
+        obs.reset()
+    if args.quick:
+        append_report = bench_append(batch_size=8, rounds=1, warmup=8)
+    else:
         append_report = bench_append(batch_size=64, rounds=5, warmup=64)
 
     report = {
@@ -203,10 +243,14 @@ def main(argv: list[str] | None = None) -> int:
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
             "quick": args.quick,
+            "obs": args.obs,
         },
         "ecdsa": ecdsa_report,
         "append": append_report,
     }
+    if args.obs:
+        report["observability"] = _phase_breakdown(obs.snapshot())
+        obs.disable()
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     json.dump(report, sys.stdout, indent=2)
     print()

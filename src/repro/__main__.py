@@ -5,7 +5,9 @@ Commands:
 * ``demo``   — run the guided end-to-end scenario (append → verify → audit);
 * ``bench``  — reproduce the paper's tables and figures (see ``repro.bench``);
 * ``attack`` — run the §III-B timestamp-attack scenarios and print windows;
-* ``table1`` — print the Table-I comparison matrix.
+* ``table1`` — print the Table-I comparison matrix;
+* ``stats``  — run an instrumented workload and print the observability
+  snapshot (DESIGN.md §10): per-phase spans, cache hit rates, storage I/O.
 """
 
 from __future__ import annotations
@@ -91,6 +93,117 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _stats_workload(journals: int) -> dict:
+    """Run an instrumented end-to-end workload; return the metrics snapshot.
+
+    Exercises every instrumented layer: single and batched appends onto a
+    durable :class:`FileStream`, fam proofs, server-side verification, full
+    client-side Dasein verification, and a reopen (storage.open_scan).
+    """
+    import tempfile
+
+    from repro import (
+        ClientRequest,
+        DaseinVerifier,
+        KeyPair,
+        Ledger,
+        LedgerConfig,
+        Role,
+        SimClock,
+        TimeLedger,
+        TimeStampAuthority,
+    )
+    from repro import obs
+    from repro.storage.stream import FileStream
+
+    obs.enable()
+    obs.reset()
+    clock = SimClock()
+    tsa = TimeStampAuthority("stats-tsa", clock)
+    tledger = TimeLedger(clock, tsa, finalize_interval=1.0, admission_tolerance=2.0)
+    with tempfile.TemporaryDirectory(prefix="repro-stats-") as tmp:
+        stream = FileStream(f"{tmp}/journal.stream", durable=True)
+        ledger = Ledger(
+            LedgerConfig(uri="ledger://stats", fractal_height=4, block_size=4),
+            clock=clock,
+            journal_stream=stream,
+        )
+        ledger.attach_time_ledger(tledger)
+        user = KeyPair.generate(seed="stats-user")
+        ledger.registry.register("stats-user", Role.USER, user.public)
+
+        def request(i: int) -> ClientRequest:
+            return ClientRequest.build(
+                "ledger://stats", "stats-user", f"record {i}".encode(),
+                clues=("STATS",), nonce=i.to_bytes(4, "big"),
+                client_timestamp=clock.now(),
+            ).signed_by(user)
+
+        half = journals // 2
+        receipts = []
+        for i in range(half):
+            receipts.append(ledger.append(request(i)))
+            clock.advance(0.1)
+            if i % 4 == 3:
+                ledger.anchor_time()
+        receipts.extend(ledger.append_batch([request(i) for i in range(half, journals)]))
+        ledger.anchor_time()
+        clock.advance(2.0)
+        ledger.collect_time_evidence()
+        ledger.commit_block()
+        for receipt in receipts[: min(8, len(receipts))]:
+            proof = ledger.get_proof(receipt.jsn)
+            assert ledger.verify_journal(ledger.get_journal(receipt.jsn), proof)
+        view = ledger.export_view()
+        verifier = DaseinVerifier(view, tsa_keys={"stats-tsa": tsa.public_key})
+        target = receipts[1]
+        report = verifier.verify_dasein(
+            target.jsn, ledger.get_proof(target.jsn, anchored=False), target
+        )
+        assert report.what and report.who
+        stream.close()
+        # Reopen to exercise the open-time scan path.
+        FileStream(f"{tmp}/journal.stream", durable=True).close()
+    return obs.snapshot()
+
+
+def _render_stats_table(snapshot: dict) -> str:
+    lines = []
+    counters = snapshot["counters"]
+    if counters:
+        width = max(len(name) for name in counters)
+        lines.append("counters")
+        lines.extend(f"  {name:<{width}}  {value:>12}" for name, value in counters.items())
+    gauges = snapshot["gauges"]
+    if gauges:
+        width = max(len(name) for name in gauges)
+        lines.append("gauges")
+        lines.extend(f"  {name:<{width}}  {value:>12g}" for name, value in gauges.items())
+    histograms = snapshot["histograms"]
+    if histograms:
+        width = max(len(name) for name in histograms)
+        lines.append("histograms (us)")
+        header = f"  {'name':<{width}}  {'count':>8} {'mean':>10} {'min':>10} {'max':>10}"
+        lines.append(header)
+        for name, h in histograms.items():
+            lines.append(
+                f"  {name:<{width}}  {h['count']:>8} {h['mean']:>10.1f} "
+                f"{h['min']:>10.1f} {h['max']:>10.1f}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    snapshot = _stats_workload(args.journals)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(_render_stats_table(snapshot))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -109,6 +222,15 @@ def main(argv: list[str] | None = None) -> int:
         fn=_cmd_attack
     )
     sub.add_parser("table1", help="print the Table-I matrix").set_defaults(fn=_cmd_table1)
+
+    stats = sub.add_parser(
+        "stats", help="instrumented workload + observability snapshot"
+    )
+    stats.add_argument("--json", action="store_true", help="print raw snapshot JSON")
+    stats.add_argument(
+        "--journals", type=int, default=24, help="workload size (default: 24)"
+    )
+    stats.set_defaults(fn=_cmd_stats)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from ..crypto.hashing import Digest
 from ..crypto.keys import KeyPair, PublicKey
 from ..merkle.fam import AnchorStore, FamAccumulator
-from .errors import VerificationFailure
+from .errors import LedgerError, VerificationFailure
 from .journal import ClientRequest, Journal
 from .ledger import LSP_MEMBER_ID, Ledger
 from .receipt import Receipt
@@ -254,7 +254,9 @@ class LedgerClient:
         for jsn in jsns:
             try:
                 journals.append(self.ledger.get_journal(jsn))
-            except Exception:
+            except LedgerError:
+                # Not-found / purged / occulted: the lineage has a hole, so
+                # the clue cannot fully verify.
                 return False
         proof = self.ledger.prove_clue(clue)
         digests = {i: j.tx_hash() for i, j in enumerate(journals)}

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from enum import Enum
 
+from .. import obs
 from ..crypto.ecdsa import Signature
 from ..crypto.hashing import Digest, journal_hash, receipt_hash
 from ..crypto.keys import KeyPair
@@ -54,21 +55,24 @@ class ClientRequest:
         admission, then journal construction), and the request is frozen.
         """
         cached = self.__dict__.get("_request_hash")
-        if cached is None:
-            cached = receipt_hash(
-                encode(
-                    {
-                        "ledger_uri": self.ledger_uri,
-                        "client_id": self.client_id,
-                        "journal_type": self.journal_type.value,
-                        "payload": self.payload,
-                        "clues": list(self.clues),
-                        "nonce": self.nonce,
-                        "client_timestamp": self.client_timestamp,
-                    }
-                )
+        if cached is not None:
+            obs.inc("journal.request_hash_memo.hit")
+            return cached
+        obs.inc("journal.request_hash_memo.miss")
+        cached = receipt_hash(
+            encode(
+                {
+                    "ledger_uri": self.ledger_uri,
+                    "client_id": self.client_id,
+                    "journal_type": self.journal_type.value,
+                    "payload": self.payload,
+                    "clues": list(self.clues),
+                    "nonce": self.nonce,
+                    "client_timestamp": self.client_timestamp,
+                }
             )
-            object.__setattr__(self, "_request_hash", cached)
+        )
+        object.__setattr__(self, "_request_hash", cached)
         return cached
 
     def signed_by(self, keypair: KeyPair) -> "ClientRequest":
@@ -170,7 +174,10 @@ class Journal:
         Memoized alongside :meth:`to_bytes`.
         """
         cached = self.__dict__.get("_tx_hash")
-        if cached is None:
-            cached = journal_hash(self.to_bytes())
-            object.__setattr__(self, "_tx_hash", cached)
+        if cached is not None:
+            obs.inc("journal.tx_hash_memo.hit")
+            return cached
+        obs.inc("journal.tx_hash_memo.miss")
+        cached = journal_hash(self.to_bytes())
+        object.__setattr__(self, "_tx_hash", cached)
         return cached

@@ -24,6 +24,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 
+from .. import obs
 from ..crypto.ca import Role
 from ..crypto.hashing import Digest, EMPTY_DIGEST, hexdigest
 from ..crypto.keys import KeyPair, verify_batch
@@ -67,6 +68,9 @@ class LedgerConfig:
     fractal_height: int = 10  # fam delta (epoch capacity 2^delta)
     block_size: int = 16  # journals per committed block
     require_client_signature: bool = True
+    #: Turn on the process-wide observability layer (DESIGN.md §10) when
+    #: this ledger is created — equivalent to setting ``REPRO_OBS=1``.
+    observability: bool = False
 
 
 @dataclass(frozen=True)
@@ -128,6 +132,8 @@ class Ledger:
         journal_stream: Stream | None = None,
     ) -> None:
         self.config = config or LedgerConfig()
+        if self.config.observability:
+            obs.enable()
         self.clock = clock or SimClock()
         self.registry = registry or MemberRegistry()
         self._lsp_keypair = lsp_keypair or KeyPair.generate(seed=f"lsp:{self.config.uri}")
@@ -160,6 +166,8 @@ class Ledger:
 
         self._latest_receipt: Receipt | None = None
         self._receipts: dict[int, Receipt] = {}
+        self._anchor_cache: AnchorStore = AnchorStore()
+        self._anchor_cache_epochs = 0  # completed epochs already seeded
 
         self._append_genesis()
 
@@ -240,6 +248,8 @@ class Ledger:
         ledger._pending_tledger = []
         ledger._latest_receipt = None
         ledger._receipts = {}
+        ledger._anchor_cache = AnchorStore()
+        ledger._anchor_cache_epochs = 0
 
         # Pass 1: collect mutation records from intact system journals, so
         # erased slots' digests can be sourced during the replay.
@@ -341,25 +351,26 @@ class Ledger:
         is written (the threat-A defence), commits the journal, and returns
         the LSP-signed receipt pi_s.
         """
-        if request.ledger_uri != self.config.uri:
-            raise AuthenticationError(
-                f"request targets {request.ledger_uri!r}, this ledger is "
-                f"{self.config.uri!r}"
-            )
-        certificate = self.registry.certificate(request.client_id)
-        if self.config.require_client_signature:
-            if request.signature is None:
-                raise AuthenticationError("request is unsigned")
-            if not certificate.public_key.verify(request.request_hash(), request.signature):
+        with obs.span("ledger.append"):
+            if request.ledger_uri != self.config.uri:
                 raise AuthenticationError(
-                    f"invalid signature from {request.client_id!r}"
+                    f"request targets {request.ledger_uri!r}, this ledger is "
+                    f"{self.config.uri!r}"
                 )
-        if request.journal_type not in (JournalType.NORMAL,):
-            raise AuthenticationError(
-                f"clients may only append normal journals, not "
-                f"{request.journal_type.value!r}"
-            )
-        return self._commit(request)
+            certificate = self.registry.certificate(request.client_id)
+            if self.config.require_client_signature:
+                if request.signature is None:
+                    raise AuthenticationError("request is unsigned")
+                if not certificate.public_key.verify(request.request_hash(), request.signature):
+                    raise AuthenticationError(
+                        f"invalid signature from {request.client_id!r}"
+                    )
+            if request.journal_type not in (JournalType.NORMAL,):
+                raise AuthenticationError(
+                    f"clients may only append normal journals, not "
+                    f"{request.journal_type.value!r}"
+                )
+            return self._commit(request)
 
     def append_batch(
         self, requests: list[ClientRequest], max_workers: int | None = None
@@ -385,7 +396,17 @@ class Ledger:
         """
         if not requests:
             return []
-        # ------------------------------------------------- phase 1: admission
+        with obs.span("ledger.append_batch") as span:
+            span.add("journals", len(requests))
+            with obs.span("ledger.admission"):
+                self._admit_batch(requests, max_workers)
+            with obs.span("ledger.commit_batch"):
+                return self._commit_batch(requests)
+
+    def _admit_batch(
+        self, requests: list[ClientRequest], max_workers: int | None
+    ) -> None:
+        """Phase 1 of :meth:`append_batch`: authenticate every request."""
         certificates = []
         for request in requests:
             if request.ledger_uri != self.config.uri:
@@ -433,7 +454,9 @@ class Ledger:
                     f"clients may only append normal journals, not "
                     f"{request.journal_type.value!r}"
                 )
-        # --------------------------------------------------- phase 2: commit
+
+    def _commit_batch(self, requests: list[ClientRequest]) -> list[Receipt]:
+        """Phase 2 of :meth:`append_batch`: write, accumulate, sign."""
         start_jsn = self._fam.size
         journals = [
             Journal(
@@ -513,47 +536,48 @@ class Ledger:
         return self._commit(request)
 
     def _commit(self, request: ClientRequest) -> Receipt:
-        jsn = self._fam.size
-        journal = Journal(
-            jsn=jsn,
-            journal_type=request.journal_type,
-            client_id=request.client_id,
-            payload=request.payload,
-            clues=request.clues,
-            timestamp=self.clock.now(),
-            nonce=request.nonce,
-            request_hash=request.request_hash(),
-            client_signature=request.signature,
-        )
-        data = journal.to_bytes()
-        tx_hash = journal.tx_hash()
-        offset = self._stream.append(data)
-        if offset != jsn:
-            raise IntegrityError(
-                f"journal stream desynchronised from fam: stream offset "
-                f"{offset}, expected jsn {jsn}"
+        with obs.span("ledger.commit"):
+            jsn = self._fam.size
+            journal = Journal(
+                jsn=jsn,
+                journal_type=request.journal_type,
+                client_id=request.client_id,
+                payload=request.payload,
+                clues=request.clues,
+                timestamp=self.clock.now(),
+                nonce=request.nonce,
+                request_hash=request.request_hash(),
+                client_signature=request.signature,
             )
-        self._fam.append(tx_hash)
-        for clue in journal.clues:
-            self._cmtree.add(clue, tx_hash)
-            self._cluesl.insert(clue, jsn)
-        if journal.journal_type == JournalType.TIME:
-            self._time_journals.append(jsn)
-        if jsn + 1 - self._pending_start >= self.config.block_size:
-            self.commit_block()
-        receipt = Receipt(
-            ledger_uri=self.config.uri,
-            jsn=jsn,
-            request_hash=journal.request_hash,
-            tx_hash=tx_hash,
-            block_hash=self._blocks[-1].hash() if self._blocks else EMPTY_DIGEST,
-            block_height=len(self._blocks) - 1,
-            ledger_root=self._fam.current_root(),
-            timestamp=journal.timestamp,
-        ).signed_by(self._lsp_keypair)
-        self._latest_receipt = receipt
-        self._receipts[jsn] = receipt
-        return receipt
+            data = journal.to_bytes()
+            tx_hash = journal.tx_hash()
+            offset = self._stream.append(data)
+            if offset != jsn:
+                raise IntegrityError(
+                    f"journal stream desynchronised from fam: stream offset "
+                    f"{offset}, expected jsn {jsn}"
+                )
+            self._fam.append(tx_hash)
+            for clue in journal.clues:
+                self._cmtree.add(clue, tx_hash)
+                self._cluesl.insert(clue, jsn)
+            if journal.journal_type == JournalType.TIME:
+                self._time_journals.append(jsn)
+            if jsn + 1 - self._pending_start >= self.config.block_size:
+                self.commit_block()
+            receipt = Receipt(
+                ledger_uri=self.config.uri,
+                jsn=jsn,
+                request_hash=journal.request_hash,
+                tx_hash=tx_hash,
+                block_hash=self._blocks[-1].hash() if self._blocks else EMPTY_DIGEST,
+                block_height=len(self._blocks) - 1,
+                ledger_root=self._fam.current_root(),
+                timestamp=journal.timestamp,
+            ).signed_by(self._lsp_keypair)
+            self._latest_receipt = receipt
+            self._receipts[jsn] = receipt
+            return receipt
 
     def commit_block(self) -> Block | None:
         """Seal all unsealed journals into a block (auto-run by append)."""
@@ -683,7 +707,8 @@ class Ledger:
 
     def get_proof(self, jsn: int, anchored: bool = True) -> FamProof:
         """The GetProof API: fam existence proof for one journal."""
-        return self._fam.get_proof(jsn, anchored=anchored)
+        with obs.span("ledger.get_proof"):
+            return self._fam.get_proof(jsn, anchored=anchored)
 
     def current_root(self) -> Digest:
         return self._fam.current_root()
@@ -692,23 +717,39 @@ class Ledger:
         return self._cmtree.root
 
     def epoch_anchors(self) -> AnchorStore:
-        """Anchor store seeded with every completed epoch root (server-trusting)."""
-        anchors = AnchorStore()
-        for epoch in range(self._fam.num_epochs - 1):
-            anchors.add(epoch, self._fam.epoch_root(epoch))
-        return anchors
+        """Anchor store seeded with every completed epoch root (server-trusting).
+
+        The store is cached and topped up incrementally: epochs only ever
+        *close* (completed roots are immutable, and purge keeps them for the
+        merged-leaf links), so the cache is extended by exactly the epochs
+        that closed since the last call instead of rescanning all of them.
+        The returned store is shared — treat it as read-only, or build a
+        private one from :meth:`FamAccumulator.epoch_root` directly.
+        """
+        completed = self._fam.num_epochs - 1
+        if self._anchor_cache_epochs < completed:
+            obs.inc("ledger.epoch_anchors.refresh")
+            for epoch in range(self._anchor_cache_epochs, completed):
+                self._anchor_cache.add(epoch, self._fam.epoch_root(epoch))
+            self._anchor_cache_epochs = completed
+        else:
+            obs.inc("ledger.epoch_anchors.hit")
+        return self._anchor_cache
 
     def verify_journal(self, journal: Journal, proof: FamProof | None = None) -> bool:
         """Server-side *what* verification of a presented journal."""
-        if proof is None:
-            try:
-                proof = self.get_proof(journal.jsn, anchored=False)
-            except (IndexError, KeyError):
-                return False
-        if proof.link_proofs:
-            return FamAccumulator.verify_full(journal.tx_hash(), proof, self.current_root())
-        anchors = self.epoch_anchors()
-        return self._fam.verify_with_anchors(journal.tx_hash(), proof, anchors)
+        with obs.span("ledger.verify_journal"):
+            if proof is None:
+                try:
+                    proof = self.get_proof(journal.jsn, anchored=False)
+                except (IndexError, KeyError):
+                    return False
+            if proof.link_proofs:
+                return FamAccumulator.verify_full(
+                    journal.tx_hash(), proof, self.current_root()
+                )
+            anchors = self.epoch_anchors()
+            return self._fam.verify_with_anchors(journal.tx_hash(), proof, anchors)
 
     def prove_clue(
         self, clue: str, version_start: int = 0, version_end: int | None = None
@@ -1099,6 +1140,14 @@ class Ledger:
         )
 
     # ------------------------------------------------------------- utilities
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-serialisable snapshot of the observability registry.
+
+        Covers the whole process (the registry is global, DESIGN.md §10);
+        empty shells when observability is disabled.
+        """
+        return obs.snapshot()
 
     def storage_stats(self) -> dict:
         """Approximate storage accounting for the overhead comparisons."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..crypto.hashing import Digest
 from ..crypto.keys import PublicKey
 from ..encoding import decode
@@ -100,7 +101,10 @@ class DaseinVerifier:
         The proof must be a full-chain (non-anchored) proof, since a
         distrusting client verifies against one externally-trusted root.
         """
-        return FamAccumulator.verify_full(journal.tx_hash(), proof, self.trusted_root)
+        with obs.span("dasein.what"):
+            return FamAccumulator.verify_full(
+                journal.tx_hash(), proof, self.trusted_root
+            )
 
     def verify_what_digest(self, retained_hash: Digest, proof: FamProof) -> bool:
         """Used-to-exist: verify a mutated journal by its retained digest."""
@@ -158,43 +162,52 @@ class DaseinVerifier:
         evidence fails to verify, or when no upper-bounding time journal
         exists yet (the journal's existence has no credible ceiling).
         """
-        lower = float("-inf")
-        upper = float("inf")
-        valid = True
-        for time_jsn, timestamp, evidence_ok in self._time_journals():
-            if time_jsn < jsn:
-                if evidence_ok:
-                    lower = max(lower, timestamp)
-            elif time_jsn > jsn:
-                if not evidence_ok:
-                    valid = False
-                upper = min(upper, timestamp)
-                break  # first covering anchor is the tight one
-        if upper == float("inf"):
-            return None, False
-        return TimeBound(lower=lower, upper=upper), valid
+        with obs.span("dasein.when"):
+            lower = float("-inf")
+            upper = float("inf")
+            valid = True
+            for time_jsn, timestamp, evidence_ok in self._time_journals():
+                if time_jsn < jsn:
+                    if evidence_ok:
+                        lower = max(lower, timestamp)
+                elif time_jsn > jsn:
+                    if not evidence_ok:
+                        valid = False
+                    upper = min(upper, timestamp)
+                    break  # first covering anchor is the tight one
+            if upper == float("inf"):
+                return None, False
+            return TimeBound(lower=lower, upper=upper), valid
 
     # ------------------------------------------------------------------ who
 
     def verify_who(self, journal: Journal, receipt: Receipt | None = None) -> bool:
         """Non-repudiation: pi_c against the member's certificate, and — when a
         receipt is presented — pi_s against the LSP's certificate."""
-        certificate = self.view.certificates.get(journal.client_id)
-        if certificate is None or not certificate.verify(self.view.ca_public_key):
-            return False
-        if journal.client_signature is None:
-            return False
-        if not certificate.public_key.verify(journal.request_hash, journal.client_signature):
-            return False
-        if receipt is not None:
-            lsp_cert = self.view.certificates.get(self.view.lsp_member_id)
-            if lsp_cert is None or not lsp_cert.verify(self.view.ca_public_key):
+        with obs.span("dasein.who"):
+            certificate = self.view.certificates.get(journal.client_id)
+            if certificate is None or not certificate.verify(self.view.ca_public_key):
                 return False
-            if not receipt.verify(lsp_cert.public_key):
+            if journal.client_signature is None:
                 return False
-            if receipt.jsn == journal.jsn and receipt.tx_hash != journal.tx_hash():
+            if not certificate.public_key.verify(
+                journal.request_hash, journal.client_signature
+            ):
                 return False
-        return True
+            if receipt is not None:
+                lsp_cert = self.view.certificates.get(self.view.lsp_member_id)
+                if lsp_cert is None or not lsp_cert.verify(self.view.ca_public_key):
+                    return False
+                if not receipt.verify(lsp_cert.public_key):
+                    return False
+                # The receipt must be *this* journal's receipt: a genuine LSP
+                # signature over some other jsn proves nothing about this
+                # journal, so a jsn mismatch is a failure, not a skip.
+                if receipt.jsn != journal.jsn:
+                    return False
+                if receipt.tx_hash != journal.tx_hash():
+                    return False
+            return True
 
     # --------------------------------------------------------------- dasein
 
@@ -205,18 +218,19 @@ class DaseinVerifier:
         receipt: Receipt | None = None,
     ) -> DaseinReport:
         """Full 3w verification of one journal (Definition 1, per-journal)."""
-        journal = self.journal_at(jsn)
-        if journal is None:
-            entry = self.view.entry(jsn)
-            what = self.verify_what_digest(entry.retained_hash, proof)
+        with obs.span("dasein.verify"):
+            journal = self.journal_at(jsn)
+            if journal is None:
+                entry = self.view.entry(jsn)
+                what = self.verify_what_digest(entry.retained_hash, proof)
+                when_bound, when_valid = self.verify_when(jsn)
+                return DaseinReport(
+                    jsn=jsn, what=what, when_valid=when_valid, when_bound=when_bound,
+                    who=False,  # the signature went with the payload
+                )
+            what = self.verify_what(journal, proof)
             when_bound, when_valid = self.verify_when(jsn)
+            who = self.verify_who(journal, receipt)
             return DaseinReport(
-                jsn=jsn, what=what, when_valid=when_valid, when_bound=when_bound,
-                who=False,  # the signature went with the payload
+                jsn=jsn, what=what, when_valid=when_valid, when_bound=when_bound, who=who
             )
-        what = self.verify_what(journal, proof)
-        when_bound, when_valid = self.verify_when(jsn)
-        who = self.verify_who(journal, receipt)
-        return DaseinReport(
-            jsn=jsn, what=what, when_valid=when_valid, when_bound=when_bound, who=who
-        )

@@ -36,6 +36,8 @@ import hmac
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from .. import obs
+
 __all__ = [
     "CURVE_P256",
     "Curve",
@@ -600,8 +602,9 @@ def sign_digest(secret: int, digest: bytes, curve: Curve = CURVE_P256) -> Signat
     Uses the precomputed fixed-base generator table for k*G; output is
     bit-identical to :func:`sign_digest_naive` (RFC 6979 is deterministic).
     """
-    table = _generator_table(curve)
-    return _sign_digest_core(secret, digest, curve, table.multiply)
+    with obs.span("ecdsa.sign"):
+        table = _generator_table(curve)
+        return _sign_digest_core(secret, digest, curve, table.multiply)
 
 
 def sign_digest_naive(secret: int, digest: bytes, curve: Curve = CURVE_P256) -> Signature:
@@ -626,6 +629,14 @@ def sign_digests(
         raise ValueError("secret key out of range")
     if not digests:
         return []
+    with obs.span("ecdsa.sign_batch") as _sp:
+        _sp.add("signatures", len(digests))
+        return _sign_digests_batched(secret, digests, curve)
+
+
+def _sign_digests_batched(
+    secret: int, digests: list[bytes], curve: Curve
+) -> list[Signature]:
     table = _generator_table(curve)
     n = curve.n
     nonces = [rfc6979_nonce(secret, digest, curve) for digest in digests]
@@ -661,7 +672,9 @@ def _resolve_pubkey_table(public_key: Point, curve: Curve):
     table = _PUBKEY_TABLES.get(cache_key)
     if table is not None:
         _PUBKEY_TABLES.move_to_end(cache_key)
+        obs.inc("ecdsa.pubkey_cache.hit")
         return True, table
+    obs.inc("ecdsa.pubkey_cache.miss")
     if not is_on_curve(public_key, curve):
         return False, None
     return True, _note_pubkey_use(cache_key, public_key, curve)
@@ -709,15 +722,16 @@ def verify_digest(
     Returns ``False`` (never raises) for malformed signatures or off-curve
     keys, so callers can treat the result as a plain proof bit.
     """
-    r, s = signature.r, signature.s
-    if not (1 <= r < curve.n and 1 <= s < curve.n):
-        return False
-    usable, table = _resolve_pubkey_table(public_key, curve)
-    if not usable:
-        return False
-    z = _bits2int(digest, curve.n)
-    w = _inverse_mod(s, curve.n)
-    return _verify_prepared(public_key, z, r, w, table, curve)
+    with obs.span("ecdsa.verify"):
+        r, s = signature.r, signature.s
+        if not (1 <= r < curve.n and 1 <= s < curve.n):
+            return False
+        usable, table = _resolve_pubkey_table(public_key, curve)
+        if not usable:
+            return False
+        z = _bits2int(digest, curve.n)
+        w = _inverse_mod(s, curve.n)
+        return _verify_prepared(public_key, z, r, w, table, curve)
 
 
 def verify_digests(
@@ -730,24 +744,26 @@ def verify_digests(
     Montgomery batch inversion — malformed items are sifted out first so they
     never poison the shared product.
     """
-    results = [False] * len(checks)
-    prepared: list[tuple[int, Point, int, int, object]] = []
-    s_values: list[int] = []
-    for index, (public_key, digest, signature) in enumerate(checks):
-        r, s = signature.r, signature.s
-        if not (1 <= r < curve.n and 1 <= s < curve.n):
-            continue
-        usable, table = _resolve_pubkey_table(public_key, curve)
-        if not usable:
-            continue
-        prepared.append((index, public_key, _bits2int(digest, curve.n), r, table))
-        s_values.append(s)
-    if not prepared:
+    with obs.span("ecdsa.verify_batch") as _sp:
+        _sp.add("checks", len(checks))
+        results = [False] * len(checks)
+        prepared: list[tuple[int, Point, int, int, object]] = []
+        s_values: list[int] = []
+        for index, (public_key, digest, signature) in enumerate(checks):
+            r, s = signature.r, signature.s
+            if not (1 <= r < curve.n and 1 <= s < curve.n):
+                continue
+            usable, table = _resolve_pubkey_table(public_key, curve)
+            if not usable:
+                continue
+            prepared.append((index, public_key, _bits2int(digest, curve.n), r, table))
+            s_values.append(s)
+        if not prepared:
+            return results
+        inverses = _batch_inverse(s_values, curve.n)
+        for (index, public_key, z, r, table), w in zip(prepared, inverses):
+            results[index] = _verify_prepared(public_key, z, r, w, table, curve)
         return results
-    inverses = _batch_inverse(s_values, curve.n)
-    for (index, public_key, z, r, table), w in zip(prepared, inverses):
-        results[index] = _verify_prepared(public_key, z, r, w, table, curve)
-    return results
 
 
 def verify_digest_naive(

@@ -129,7 +129,8 @@ class BamtAccumulator:
             from ..crypto.hashing import node_hash
 
             return node_hash(sealed_commitment, merkle_root_padded(self._open)) == root
-        except Exception:
+        except (ValueError, IndexError, TypeError):
+            # Out-of-range indices or wrong-shaped paths in an untrusted proof.
             return False
 
     def num_nodes(self) -> int:

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..crypto.hashing import Digest, clue_key_hash
-from ..encoding import decode, encode
+from ..encoding import EncodingError, decode, encode
 from ..storage.kv import KVStore
 from .mpt import MPT, MPTProof
 from .proofs import BatchProof, bag_peaks
@@ -84,7 +85,9 @@ class ClueProof:
         """
         try:
             size, frontier = _decode_clue_value(self.clue_value)
-        except Exception:
+        except (EncodingError, KeyError, TypeError, ValueError):
+            # Malformed clue value from an untrusted prover; anything else
+            # (a bug in our own decoder) should surface, not read as "false".
             return False
         if self.entry_count != size or self.batch.tree_size != size:
             return False
@@ -172,7 +175,8 @@ class CMTree:
             self._accumulators[key] = accumulator
             self._clue_names[key] = clue
         version = accumulator.append_leaf(journal_digest)
-        self._mpt.put(key, _encode_clue_value(accumulator))
+        with obs.span("cmtree.flush"):
+            self._mpt.put(key, _encode_clue_value(accumulator))
         return version
 
     def add_many(self, clue: str, journal_digests: list[Digest]) -> list[int]:
@@ -194,7 +198,9 @@ class CMTree:
             self._accumulators[key] = accumulator
             self._clue_names[key] = clue
         versions = [accumulator.append_leaf(digest) for digest in journal_digests]
-        self._mpt.put(key, _encode_clue_value(accumulator))
+        with obs.span("cmtree.flush") as sp:
+            sp.add("amortised_entries", len(journal_digests))
+            self._mpt.put(key, _encode_clue_value(accumulator))
         return versions
 
     # ---------------------------------------------------------------- reads

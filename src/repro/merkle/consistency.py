@@ -56,7 +56,8 @@ class ConsistencyProof:
         """Check both commitments against the shipped structure.  Never raises."""
         try:
             return self._verify(old_root, new_root)
-        except Exception:
+        except (KeyError, ValueError, IndexError, TypeError):
+            # Incomplete or ill-typed complement tiles in an untrusted proof.
             return False
 
     def _verify(self, old_root: Digest, new_root: Digest) -> bool:

@@ -1,0 +1,201 @@
+"""Dependency-free metrics substrate: counters, gauges, histograms.
+
+The observability layer (DESIGN.md §10) exists so the per-phase costs the
+paper evaluates — proof construction vs. signing vs. storage (Figs. 7–10) —
+are visible inside a running ledger instead of inferred from end-to-end
+timings.  Three metric kinds cover everything the hot paths need:
+
+* :class:`Counter` — a monotone event count (cache hits, journals appended,
+  bytes written);
+* :class:`Gauge`   — a last-write-wins level (queue depths, sizes);
+* :class:`Histogram` — fixed log₂-scale latency buckets plus count/sum/
+  min/max, so per-phase latency distributions cost O(64) memory forever.
+
+All state lives in a :class:`MetricsRegistry`.  Every mutation takes the
+registry's single lock, making the registry safe under future parallel
+appenders; the lock is uncontended in today's single-threaded paths and
+costs ~100 ns per operation.  :class:`NullRegistry` is the disabled-mode
+stand-in: same API, every method a no-op, ``snapshot()`` empty — hot paths
+never branch on "is observability on", they just talk to whichever registry
+is installed (see :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry"]
+
+#: Number of log₂ buckets a histogram carries.  Bucket ``k`` counts values
+#: in ``(2^(k-1), 2^k]`` (bucket 0: values <= 1).  64 buckets cover any
+#: microsecond latency a ledger operation can physically produce.
+HISTOGRAM_BUCKETS = 64
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A last-write-wins level."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Log₂-bucketed distribution with count / sum / min / max.
+
+    ``observe`` maps a non-negative value to bucket ``ceil(log2(value))``
+    via ``int.bit_length`` — no ``math.log`` call on the hot path.  Bucket
+    upper bounds are fixed powers of two, so histograms from different runs
+    (or different threads) merge by plain bucket-wise addition.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+        self.buckets = [0] * HISTOGRAM_BUCKETS
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            value = 0.0
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        # ceil(log2(v)) for v > 1; values <= 1 land in bucket 0.
+        magnitude = int(value)
+        index = magnitude.bit_length() if magnitude >= 1 else 0
+        if index and magnitude == 1 << (index - 1) and value == magnitude:
+            index -= 1  # exact powers of two belong to their own bucket
+        if index >= HISTOGRAM_BUCKETS:
+            index = HISTOGRAM_BUCKETS - 1
+        self.buckets[index] += 1
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable summary; only non-empty buckets are listed."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum,
+            "mean": (self.total / self.count) if self.count else 0.0,
+            "buckets": {
+                str(1 << index if index else 1): hits
+                for index, hits in enumerate(self.buckets)
+                if hits
+            },
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe, name-addressed store of counters, gauges and histograms.
+
+    Names are dotted strings following the span naming scheme (DESIGN.md
+    §10): ``<layer>.<operation>[.<detail>]``, e.g. ``ledger.append.wall_us``
+    or ``ecdsa.pubkey_cache.hit``.  Metrics are created on first touch;
+    reading the snapshot never mutates.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- mutation
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            counter.value += amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            gauge.value = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
+
+    def reset(self) -> None:
+        """Drop every metric (tests, or the start of a measured workload)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # --------------------------------------------------------------- reads
+
+    def counter_value(self, name: str) -> int:
+        with self._lock:
+            counter = self._counters.get(name)
+            return counter.value if counter is not None else 0
+
+    def snapshot(self) -> dict:
+        """A point-in-time, JSON-serialisable view of every metric."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: counter.value
+                    for name, counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: gauge.value for name, gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: histogram.snapshot()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
+
+
+class NullRegistry:
+    """The disabled-mode registry: every operation is a no-op.
+
+    Shares the :class:`MetricsRegistry` surface so instrumented code holds a
+    single reference and never branches.  ``snapshot()`` is an empty shell
+    (still JSON-serialisable) so callers need no special-casing either.
+    """
+
+    __slots__ = ()
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def counter_value(self, name: str) -> int:
+        return 0
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -62,6 +62,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import BinaryIO, Iterator
 
+from .. import obs
 from .checksum import crc32c
 
 __all__ = [
@@ -261,7 +262,9 @@ class FileStream(Stream):
         raw: BinaryIO = open(self._path, mode)
         self._file = file_factory(raw) if file_factory is not None else raw
         try:
-            self.open_report = self._load_index()
+            with obs.span("storage.open_scan") as sp:
+                self.open_report = self._load_index()
+                sp.add("records", self.open_report.records)
         except BaseException:
             self._file.close()
             raise
@@ -380,47 +383,56 @@ class FileStream(Stream):
     def _fsync(self) -> None:
         # A fault-injecting wrapper intercepts fsync as a first-class op;
         # plain files go through os.fsync.
-        fsync = getattr(self._file, "fsync", None)
-        if fsync is not None:
-            fsync()
-        else:
-            os.fsync(self._file.fileno())
+        with obs.span("storage.fsync"):
+            fsync = getattr(self._file, "fsync", None)
+            if fsync is not None:
+                fsync()
+            else:
+                os.fsync(self._file.fileno())
 
     # --------------------------------------------------------------- appends
 
     def append(self, record: bytes) -> int:
-        self._file.seek(0, os.SEEK_END)
-        position = self._file.tell()
-        self._file.write(_pack_record_header(len(record), _FLAG_COMMIT, record) + record)
-        self._flush()
-        self._positions.append(position)
-        self._lengths.append(len(record))
-        self._erased.append(False)
-        return len(self._positions) - 1
+        with obs.span("storage.append"):
+            self._file.seek(0, os.SEEK_END)
+            position = self._file.tell()
+            self._file.write(
+                _pack_record_header(len(record), _FLAG_COMMIT, record) + record
+            )
+            self._flush()
+            self._positions.append(position)
+            self._lengths.append(len(record))
+            self._erased.append(False)
+            obs.inc("storage.bytes_written", _HEADER.size + len(record))
+            return len(self._positions) - 1
 
     def append_many(self, records: list[bytes]) -> list[int]:
         if not records:
             return []
-        self._file.seek(0, os.SEEK_END)
-        position = self._file.tell()
-        chunks: list[bytes] = []
-        offsets: list[int] = []
-        last = len(records) - 1
-        for index, record in enumerate(records):
-            # Only the batch's final record carries the commit epilogue: a
-            # reopen after a crash anywhere inside this write rolls the
-            # whole batch back (all-or-nothing group commit).
-            flags = _FLAG_COMMIT if index == last else 0
-            chunks.append(_pack_record_header(len(record), flags, record))
-            chunks.append(record)
-            self._positions.append(position)
-            self._lengths.append(len(record))
-            self._erased.append(False)
-            offsets.append(len(self._positions) - 1)
-            position += _HEADER.size + len(record)
-        self._file.write(b"".join(chunks))
-        self._flush()
-        return offsets
+        with obs.span("storage.append_many") as sp:
+            sp.add("records", len(records))
+            self._file.seek(0, os.SEEK_END)
+            position = self._file.tell()
+            chunks: list[bytes] = []
+            offsets: list[int] = []
+            last = len(records) - 1
+            for index, record in enumerate(records):
+                # Only the batch's final record carries the commit epilogue: a
+                # reopen after a crash anywhere inside this write rolls the
+                # whole batch back (all-or-nothing group commit).
+                flags = _FLAG_COMMIT if index == last else 0
+                chunks.append(_pack_record_header(len(record), flags, record))
+                chunks.append(record)
+                self._positions.append(position)
+                self._lengths.append(len(record))
+                self._erased.append(False)
+                offsets.append(len(self._positions) - 1)
+                position += _HEADER.size + len(record)
+            payload = b"".join(chunks)
+            self._file.write(payload)
+            self._flush()
+            obs.inc("storage.bytes_written", len(payload))
+            return offsets
 
     # ----------------------------------------------------------------- reads
 

@@ -146,6 +146,85 @@ class TestExistenceProofs:
             deployment.ledger.get_journal(99)
 
 
+class TestEpochAnchorCache:
+    def _count_epoch_root_calls(self, ledger):
+        calls = {"n": 0}
+        original = ledger._fam.epoch_root
+
+        def counting(epoch):
+            calls["n"] += 1
+            return original(epoch)
+
+        ledger._fam.epoch_root = counting
+        return calls
+
+    def test_repeated_verifies_do_not_rescan_epochs(self, populated):
+        deployment, _receipts = populated
+        ledger = deployment.ledger
+        ledger.epoch_anchors()  # warm the cache
+        calls = self._count_epoch_root_calls(ledger)
+        for jsn in range(1, 6):
+            journal = ledger.get_journal(jsn)
+            proof = ledger.get_proof(jsn)  # anchored: verifies via anchors
+            assert ledger.verify_journal(journal, proof)
+        assert calls["n"] == 0
+
+    def test_cache_extends_when_an_epoch_closes(self, populated):
+        deployment, _receipts = populated
+        ledger = deployment.ledger
+        before = ledger._fam.num_epochs
+        anchors = ledger.epoch_anchors()
+        calls = self._count_epoch_root_calls(ledger)
+        # Fill out the current epoch so a new one closes (height 3 -> 8/epoch).
+        while ledger._fam.num_epochs == before:
+            deployment.append("alice", b"fill-%d" % ledger.size)
+        refreshed = ledger.epoch_anchors()
+        assert refreshed is anchors  # same store, extended in place
+        # Only the newly closed epochs were scanned, not all of history.
+        assert 0 < calls["n"] == ledger._fam.num_epochs - before
+
+    def test_cached_anchors_match_fresh_scan(self, populated):
+        deployment, _receipts = populated
+        ledger = deployment.ledger
+        cached = ledger.epoch_anchors()
+        for epoch in range(ledger._fam.num_epochs - 1):
+            assert cached.get(epoch) == ledger._fam.epoch_root(epoch)
+
+    def test_cache_rebuilt_after_recover(self):
+        from repro.storage.stream import MemoryStream
+
+        stream = MemoryStream()
+        ledger = Ledger(
+            LedgerConfig(uri=LEDGER_URI, fractal_height=2, block_size=4),
+            journal_stream=stream,
+        )
+        from repro.crypto import Role
+
+        key = KeyPair.generate(seed="anchor-cache")
+        ledger.registry.register("carol", Role.USER, key.public)
+        for i in range(9):  # height 2 -> 4 leaves/epoch: two epochs close
+            request = ClientRequest.build(
+                LEDGER_URI, "carol", b"r%d" % i, nonce=bytes([i])
+            ).signed_by(key)
+            ledger.append(request)
+        expected = {
+            epoch: ledger._fam.epoch_root(epoch)
+            for epoch in range(ledger._fam.num_epochs - 1)
+        }
+        recovered = Ledger.recover(
+            LedgerConfig(uri=LEDGER_URI, fractal_height=2, block_size=4),
+            stream,
+            registry=ledger.registry,
+            lsp_keypair=ledger._lsp_keypair,
+        )
+        anchors = recovered.epoch_anchors()
+        assert expected  # the scenario really closed epochs
+        for epoch, root in expected.items():
+            assert anchors.get(epoch) == root
+        journal = recovered.get_journal(3)
+        assert recovered.verify_journal(journal, recovered.get_proof(3))
+
+
 class TestClueAPIs:
     def test_list_tx_returns_clue_jsns(self, populated):
         deployment, _receipts = populated

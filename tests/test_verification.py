@@ -95,6 +95,56 @@ class TestWhen:
         bound, valid = verifier.verify_when(target)
         assert valid and bound.lower > float("-inf")
 
+    def test_tampered_lower_evidence_weakens_floor_but_stays_valid(self, verifier_setup):
+        # Bad *lower* evidence is soundly skipped: the floor falls back (to
+        # -inf here, no earlier anchor exists) while the intact ceiling keeps
+        # the bound valid — a weaker bracket is still a true statement.
+        deployment, _receipts, view, honest = verifier_setup
+        time_jsns = sorted(view.time_evidence)
+        first, second = time_jsns[0], time_jsns[1]
+        target = first + 1  # bracketed: `first` below, `second` above
+        honest_bound, honest_valid = honest.verify_when(target)
+        assert honest_valid and honest_bound.lower > float("-inf")
+        forged_evidence = dict(view.time_evidence)
+        forged_evidence[first] = forged_evidence[second]  # digest mismatch
+        forged_view = dataclasses.replace(view, time_evidence=forged_evidence)
+        verifier = DaseinVerifier(forged_view, tsa_keys=deployment.tsa_keys)
+        bound, valid = verifier.verify_when(target)
+        assert valid
+        assert bound.lower == float("-inf")
+        assert bound.upper == honest_bound.upper  # ceiling untouched
+
+    def test_missing_lower_evidence_weakens_floor_but_stays_valid(self, verifier_setup):
+        deployment, _receipts, view, honest = verifier_setup
+        time_jsns = sorted(view.time_evidence)
+        first, second = time_jsns[0], time_jsns[1]
+        target = first + 1
+        honest_bound, _ = honest.verify_when(target)
+        stripped_evidence = dict(view.time_evidence)
+        del stripped_evidence[first]
+        stripped_view = dataclasses.replace(view, time_evidence=stripped_evidence)
+        verifier = DaseinVerifier(stripped_view, tsa_keys=deployment.tsa_keys)
+        bound, valid = verifier.verify_when(target)
+        assert valid
+        assert bound == dataclasses.replace(
+            honest_bound, lower=float("-inf")
+        )
+
+    def test_no_ceiling_returns_exactly_none_false(self, verifier_setup):
+        # Past the last anchor there is no credible ceiling: the result is
+        # exactly (None, False) even though valid *lower* anchors abound —
+        # verify_when never fabricates a one-sided TimeBound.
+        deployment, _receipts, _view, _verifier = verifier_setup
+        deployment.append("alice", b"tail-1")
+        deployment.append("bob", b"tail-2")
+        view = deployment.ledger.export_view()
+        verifier = DaseinVerifier(view, tsa_keys=deployment.tsa_keys)
+        assert len(view.time_evidence) >= 2  # plenty of valid lower anchors
+        for jsn in (deployment.ledger.size - 2, deployment.ledger.size - 1):
+            bound, valid = verifier.verify_when(jsn)
+            assert bound is None
+            assert valid is False
+
 
 class TestWho:
     def test_honest_signature_verifies(self, verifier_setup):
@@ -119,6 +169,24 @@ class TestWho:
         journal = verifier.journal_at(receipts[0].jsn)
         tampered_journal = dataclasses.replace(journal, payload=b"swapped")
         assert not verifier.verify_who(tampered_journal, receipts[0])
+
+    def test_receipt_for_other_journal_fails(self, verifier_setup):
+        # Regression: a perfectly genuine LSP receipt — valid signature,
+        # honest content — for a *different* jsn proves nothing about this
+        # journal and must not yield who=True.
+        _deployment, receipts, _view, verifier = verifier_setup
+        journal = verifier.journal_at(receipts[0].jsn)
+        other = receipts[1]
+        assert other.jsn != journal.jsn
+        assert not verifier.verify_who(journal, other)
+
+    def test_receipt_with_relabelled_jsn_fails(self, verifier_setup):
+        # Relabelling another journal's receipt to the target jsn breaks the
+        # LSP signature; forging the tx_hash too trips the cross-check.
+        _deployment, receipts, _view, verifier = verifier_setup
+        journal = verifier.journal_at(receipts[0].jsn)
+        relabelled = dataclasses.replace(receipts[1], jsn=journal.jsn)
+        assert not verifier.verify_who(journal, relabelled)
 
     def test_unknown_member_fails(self, verifier_setup):
         _deployment, receipts, view, verifier = verifier_setup
