@@ -1,0 +1,231 @@
+"""Group-commit service benchmark: concurrent coalesced appends vs sequential.
+
+Standalone script (not a pytest-benchmark module) so CI and developers get a
+one-command JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick] [--out FILE]
+
+One section, ``service``: N client threads, each pipelining a small window
+of in-flight futures (an async client), race their pre-signed requests
+through :class:`repro.service.LedgerService` (group commit — one stream
+write/fsync, grouped CM-Tree flushes, one shared-inversion signing pass per
+batch) against a single caller driving ``Ledger.append`` on an identical
+durable file-backed ledger.  Both sides pay identical crypto per journal;
+what the service buys is the amortisation, so ``coalesce_speedup`` is the
+headline number (the acceptance floor is 1.5x — enforce it with
+``--min-speedup 1.5``).
+
+Sequential and coalesced segments alternate round by round so system-wide
+speed drift (CPU throttling, fsync latency swings) hits both sides alike;
+the reported speedup is the *median* of per-round paired ratios.
+
+``--quick`` shrinks the workload to a smoke-test scale for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import ClientRequest, Ledger, LedgerConfig  # noqa: E402
+from repro.crypto import KeyPair, Role  # noqa: E402
+from repro.service import LedgerService, ServiceConfig  # noqa: E402
+from repro.storage.stream import FileStream  # noqa: E402
+
+URI = "ledger://bench-service"
+CLIENTS = ("alice", "bob", "carol", "dan")
+CLUES = ("order:41", "shipment:8", "invoice:3")
+
+
+def _make_ledger(directory: str, tag: str) -> tuple[Ledger, dict[str, KeyPair]]:
+    stream = FileStream(Path(directory) / f"{tag}.log", durable=True)
+    ledger = Ledger(
+        LedgerConfig(uri=URI, fractal_height=10, block_size=64),
+        journal_stream=stream,
+    )
+    keys = {}
+    for name in CLIENTS:
+        keypair = KeyPair.generate(seed=f"bench:{name}")
+        keys[name] = keypair
+        ledger.registry.register(name, Role.USER, keypair.public)
+    return ledger, keys
+
+
+def _requests(keys: dict[str, KeyPair], count: int, start: int) -> list[ClientRequest]:
+    out = []
+    for i in range(start, start + count):
+        client = CLIENTS[i % len(CLIENTS)]
+        out.append(
+            ClientRequest.build(
+                URI,
+                client,
+                payload=f"tx-{i}".encode(),
+                clues=CLUES,
+                nonce=i.to_bytes(8, "big"),
+                client_timestamp=1.0,
+            ).signed_by(keys[client])
+        )
+    return out
+
+
+def _run_threads(
+    service: LedgerService, per_thread: list[list[ClientRequest]], window: int
+) -> float:
+    """Drive one request list per thread through the service; seconds elapsed.
+
+    Each thread keeps up to ``window`` futures in flight (an async client's
+    pipeline), so the writer can coalesce ``threads * window`` requests.
+    """
+    errors: list[BaseException] = []
+
+    def worker(requests: list[ClientRequest]) -> None:
+        try:
+            inflight: deque = deque()
+            for request in requests:
+                inflight.append(service.submit(request, timeout=60.0))
+                if len(inflight) >= window:
+                    inflight.popleft().result(timeout=60.0)
+            while inflight:
+                inflight.popleft().result(timeout=60.0)
+        except BaseException as exc:  # benchmark must not swallow failures
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(chunk,)) for chunk in per_thread]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def bench_service(
+    threads: int, per_thread: int, rounds: int, warmup: int, window: int = 4
+) -> dict:
+    round_size = threads * per_thread
+    round_times: list[tuple[float, float]] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        seq_ledger, keys = _make_ledger(tmp, "seq")
+        svc_ledger, _ = _make_ledger(tmp, "svc")
+        # At most threads * window requests are ever in flight — cap max_batch
+        # there so the writer stops lingering the moment every one is aboard.
+        service = LedgerService(
+            svc_ledger, ServiceConfig(max_batch=threads * window, max_wait_ms=2.0)
+        )
+        try:
+            # Warm both paths: window tables, pubkey LRU, lazy structures.
+            # The service side warms through the same thread fan-out so the
+            # lifetime mean_batch_size stat reflects coalesced batches only.
+            for request in _requests(keys, warmup, start=0):
+                seq_ledger.append(request)
+            warm = _requests(keys, warmup, start=warmup)
+            _run_threads(service, [warm[t::threads] for t in range(threads)], window)
+
+            for index in range(rounds):
+                seq_work = _requests(keys, round_size, start=10_000 + index * round_size)
+                start = time.perf_counter()
+                for request in seq_work:
+                    seq_ledger.append(request)
+                seq_elapsed = time.perf_counter() - start
+
+                svc_work = _requests(keys, round_size, start=20_000 + index * round_size)
+                chunks = [
+                    svc_work[t * per_thread : (t + 1) * per_thread] for t in range(threads)
+                ]
+                svc_elapsed = _run_threads(service, chunks, window)
+                round_times.append((seq_elapsed, svc_elapsed))
+            stats = service.stats()
+        finally:
+            service.close()
+
+    total = rounds * round_size
+    seq_total = sum(seq for seq, _svc in round_times)
+    svc_total = sum(svc for _seq, svc in round_times)
+    ratios = sorted(seq / svc for seq, svc in round_times)
+    return {
+        "threads": threads,
+        "per_thread": per_thread,
+        "window": window,
+        "rounds": rounds,
+        "journals_per_side": total,
+        "clues_per_journal": len(CLUES),
+        "sequential_us_per_append": seq_total / total * 1e6,
+        "coalesced_us_per_append": svc_total / total * 1e6,
+        "sequential_appends_per_sec": total / seq_total,
+        "coalesced_appends_per_sec": total / svc_total,
+        "coalesce_speedup": ratios[len(ratios) // 2],
+        "mean_batch_size": stats["mean_batch_size"],
+        "batches": stats["batches"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke-test scale (CI-friendly)"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless coalesce_speedup reaches this factor",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_service.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    # Fail on an unwritable report path *before* minutes of benchmarking.
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.touch()
+
+    if args.quick:
+        service_report = bench_service(threads=8, per_thread=6, rounds=1, warmup=8)
+    else:
+        service_report = bench_service(threads=8, per_thread=24, rounds=3, warmup=32)
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "quick": args.quick,
+        },
+        "service": service_report,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    speedup = service_report["coalesce_speedup"]
+    print(
+        f"\ncoalesced {speedup:.2f}x sequential "
+        f"({service_report['coalesced_appends_per_sec']:.0f} vs "
+        f"{service_report['sequential_appends_per_sec']:.0f} appends/sec, "
+        f"mean batch {service_report['mean_batch_size']:.1f}; report: {args.out})",
+        file=sys.stderr,
+    )
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"::error::service coalescing below floor: {speedup:.2f}x < "
+            f"{args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

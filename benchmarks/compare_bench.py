@@ -16,6 +16,15 @@ below 1) are reported but never gate.
 so the gate can prove it *would* fail — ``--scale 3.5`` simulates a 3.5x
 slowdown without committing one — and is what ``tests/test_compare_bench.py``
 pins the red path with.
+
+``--metric section.metric`` (repeatable) overrides the default gated set, so
+the same gate serves any benchmark report that nests timings two levels
+deep — e.g. the service benchmark::
+
+    python benchmarks/compare_bench.py bench-service.json \
+        --baseline BENCH_service.json \
+        --metric service.sequential_us_per_append \
+        --metric service.coalesced_us_per_append
 """
 
 from __future__ import annotations
@@ -40,13 +49,14 @@ def compare(
     warn_ratio: float = 1.5,
     fail_ratio: float = 3.0,
     scale: float = 1.0,
+    metrics: tuple[tuple[str, str], ...] = GATED_METRICS,
 ) -> tuple[list[str], list[str], list[str]]:
     """Returns (report_lines, warnings, failures)."""
     lines, warnings, failures = [], [], []
     lines.append(
         f"{'metric':<38} {'baseline':>12} {'current':>12} {'ratio':>8}  status"
     )
-    for section, metric in GATED_METRICS:
+    for section, metric in metrics:
         try:
             base_value = float(baseline[section][metric])
             current_value = float(current[section][metric]) * scale
@@ -94,12 +104,35 @@ def main(argv: list[str] | None = None) -> int:
         default=1.0,
         help="multiply current timings (gate self-test: --scale 3.5 must fail)",
     )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        dest="metrics",
+        metavar="SECTION.METRIC",
+        help="gate on this metric instead of the defaults (repeatable)",
+    )
     args = parser.parse_args(argv)
+
+    if args.metrics:
+        metrics = []
+        for spec in args.metrics:
+            section, _, metric = spec.partition(".")
+            if not section or not metric:
+                parser.error(f"--metric takes SECTION.METRIC, got {spec!r}")
+            metrics.append((section, metric))
+        metrics = tuple(metrics)
+    else:
+        metrics = GATED_METRICS
 
     current = json.loads(args.current.read_text())
     baseline = json.loads(args.baseline.read_text())
     lines, warnings, failures = compare(
-        current, baseline, warn_ratio=args.warn, fail_ratio=args.fail, scale=args.scale
+        current,
+        baseline,
+        warn_ratio=args.warn,
+        fail_ratio=args.fail,
+        scale=args.scale,
+        metrics=metrics,
     )
     print("\n".join(lines))
     for warning in warnings:

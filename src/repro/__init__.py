@@ -45,6 +45,8 @@ from .core import (
     MemberRegistry,
     OccultMode,
     Receipt,
+    UsageError,
+    VerifyResult,
     dasein_audit,
 )
 from .crypto import CertificateAuthority, KeyPair, MultiSignature, PublicKey, Role, Signature
@@ -57,12 +59,15 @@ from .merkle import (
     ShrubsAccumulator,
     TimAccumulator,
 )
+from .service import LedgerService, ServiceConfig
 from .timeauth import (
     SimClock,
     TimeLedger,
     TimeStampAuthority,
     TSAPool,
 )
+from . import api  # noqa: E402  (the v2 session API; after core is loaded)
+from .api import LedgerSession, connect, scoped_ledger
 
 __version__ = "1.0.0"
 
@@ -79,7 +84,15 @@ __all__ = [
     "MemberRegistry",
     "OccultMode",
     "Receipt",
+    "UsageError",
+    "VerifyResult",
     "dasein_audit",
+    "api",
+    "connect",
+    "scoped_ledger",
+    "LedgerSession",
+    "LedgerService",
+    "ServiceConfig",
     "CertificateAuthority",
     "KeyPair",
     "MultiSignature",

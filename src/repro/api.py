@@ -1,0 +1,544 @@
+"""repro.api — the v2 session-handle API (DESIGN.md §11).
+
+The v1 facade (:mod:`repro.core.api`) mirrors the paper's procedural surface:
+free functions keyed by an ``lgid`` string, re-resolved on every call, with
+``verify`` collapsing a three-factor Dasein audit into a bare bool.  This
+module replaces it with **session handles**:
+
+* :func:`create` / :func:`drop_ledger` manage a process-wide, thread-safe
+  registry of ledgers by ``lgid`` — symmetric by default (duplicate
+  ``create`` and unknown ``drop_ledger`` both raise :class:`UsageError`),
+  with ``exist_ok`` / ``missing_ok`` escape hatches and a
+  :func:`scoped_ledger` context manager for test hygiene;
+* :func:`connect` returns a :class:`LedgerSession` bound to one ledger (and
+  optionally one :class:`~repro.service.LedgerService`, so appends ride the
+  group-commit path), with ``append / append_batch / list_tx / get_proof /
+  verify`` methods that never re-look anything up;
+* every verification returns a structured
+  :class:`~repro.core.verification.VerifyResult` — per-factor verdicts, the
+  proof object used, and the trusted root — truthy-compatible with the old
+  bool.
+
+Exception contract: argument and registry misuse raises
+:class:`~repro.core.errors.UsageError`; rejected requests raise
+:class:`~repro.core.errors.AuthenticationError`; failed proofs *return* a
+falsy :class:`VerifyResult` (verification outcomes are data, not errors).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .core.api import VerifyLevel, VerifyTarget
+from .core.errors import UsageError
+from .core.journal import ClientRequest, Journal
+from .core.ledger import Ledger, LedgerConfig
+from .core.receipt import Receipt
+from .core.verification import DaseinVerifier, VerifyResult
+from .crypto.keys import KeyPair, PublicKey
+from .merkle.fam import FamAccumulator, FamProof
+from .service import LedgerService
+
+__all__ = [
+    "VerifyLevel",
+    "VerifyTarget",
+    "VerifyResult",
+    "LedgerSession",
+    "connect",
+    "create",
+    "drop_ledger",
+    "get_ledger",
+    "list_ledgers",
+    "scoped_ledger",
+]
+
+_REGISTRY: dict[str, Ledger] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+# ------------------------------------------------------------------ registry
+
+
+def create(lgid: str, *, exist_ok: bool = False, **kwargs: Any) -> Ledger:
+    """The Create API: register a new ledger under ``lgid``.
+
+    ``kwargs`` pass through to :class:`Ledger` (``config``, ``clock``,
+    ``registry``, ``lsp_keypair``, ``journal_stream``).  With
+    ``exist_ok=True`` an already-registered ``lgid`` returns the existing
+    ledger instead of raising (``kwargs`` must then be empty — silently
+    ignoring a different config would be a worse footgun than the error).
+
+    Raises:
+        UsageError: ``lgid`` is already registered (and not ``exist_ok``),
+            or ``exist_ok`` hit an existing ledger with ``kwargs`` supplied.
+    """
+    with _REGISTRY_LOCK:
+        existing = _REGISTRY.get(lgid)
+        if existing is not None:
+            if not exist_ok:
+                raise UsageError(f"ledger {lgid!r} already exists")
+            if kwargs:
+                raise UsageError(
+                    f"ledger {lgid!r} already exists; exist_ok=True cannot "
+                    f"re-apply constructor arguments {sorted(kwargs)}"
+                )
+            return existing
+        config = kwargs.pop("config", None) or LedgerConfig(uri=lgid)
+        ledger = Ledger(config=config, **kwargs)
+        _REGISTRY[lgid] = ledger
+        return ledger
+
+
+def get_ledger(lgid: str) -> Ledger:
+    """Resolve a registered ledger.
+
+    Raises:
+        UsageError: no ledger is registered under ``lgid``.
+    """
+    with _REGISTRY_LOCK:
+        try:
+            return _REGISTRY[lgid]
+        except KeyError:
+            raise UsageError(f"unknown ledger: {lgid!r}") from None
+
+
+def drop_ledger(lgid: str, *, missing_ok: bool = False) -> None:
+    """Remove a ledger from the registry — symmetric twin of :func:`create`.
+
+    The v1 facade silently ignored unknown ``lgid``\\ s here while ``create``
+    raised on duplicates; that asymmetry hid typos in teardown code.  Both
+    directions now raise by default; pass ``missing_ok=True`` for idempotent
+    cleanup (or use :func:`scoped_ledger`, which does this for you).
+
+    Raises:
+        UsageError: no ledger is registered under ``lgid`` (and not
+            ``missing_ok``).
+    """
+    with _REGISTRY_LOCK:
+        if _REGISTRY.pop(lgid, None) is None and not missing_ok:
+            raise UsageError(f"unknown ledger: {lgid!r}")
+
+
+def list_ledgers() -> list[str]:
+    """All registered ``lgid``\\ s, sorted."""
+    with _REGISTRY_LOCK:
+        return sorted(_REGISTRY)
+
+
+@contextmanager
+def scoped_ledger(
+    lgid: str,
+    *,
+    client_id: str | None = None,
+    keypair: KeyPair | None = None,
+    service: LedgerService | ServiceConfigLike = None,
+    **kwargs: Any,
+) -> Iterator["LedgerSession"]:
+    """Create a ledger for the block's duration and drop it on exit.
+
+    Yields a :class:`LedgerSession` (its ``.ledger`` attribute is the raw
+    :class:`Ledger`).  ``kwargs`` pass through to :func:`create`; the
+    session arguments mirror :func:`connect`.  Exists for test hygiene: the
+    registry is process-wide, and a test that leaks ledgers poisons its
+    neighbours' ``create`` calls.
+    """
+    create(lgid, **kwargs)
+    session = connect(lgid, client_id=client_id, keypair=keypair, service=service)
+    try:
+        yield session
+    finally:
+        session.close()
+        drop_ledger(lgid, missing_ok=True)
+
+
+# ------------------------------------------------------------------ sessions
+
+#: ``service=`` accepts a LedgerService, True (spin up a default one the
+#: session owns), or a ServiceConfig (spin up an owned one with those knobs).
+ServiceConfigLike = Any
+
+
+def connect(
+    lgid: str,
+    *,
+    client_id: str | None = None,
+    keypair: KeyPair | None = None,
+    service: LedgerService | ServiceConfigLike = None,
+) -> "LedgerSession":
+    """Open a session handle on a registered ledger.
+
+    ``client_id`` / ``keypair`` become the session's defaults for signing
+    appends (overridable per call).  ``service`` routes the session's
+    appends through a group-commit front end: pass an existing
+    :class:`LedgerService` (shared with other sessions; the caller closes
+    it), ``True`` for a service the session creates and owns, or a
+    :class:`~repro.service.ServiceConfig` for an owned service with those
+    coalescing knobs.
+
+    Raises:
+        UsageError: unknown ``lgid``, or ``service`` is none of the above.
+    """
+    return LedgerSession(
+        get_ledger(lgid),
+        lgid=lgid,
+        client_id=client_id,
+        keypair=keypair,
+        service=service,
+    )
+
+
+class LedgerSession:
+    """A handle binding one ledger (plus optional service and identity).
+
+    Where the v1 facade re-resolved ``lgid`` strings and re-asked for
+    identity on every call, a session resolves everything once::
+
+        with repro.api.scoped_ledger("ledger://t") as session:
+            session.ledger.registry.register("alice", Role.USER, alice.public)
+            receipt = session.append(b"hello", clues=("C",),
+                                     client_id="alice", keypair=alice)
+            assert session.verify(VerifyTarget.TX,
+                                  txdata=[session.ledger.get_journal(receipt.jsn)])
+
+    Sessions are cheap; open as many as there are client identities.  A
+    session is thread-safe exactly when its append path is: direct appends
+    mutate the ledger and need external coordination, service-backed
+    appends (``service=...``) are safe from any thread.
+    """
+
+    def __init__(
+        self,
+        ledger: Ledger,
+        *,
+        lgid: str | None = None,
+        client_id: str | None = None,
+        keypair: KeyPair | None = None,
+        service: LedgerService | ServiceConfigLike = None,
+    ) -> None:
+        from .service import ServiceConfig  # local: keep module import light
+
+        self.ledger = ledger
+        self.lgid = lgid if lgid is not None else ledger.config.uri
+        self.client_id = client_id
+        self.keypair = keypair
+        self._owns_service = False
+        if service is None or isinstance(service, LedgerService):
+            self.service = service
+        elif service is True:
+            self.service = LedgerService(ledger)
+            self._owns_service = True
+        elif isinstance(service, ServiceConfig):
+            self.service = LedgerService(ledger, service)
+            self._owns_service = True
+        else:
+            raise UsageError(
+                "service must be a LedgerService, a ServiceConfig, True, or "
+                f"None — got {type(service).__name__}"
+            )
+
+    # ------------------------------------------------------------- appends
+
+    def _resolve_identity(
+        self, client_id: str | None, keypair: KeyPair | None
+    ) -> tuple[str, KeyPair]:
+        client_id = client_id if client_id is not None else self.client_id
+        keypair = keypair if keypair is not None else self.keypair
+        if client_id is None or keypair is None:
+            raise UsageError(
+                "no signing identity: pass client_id and keypair here or "
+                "bind them at connect()"
+            )
+        return client_id, keypair
+
+    def _build_request(
+        self,
+        client_id: str,
+        keypair: KeyPair,
+        payload: bytes,
+        clues: tuple[str, ...],
+        nonce_offset: int = 0,
+    ) -> ClientRequest:
+        return ClientRequest.build(
+            self.ledger.config.uri,
+            client_id,
+            payload,
+            clues=clues,
+            nonce=(self.ledger.size + nonce_offset).to_bytes(8, "big"),
+            client_timestamp=self.ledger.clock.now(),
+        ).signed_by(keypair)
+
+    def append(
+        self,
+        payload: bytes | None = None,
+        *,
+        clue: str | None = None,
+        clues: tuple[str, ...] | None = None,
+        client_id: str | None = None,
+        keypair: KeyPair | None = None,
+        request: ClientRequest | None = None,
+        timeout: float | None = None,
+    ) -> Receipt:
+        """Append one transaction; returns the LSP-signed receipt.
+
+        Either pass a pre-signed ``request``, or a ``payload`` signed with
+        the session identity (or the per-call ``client_id``/``keypair``).
+        With a bound service the append coalesces into a group commit and
+        ``timeout`` bounds the wait for the receipt.
+
+        Raises:
+            UsageError: no payload/request, both, or no signing identity.
+            AuthenticationError: the ledger rejected the request.
+            ServiceClosedError / ServiceOverloadedError / ServiceTimeout:
+                service-path admission and wait failures (service-bound
+                sessions only).
+        """
+        if request is None:
+            if payload is None:
+                raise UsageError("append() needs a payload or a pre-signed request")
+            if clue is not None and clues is not None:
+                raise UsageError("pass clue= or clues=, not both")
+            resolved_id, resolved_key = self._resolve_identity(client_id, keypair)
+            all_clues = clues if clues is not None else ((clue,) if clue else ())
+            request = self._build_request(resolved_id, resolved_key, payload, all_clues)
+        elif payload is not None:
+            raise UsageError("pass payload= or request=, not both")
+        if self.service is not None:
+            return self.service.append(request, timeout=timeout)
+        return self.ledger.append(request)
+
+    def append_batch(
+        self,
+        items: list[tuple[bytes, str | None]] | None = None,
+        *,
+        client_id: str | None = None,
+        keypair: KeyPair | None = None,
+        requests: list[ClientRequest] | None = None,
+        max_workers: int | None = None,
+        timeout: float | None = None,
+    ) -> list[Receipt]:
+        """Append many transactions through one amortised pass.
+
+        ``items`` are ``(payload, clue)`` pairs signed with the session (or
+        per-call) identity; alternatively pass pre-signed ``requests``.
+        Without a service this is :meth:`Ledger.append_batch` (atomic: one
+        bad request rejects the whole batch, ledger untouched).  With a
+        service the requests are submitted individually, so they coalesce
+        with other sessions' traffic and a bad request fails only itself.
+
+        Raises:
+            UsageError: neither/both of ``items`` and ``requests``, or no
+                signing identity.
+            AuthenticationError: a request was rejected (direct path: whole
+                batch; service path: that request's slot).
+        """
+        if (items is None) == (requests is None):
+            raise UsageError("append_batch() takes exactly one of items= or requests=")
+        if requests is None:
+            resolved_id, resolved_key = self._resolve_identity(client_id, keypair)
+            requests = [
+                self._build_request(
+                    resolved_id,
+                    resolved_key,
+                    payload,
+                    (clue,) if clue else (),
+                    nonce_offset=index,
+                )
+                for index, (payload, clue) in enumerate(items)
+            ]
+        if self.service is not None:
+            futures = [self.service.submit(request) for request in requests]
+            return [future.result(timeout) for future in futures]
+        return self.ledger.append_batch(requests, max_workers=max_workers)
+
+    # --------------------------------------------------------------- reads
+
+    def list_tx(self, clue: str) -> list[Journal]:
+        """All retrievable journals carrying ``clue`` (cSL lookup)."""
+        return [self.ledger.get_journal(jsn) for jsn in self.ledger.list_tx(clue)]
+
+    def get_proof(self, jsn: int, anchored: bool = True) -> FamProof:
+        """The GetProof API: fam existence proof for one journal.
+
+        Raises:
+            JournalNotFoundError: no journal exists at ``jsn``.
+        """
+        return self.ledger.get_proof(jsn, anchored=anchored)
+
+    # ------------------------------------------------------------ verifying
+
+    def verify(
+        self,
+        target: VerifyTarget | str,
+        *,
+        key: str | None = None,
+        txdata: list[Journal] | None = None,
+        rho: Any = None,
+        root: bytes | None = None,
+        level: VerifyLevel | str = VerifyLevel.SERVER,
+    ) -> VerifyResult:
+        """The Verify API (§IV-C), returning structured evidence.
+
+        * ``target=TX`` — existence of the single journal in ``txdata[0]``;
+          ``rho`` optionally carries a pre-fetched fam proof.
+        * ``target=CLUE`` — N-lineage verification of clue ``key`` over
+          ``txdata`` (all related journals, in order); ``rho`` optionally
+          carries a pre-fetched :class:`~repro.merkle.cmtree.ClueProof`;
+          ``root`` is the caller's trusted CM-Tree1 datum (client level).
+
+        Returns a :class:`VerifyResult` (truthy iff the check passed)
+        carrying the proof used and the trusted root.  A *failed* check is a
+        falsy result, not an exception.
+
+        Raises:
+            UsageError: bad target/level, wrong ``txdata`` shape, missing
+                ``key``, or a client-level TX check with no trusted root
+                available.
+        """
+        target = _coerce(VerifyTarget, target)
+        level = _coerce(VerifyLevel, level)
+        if target is VerifyTarget.TX:
+            return self._verify_tx(txdata, rho, root, level)
+        if target is VerifyTarget.CLUE:
+            return self._verify_clue(key, txdata, rho, root, level)
+        raise UsageError(f"unsupported verification target: {target}")
+
+    def _verify_tx(
+        self,
+        txdata: list[Journal] | None,
+        rho: Any,
+        root: bytes | None,
+        level: VerifyLevel,
+    ) -> VerifyResult:
+        if not txdata or len(txdata) != 1:
+            raise UsageError("TX verification takes exactly one journal in txdata")
+        journal = txdata[0]
+        ledger = self.ledger
+        if level is VerifyLevel.SERVER:
+            proof = rho
+            if proof is None:
+                try:
+                    proof = ledger.get_proof(journal.jsn, anchored=False)
+                except (IndexError, KeyError):
+                    return VerifyResult(
+                        ok=False,
+                        target=VerifyTarget.TX.value,
+                        level=level.value,
+                        what=False,
+                        jsn=journal.jsn,
+                        detail=f"no proof obtainable for jsn {journal.jsn}",
+                    )
+            trusted = ledger.current_root()
+            ok = ledger.verify_journal(journal, proof)
+        else:
+            proof = rho if rho is not None else ledger.get_proof(journal.jsn, anchored=False)
+            trusted = root if root is not None else (
+                ledger.latest_receipt.ledger_root if ledger.latest_receipt else None
+            )
+            if trusted is None:
+                raise UsageError("client-level TX verification needs a trusted root")
+            ok = FamAccumulator.verify_full(journal.tx_hash(), proof, trusted)
+        return VerifyResult(
+            ok=ok,
+            target=VerifyTarget.TX.value,
+            level=level.value,
+            what=ok,
+            proof=proof,
+            trusted_root=trusted,
+            jsn=journal.jsn,
+        )
+
+    def _verify_clue(
+        self,
+        key: str | None,
+        txdata: list[Journal] | None,
+        rho: Any,
+        root: bytes | None,
+        level: VerifyLevel,
+    ) -> VerifyResult:
+        if key is None or txdata is None:
+            raise UsageError("CLUE verification needs key and txdata")
+        ledger = self.ledger
+        digests = {i: j.tx_hash() for i, j in enumerate(txdata)}
+        if level is VerifyLevel.SERVER:
+            trusted = ledger.state_root()
+            ok = ledger.verify_clue(key, txdata)
+            proof = rho
+        else:
+            proof = rho if rho is not None else ledger.prove_clue(key)
+            trusted = root if root is not None else ledger.state_root()
+            ok = proof.verify(digests, trusted)
+        return VerifyResult(
+            ok=ok,
+            target=VerifyTarget.CLUE.value,
+            level=level.value,
+            what=ok,
+            proof=proof,
+            trusted_root=trusted,
+            detail=f"clue {key!r} over {len(txdata)} journals",
+        )
+
+    def verify_dasein(
+        self,
+        jsn: int,
+        receipt: Receipt | None = None,
+        *,
+        tsa_keys: dict[str, PublicKey] | None = None,
+        trusted_root: bytes | None = None,
+    ) -> VerifyResult:
+        """Full three-factor (what/when/who) verification of one journal.
+
+        Exports the ledger view, runs :class:`DaseinVerifier` over it, and
+        lifts the :class:`DaseinReport` into a :class:`VerifyResult` with
+        per-factor verdicts.  ``tsa_keys`` should come from the time
+        authorities directly; ``trusted_root`` defaults to the latest
+        receipt's LSP-signed ledger root.
+
+        Raises:
+            UsageError: no trusted root is available (fresh ledger, no
+                receipt, no explicit ``trusted_root``).
+            JournalNotFoundError: no journal exists at ``jsn``.
+        """
+        view = self.ledger.export_view()
+        try:
+            verifier = DaseinVerifier(view, tsa_keys=tsa_keys, trusted_root=trusted_root)
+        except ValueError as exc:
+            raise UsageError(str(exc)) from None
+        proof = self.ledger.get_proof(jsn, anchored=False)
+        if receipt is None:
+            receipt = self.ledger.receipt_for(jsn)
+        report = verifier.verify_dasein(jsn, proof, receipt)
+        return VerifyResult.from_dasein(
+            report, proof=proof, trusted_root=verifier.trusted_root, level="client"
+        )
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Release session resources: drains+closes an owned service only."""
+        if self._owns_service and self.service is not None:
+            self.service.close()
+
+    def __enter__(self) -> "LedgerSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = "service" if self.service is not None else "direct"
+        return f"<LedgerSession {self.lgid} {mode} client_id={self.client_id!r}>"
+
+
+def _coerce(enum_cls: type, value: Any):
+    """Accept the enum member itself or its string value ("tx", "server")."""
+    if isinstance(value, enum_cls):
+        return value
+    try:
+        return enum_cls(value)
+    except ValueError:
+        raise UsageError(
+            f"{enum_cls.__name__} expected one of "
+            f"{[member.value for member in enum_cls]}, got {value!r}"
+        ) from None

@@ -14,6 +14,7 @@ from .errors import (
     LedgerError,
     MutationError,
     RecoveryError,
+    UsageError,
     VerificationFailure,
 )
 from .journal import ClientRequest, Journal, JournalType
@@ -22,7 +23,7 @@ from .members import MemberRegistry
 from .occult import OccultBitmap, OccultMode, OccultRecord
 from .purge import PseudoGenesis, PurgeRecord
 from .receipt import Receipt
-from .verification import DaseinReport, DaseinVerifier, parse_time_journal
+from .verification import DaseinReport, DaseinVerifier, VerifyResult, parse_time_journal
 
 __all__ = [
     "api",
@@ -39,6 +40,7 @@ __all__ = [
     "JournalOccultedError",
     "JournalPurgedError",
     "LedgerError",
+    "UsageError",
     "MutationError",
     "RecoveryError",
     "VerificationFailure",
@@ -59,5 +61,6 @@ __all__ = [
     "Receipt",
     "DaseinReport",
     "DaseinVerifier",
+    "VerifyResult",
     "parse_time_journal",
 ]

@@ -1,27 +1,43 @@
-"""The paper-style LedgerDB API facade (§II-C, §IV-C).
+"""The paper-style LedgerDB API facade (§II-C, §IV-C) — **deprecated v1**.
 
 LedgerDB exposes "a set of APIs (e.g., Create, Append, Verify)" and a
 clue-aware Verify signature::
 
     Verify(lgid, CLUE, *{key, txdata, rho, root}, level)
 
-This module is a thin procedural facade over the object API, matching the
-paper's surface for users porting pseudocode: a process-wide registry of
-ledgers by ``lgid`` plus free functions Create / Append / ListTx / GetProof /
-Verify with the client/server ``level`` switch.
+This module used to implement that surface directly; it is now a thin shim
+over the v2 session API (:mod:`repro.api`), kept so pseudocode ports keep
+running.  Every free function re-resolves its ``lgid`` string per call and
+emits a :class:`DeprecationWarning` pointing at the session equivalent —
+new code should ``connect()`` once and use the returned
+:class:`~repro.api.LedgerSession`.
+
+Both facades share one process-wide registry, so v1 and v2 calls can be
+mixed freely during a migration.  Behaviour changes from the original v1:
+
+* argument mistakes raise :class:`~repro.core.errors.UsageError` (still a
+  :class:`LedgerError`) instead of the bare base class;
+* :func:`drop_ledger` on an unknown ``lgid`` now raises ``UsageError``,
+  symmetric with :func:`create` on a duplicate (the old silent no-op hid
+  teardown typos) — pass ``missing_ok=True`` for idempotent cleanup;
+* :func:`verify` returns a :class:`~repro.core.verification.VerifyResult`
+  rather than a bool; it is truthy-compatible (``assert verify(...)``
+  behaves as before) and additionally carries the proof and trusted root.
 """
 
 from __future__ import annotations
 
+import warnings
 from enum import Enum
 from typing import Any
 
 from ..crypto.keys import KeyPair
-from ..merkle.fam import FamAccumulator
-from .errors import LedgerError
+from ..merkle.fam import FamProof
+from .errors import UsageError
 from .journal import ClientRequest, Journal
-from .ledger import Ledger, LedgerConfig
+from .ledger import Ledger
 from .receipt import Receipt
+from .verification import VerifyResult
 
 __all__ = [
     "VerifyTarget",
@@ -51,29 +67,57 @@ class VerifyLevel(Enum):
     CLIENT = "client"  # proof sets are returned and validated caller-side
 
 
-_LEDGERS: dict[str, Ledger] = {}
+def _v2():
+    from .. import api
+
+    return api
+
+
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.core.api.{name} is deprecated; use {replacement} "
+        f"(repro.api, the v2 session API)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def create(lgid: str, **kwargs: Any) -> Ledger:
-    """The Create API: register a new ledger under ``lgid``."""
-    if lgid in _LEDGERS:
-        raise LedgerError(f"ledger {lgid!r} already exists")
-    config = kwargs.pop("config", None) or LedgerConfig(uri=lgid)
-    ledger = Ledger(config=config, **kwargs)
-    _LEDGERS[lgid] = ledger
-    return ledger
+    """The Create API: register a new ledger under ``lgid``.
+
+    Deprecated shim for :func:`repro.api.create`.
+
+    Raises:
+        UsageError: ``lgid`` is already registered.
+    """
+    _deprecated("create", "repro.api.create")
+    return _v2().create(lgid, **kwargs)
 
 
 def get_ledger(lgid: str) -> Ledger:
-    try:
-        return _LEDGERS[lgid]
-    except KeyError:
-        raise LedgerError(f"unknown ledger: {lgid!r}") from None
+    """Resolve a registered ledger (shim for :func:`repro.api.get_ledger`).
+
+    Raises:
+        UsageError: no ledger is registered under ``lgid``.
+    """
+    _deprecated("get_ledger", "repro.api.get_ledger")
+    return _v2().get_ledger(lgid)
 
 
-def drop_ledger(lgid: str) -> None:
-    """Remove a ledger from the facade registry (testing hygiene)."""
-    _LEDGERS.pop(lgid, None)
+def drop_ledger(lgid: str, *, missing_ok: bool = False) -> None:
+    """Remove a ledger from the facade registry (testing hygiene).
+
+    Deprecated shim for :func:`repro.api.drop_ledger`.  Unlike the original
+    v1, an unknown ``lgid`` now raises (symmetric with :func:`create`);
+    pass ``missing_ok=True`` — or use :func:`repro.api.scoped_ledger` —
+    for idempotent teardown.
+
+    Raises:
+        UsageError: no ledger is registered under ``lgid`` (and not
+            ``missing_ok``).
+    """
+    _deprecated("drop_ledger", "repro.api.drop_ledger or scoped_ledger")
+    _v2().drop_ledger(lgid, missing_ok=missing_ok)
 
 
 def append_tx(
@@ -86,68 +130,71 @@ def append_tx(
 ) -> Receipt:
     """The AppendTx API: ``AppendTx(lg_id, payload, 'DCI001')`` (§IV-A).
 
-    Either pass a pre-signed ``request`` or a ``keypair`` to sign locally.
+    Deprecated shim for :meth:`repro.api.LedgerSession.append`.  Either pass
+    a pre-signed ``request`` or a ``keypair`` to sign locally.
+
+    Raises:
+        UsageError: unknown ``lgid``, or neither ``request`` nor ``keypair``.
+        AuthenticationError: the ledger rejected the request.
     """
-    ledger = get_ledger(lgid)
-    if request is None:
-        if keypair is None:
-            raise LedgerError("need a signed request or a keypair to sign with")
-        request = ClientRequest.build(
-            lgid,
-            client_id,
-            payload,
-            clues=(clue,) if clue else (),
-            nonce=ledger.size.to_bytes(8, "big"),
-            client_timestamp=ledger.clock.now(),
-        ).signed_by(keypair)
-    return ledger.append(request)
+    _deprecated("append_tx", "LedgerSession.append")
+    session = _v2().connect(lgid, client_id=client_id, keypair=keypair)
+    if request is not None:
+        return session.append(request=request)
+    if keypair is None:
+        raise UsageError("need a signed request or a keypair to sign with")
+    return session.append(payload, clue=clue)
 
 
 def append_tx_batch(
     lgid: str,
     client_id: str,
-    items: list[tuple[bytes, str | None]],
+    items: list[tuple[bytes, str | None]] | None = None,
     keypair: KeyPair | None = None,
     requests: list[ClientRequest] | None = None,
     max_workers: int | None = None,
 ) -> list[Receipt]:
     """Batched AppendTx: admit many transactions through one amortised pass.
 
+    Deprecated shim for :meth:`repro.api.LedgerSession.append_batch`.
     Either pass pre-signed ``requests`` or ``items`` as ``(payload, clue)``
     pairs plus a ``keypair`` to sign locally.  Admission is atomic — one bad
     signature rejects the whole batch with the ledger untouched.
+
+    Raises:
+        UsageError: unknown ``lgid``, or neither ``requests`` nor ``keypair``.
+        AuthenticationError: a request was rejected (whole batch fails).
     """
-    ledger = get_ledger(lgid)
-    if requests is None:
-        if keypair is None:
-            raise LedgerError("need signed requests or a keypair to sign with")
-        base_nonce = ledger.size
-        requests = [
-            ClientRequest.build(
-                lgid,
-                client_id,
-                payload,
-                clues=(clue,) if clue else (),
-                nonce=(base_nonce + index).to_bytes(8, "big"),
-                client_timestamp=ledger.clock.now(),
-            ).signed_by(keypair)
-            for index, (payload, clue) in enumerate(items)
-        ]
-    return ledger.append_batch(requests, max_workers=max_workers)
+    _deprecated("append_tx_batch", "LedgerSession.append_batch")
+    session = _v2().connect(lgid, client_id=client_id, keypair=keypair)
+    if requests is not None:
+        return session.append_batch(requests=requests, max_workers=max_workers)
+    if keypair is None:
+        raise UsageError("need signed requests or a keypair to sign with")
+    return session.append_batch(items, max_workers=max_workers)
 
 
 def list_tx(lgid: str, clue: str) -> list[Journal]:
-    """The ListTx API: all retrievable journals carrying ``clue``."""
-    ledger = get_ledger(lgid)
-    journals = []
-    for jsn in ledger.list_tx(clue):
-        journals.append(ledger.get_journal(jsn))
-    return journals
+    """The ListTx API: all retrievable journals carrying ``clue``.
+
+    Deprecated shim for :meth:`repro.api.LedgerSession.list_tx`.
+
+    Raises:
+        UsageError: unknown ``lgid``.
+    """
+    _deprecated("list_tx", "LedgerSession.list_tx")
+    return _v2().connect(lgid).list_tx(clue)
 
 
-def get_proof(lgid: str, jsn: int, anchored: bool = True):
-    """The GetProof API."""
-    return get_ledger(lgid).get_proof(jsn, anchored=anchored)
+def get_proof(lgid: str, jsn: int, anchored: bool = True) -> FamProof:
+    """The GetProof API (shim for :meth:`repro.api.LedgerSession.get_proof`).
+
+    Raises:
+        UsageError: unknown ``lgid``.
+        JournalNotFoundError: no journal exists at ``jsn``.
+    """
+    _deprecated("get_proof", "LedgerSession.get_proof")
+    return _v2().connect(lgid).get_proof(jsn, anchored=anchored)
 
 
 def verify(
@@ -159,37 +206,20 @@ def verify(
     rho: Any = None,
     root: bytes | None = None,
     level: VerifyLevel = VerifyLevel.SERVER,
-) -> bool:
+) -> VerifyResult:
     """The Verify API (§IV-C): ``Verify(lgid, CLUE, {key, txdata, rho, root}, level)``.
 
-    * ``target=TX`` — existence of the single journal in ``txdata[0]``;
-      ``rho`` optionally carries a pre-fetched fam proof.
-    * ``target=CLUE`` — N-lineage verification of clue ``key`` over
-      ``txdata`` (all related journals, in order); ``rho`` optionally
-      carries a pre-fetched :class:`~repro.merkle.cmtree.ClueProof`; ``root``
-      is the caller's trusted CM-Tree1 datum (client level).
+    Deprecated shim for :meth:`repro.api.LedgerSession.verify`.  Returns a
+    :class:`VerifyResult` — truthy iff the check passed, and additionally
+    carrying the proof object and trusted root (a failed check is a falsy
+    result, not an exception).
+
+    Raises:
+        UsageError: unknown ``lgid``, bad target, wrong ``txdata`` shape,
+            missing ``key``, or a client-level TX check without a trusted
+            root.
     """
-    ledger = get_ledger(lgid)
-    if target is VerifyTarget.TX:
-        if not txdata or len(txdata) != 1:
-            raise LedgerError("TX verification takes exactly one journal in txdata")
-        journal = txdata[0]
-        if level is VerifyLevel.SERVER:
-            return ledger.verify_journal(journal, rho)
-        proof = rho if rho is not None else ledger.get_proof(journal.jsn, anchored=False)
-        trusted = root if root is not None else (
-            ledger.latest_receipt.ledger_root if ledger.latest_receipt else None
-        )
-        if trusted is None:
-            raise LedgerError("client-level TX verification needs a trusted root")
-        return FamAccumulator.verify_full(journal.tx_hash(), proof, trusted)
-    if target is VerifyTarget.CLUE:
-        if key is None or txdata is None:
-            raise LedgerError("CLUE verification needs key and txdata")
-        if level is VerifyLevel.SERVER:
-            return ledger.verify_clue(key, txdata)
-        proof = rho if rho is not None else ledger.prove_clue(key)
-        trusted = root if root is not None else ledger.state_root()
-        digests = {i: j.tx_hash() for i, j in enumerate(txdata)}
-        return proof.verify(digests, trusted)
-    raise LedgerError(f"unsupported verification target: {target}")
+    _deprecated("verify", "LedgerSession.verify")
+    return _v2().connect(lgid).verify(
+        target, key=key, txdata=txdata, rho=rho, root=root, level=level
+    )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 __all__ = [
     "LedgerError",
+    "UsageError",
     "AuthenticationError",
     "AuthorizationError",
     "VerificationFailure",
@@ -18,6 +19,17 @@ __all__ = [
 
 class LedgerError(Exception):
     """Base class for all ledger-kernel errors."""
+
+
+class UsageError(LedgerError, ValueError):
+    """The caller misused an API: bad arguments, wrong state, wrong types.
+
+    Facade-level argument mistakes (a missing keypair, an unknown ``lgid``,
+    an empty ``txdata``) raise this instead of a bare :class:`LedgerError`,
+    so callers can tell "you called it wrong" apart from "the ledger said
+    no".  Also a :class:`ValueError`, matching what stdlib-minded callers
+    expect for bad arguments.
+    """
 
 
 class AuthenticationError(LedgerError):

@@ -403,6 +403,20 @@ class Ledger:
             with obs.span("ledger.commit_batch"):
                 return self._commit_batch(requests)
 
+    def admit(self, request: ClientRequest) -> None:
+        """Run :meth:`append`'s admission checks without committing anything.
+
+        Validates the target uri, the member certificate, the pi_c signature
+        and the journal type exactly as :meth:`append` would; on success the
+        ledger is untouched and the request would be accepted.  The group-
+        commit front end (:mod:`repro.service`) uses this to isolate the
+        offending request when a coalesced batch is rejected.
+
+        Raises:
+            AuthenticationError: the request would be rejected at admission.
+        """
+        self._admit_batch([request], None)
+
     def _admit_batch(
         self, requests: list[ClientRequest], max_workers: int | None
     ) -> None:

@@ -1,0 +1,26 @@
+"""repro.service — the concurrent group-commit front end (DESIGN.md §11).
+
+A :class:`LedgerService` sits between many concurrent clients and one
+:class:`~repro.core.ledger.Ledger`.  Callers submit signed requests from any
+thread; a single writer loop coalesces whatever is waiting into one
+:meth:`~repro.core.ledger.Ledger.append_batch` call per cycle, amortising
+the stream fsync, CM-Tree flush, and receipt signing across the batch while
+every caller still gets its own :class:`~repro.core.receipt.Receipt` (or its
+own exception) back through a future.
+"""
+
+from .group_commit import (
+    LedgerService,
+    ServiceClosedError,
+    ServiceConfig,
+    ServiceOverloadedError,
+    ServiceTimeout,
+)
+
+__all__ = [
+    "LedgerService",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceOverloadedError",
+    "ServiceTimeout",
+]

@@ -225,22 +225,20 @@ def test_client_sdk_append_batch_unwinds_nonce_on_rejection():
 
 
 def test_api_facade_append_tx_batch():
+    from repro import api as api_v2
     from repro.core import api
 
-    api.drop_ledger(URI)
-    ledger = api.create(
+    with api_v2.scoped_ledger(
         URI, config=LedgerConfig(uri=URI, fractal_height=3, block_size=4)
-    )
-    keypair = KeyPair.generate(seed="batch:facade")
-    ledger.registry.register("dave", Role.USER, keypair.public)
-    try:
-        receipts = api.append_tx_batch(
-            URI,
-            "dave",
-            items=[(b"p1", "clue-x"), (b"p2", None), (b"p3", "clue-x")],
-            keypair=keypair,
-        )
+    ) as session:
+        keypair = KeyPair.generate(seed="batch:facade")
+        session.ledger.registry.register("dave", Role.USER, keypair.public)
+        with pytest.warns(DeprecationWarning):
+            receipts = api.append_tx_batch(
+                URI,
+                "dave",
+                items=[(b"p1", "clue-x"), (b"p2", None), (b"p3", "clue-x")],
+                keypair=keypair,
+            )
         assert [r.jsn for r in receipts] == [1, 2, 3]
-        assert ledger.list_tx("clue-x") == [1, 3]
-    finally:
-        api.drop_ledger(URI)
+        assert session.ledger.list_tx("clue-x") == [1, 3]

@@ -108,3 +108,62 @@ class TestGateCli:
             compare_bench.main(
                 [str(tmp_path / "nope.json"), "--baseline", str(baseline)]
             )
+
+
+class TestMetricFlag:
+    """--metric retargets the gate at any section.metric pair (bench_service)."""
+
+    def test_compare_accepts_custom_metric_set(self):
+        current = _report(sign=350.0 * 10)  # sign regressed 10x...
+        _lines, warnings, failures = compare_bench.compare(
+            current, _report(), metrics=(("append", "batch_us_per_append"),)
+        )
+        assert not warnings and not failures  # ...but only batch is gated
+
+    def test_cli_metric_override(self, tmp_path):
+        service = {"service": {"coalesced_us_per_append": 900.0}}
+        current = _write(tmp_path, "current.json", service)
+        baseline = _write(tmp_path, "baseline.json", service)
+        code = compare_bench.main(
+            [
+                str(current),
+                "--baseline",
+                str(baseline),
+                "--metric",
+                "service.coalesced_us_per_append",
+            ]
+        )
+        assert code == 0
+
+    def test_cli_metric_override_red_path(self, tmp_path):
+        service = {"service": {"coalesced_us_per_append": 900.0}}
+        current = _write(tmp_path, "current.json", service)
+        baseline = _write(tmp_path, "baseline.json", service)
+        code = compare_bench.main(
+            [
+                str(current),
+                "--baseline",
+                str(baseline),
+                "--metric",
+                "service.coalesced_us_per_append",
+                "--scale",
+                "3.5",
+            ]
+        )
+        assert code == 1
+
+    def test_cli_rejects_malformed_metric(self, tmp_path):
+        current = _write(tmp_path, "current.json", _report())
+        baseline = _write(tmp_path, "baseline.json", _report())
+        with pytest.raises(SystemExit):
+            compare_bench.main(
+                [str(current), "--baseline", str(baseline), "--metric", "nodot"]
+            )
+
+    def test_gate_against_committed_service_baseline(self):
+        baseline_path = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+        baseline = json.loads(baseline_path.read_text())
+        for metric in ("sequential_us_per_append", "coalesced_us_per_append"):
+            assert baseline["service"][metric] > 0
+        # The committed baseline itself proves the acceptance floor.
+        assert baseline["service"]["coalesce_speedup"] >= 1.5
