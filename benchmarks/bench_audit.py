@@ -1,0 +1,130 @@
+"""Parallel audit benchmark: 4-worker Dasein audit vs the sequential fold.
+
+Standalone script (same conventions as ``bench_service.py``)::
+
+    PYTHONPATH=src python benchmarks/bench_audit.py [--quick] [--out FILE]
+
+One section, ``audit``: a deterministic single-user ledger (seeded keys,
+sim clock, direct TSA anchors) is exported once, then audited repeatedly —
+sequentially (``workers=0``) and on the parallel engine (``workers=4``,
+fork pool where available).  The per-journal client-signature checks, the
+Π1/Π2 multi-signatures, and the TSA evidence checks all ride the pool; the
+replay fold overlaps the in-flight chunks.  Per paper §VI the audit is
+verification-bound, so the pool's speedup is the headline number
+(``parallel_speedup`` — the acceptance floor is 2x at 4 workers; enforce
+with ``--min-speedup 2.0``).
+
+Sequential and parallel rounds alternate so machine-wide drift hits both
+sides alike; the reported speedup is the *median* of per-round paired
+ratios.  Every parallel report is checked byte-identical to the sequential
+one before any timing is trusted.
+
+``--quick`` shrinks the workload for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.__main__ import _audit_workload  # noqa: E402
+from repro.audit import dasein_audit  # noqa: E402
+
+
+def bench_audit(journals: int, rounds: int, workers: int) -> dict:
+    session, tsa_keys = _audit_workload(journals)
+    view = session.ledger.export_view()
+
+    # Warm both paths once: JIT-free Python still pays first-touch costs
+    # (window tables, module imports in forked children are COW'd after).
+    baseline = dasein_audit(view, tsa_keys=tsa_keys)
+    assert baseline.passed, "benchmark workload must audit clean"
+    parallel = dasein_audit(view, tsa_keys=tsa_keys, workers=workers)
+    if parallel.canonical() != baseline.canonical():
+        raise SystemExit("parallel report diverged from sequential — not benching a lie")
+
+    seq_times, par_times, ratios = [], [], []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        report = dasein_audit(view, tsa_keys=tsa_keys)
+        seq = time.perf_counter() - start
+        assert report.passed
+
+        start = time.perf_counter()
+        report = dasein_audit(view, tsa_keys=tsa_keys, workers=workers)
+        par = time.perf_counter() - start
+        assert report.passed
+
+        seq_times.append(seq)
+        par_times.append(par)
+        ratios.append(seq / par)
+
+    seq_med = statistics.median(seq_times)
+    par_med = statistics.median(par_times)
+    total = len(view.entries)
+    return {
+        "journals": journals,
+        "entries_replayed": total,
+        "rounds": rounds,
+        "workers": workers,
+        "sequential_us_per_journal": seq_med / total * 1e6,
+        "parallel4_us_per_journal": par_med / total * 1e6,
+        "sequential_audit_s": seq_med,
+        "parallel_audit_s": par_med,
+        "parallel_speedup": statistics.median(ratios),
+        "reports_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument("--journals", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless parallel_speedup meets this floor",
+    )
+    args = parser.parse_args(argv)
+
+    journals = args.journals or (96 if args.quick else 480)
+    rounds = args.rounds or (2 if args.quick else 3)
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "quick": bool(args.quick),
+        },
+        "audit": bench_audit(journals, rounds, args.workers),
+    }
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out:
+        args.out.write_text(text + "\n")
+
+    speedup = report["audit"]["parallel_speedup"]
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: parallel_speedup {speedup:.2f}x below floor "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,8 +25,8 @@ from repro import (
     Role,
     SimClock,
     TimeLedger,
-    dasein_audit,
 )
+from repro.api import LedgerSession
 from repro.core import JournalOccultedError
 from repro.timeauth import TimeStampAuthority
 
@@ -125,7 +125,7 @@ def main() -> None:
     print("used-to-exist verification via retained hash: OK")
 
     # --- The full audit still passes (Protocol 2) --------------------------
-    report = dasein_audit(ledger.export_view(), tsa_keys={"ttas": tsa.public_key})
+    report = LedgerSession(ledger).audit(tsa_keys={"ttas": tsa.public_key})
     print(f"Dasein-complete audit after occult: passed={report.passed}")
     assert report.passed
 

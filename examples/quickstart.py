@@ -14,7 +14,6 @@ Run: python examples/quickstart.py
 """
 
 from repro import (
-    ClientRequest,
     DaseinVerifier,
     KeyPair,
     Ledger,
@@ -23,8 +22,8 @@ from repro import (
     SimClock,
     TimeLedger,
     TimeStampAuthority,
-    dasein_audit,
 )
+from repro.api import LedgerSession
 
 URI = "ledger://quickstart"
 
@@ -41,18 +40,15 @@ def main() -> None:
     ledger.registry.register("alice", Role.USER, alice.public)
     print(f"created {ledger!r}")
 
-    # --- 2. Append signed journals ----------------------------------------
+    # --- 2. Append signed journals through a v2 session --------------------
+    # The session binds alice's identity once; each append() builds and signs
+    # the request (pi_c) and returns the LSP's receipt (pi_s).
+    session = LedgerSession(ledger, client_id="alice", keypair=alice)
     receipts = []
     for i in range(10):
-        request = ClientRequest.build(
-            URI,
-            "alice",
-            payload=f"notarized document #{i}".encode(),
-            clues=("DOCS",),
-            nonce=bytes([i]),
-            client_timestamp=clock.now(),
-        ).signed_by(alice)  # pi_c: the client's non-repudiation proof
-        receipt = ledger.append(request)  # pi_s: the LSP's receipt
+        receipt = session.append(
+            f"notarized document #{i}".encode(), clue="DOCS"
+        )
         receipts.append(receipt)
         clock.advance(0.3)
         if i % 3 == 2:
@@ -89,7 +85,9 @@ def main() -> None:
     print("forged payload correctly rejected")
 
     # --- 5. Full Dasein-complete audit (§V) --------------------------------
-    audit = dasein_audit(view, tsa_keys={tsa.tsa_id: tsa.public_key})
+    # session.audit() exports a fresh view and replays everything; workers=2
+    # runs the signature checks on the parallel engine (same report).
+    audit = session.audit(tsa_keys={tsa.tsa_id: tsa.public_key}, workers=2)
     print(f"audit passed={audit.passed}: "
           f"{audit.journals_replayed} journals replayed, "
           f"{audit.blocks_verified} blocks, "

@@ -26,8 +26,8 @@ from repro import (
     SimClock,
     TimeLedger,
     TSAPool,
-    dasein_audit,
 )
+from repro.api import LedgerSession
 from repro.timeauth import TimeStampAuthority
 
 URI = "ledger://gco-supply-chain"
@@ -125,8 +125,8 @@ def main() -> None:
     # (digests retained), payloads exist only for the surviving suffix.
     print(f"SETTLEMENTS lineage count across purge: {ledger.clue_entry_count('SETTLEMENTS')}")
 
-    # --- External audit over the post-purge ledger -------------------------
-    report = dasein_audit(ledger.export_view(), tsa_keys=tsa_keys)
+    # --- External audit over the post-purge ledger (v2 session) ------------
+    report = LedgerSession(ledger).audit(tsa_keys=tsa_keys)
     print(f"post-purge Dasein-complete audit: passed={report.passed} "
           f"({report.journals_replayed} journals from the pseudo genesis, "
           f"{report.blocks_verified} blocks)")

@@ -3,6 +3,8 @@
 Commands:
 
 * ``demo``   — run the guided end-to-end scenario (append → verify → audit);
+* ``audit``  — build a deterministic ledger and run the §V Dasein-complete
+  audit over it (optionally parallel, resumable, JSON output);
 * ``bench``  — reproduce the paper's tables and figures (see ``repro.bench``);
 * ``attack`` — run the §III-B timestamp-attack scenarios and print windows;
 * ``table1`` — print the Table-I comparison matrix;
@@ -27,8 +29,8 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
         SimClock,
         TimeLedger,
         TimeStampAuthority,
-        dasein_audit,
     )
+    from repro.api import LedgerSession
 
     clock = SimClock()
     tsa = TimeStampAuthority("demo-tsa", clock)
@@ -61,13 +63,69 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
         f"when=({report.when_bound.lower:.1f}, {report.when_bound.upper:.1f}) "
         f"who={report.who} -> Dasein-complete={report.dasein_complete}"
     )
-    audit = dasein_audit(view, tsa_keys={"demo-tsa": tsa.public_key})
+    session = LedgerSession(ledger)
+    audit = session.audit(tsa_keys={"demo-tsa": tsa.public_key})
     print(
         f"full audit: passed={audit.passed} "
         f"({audit.journals_replayed} journals, {audit.blocks_verified} blocks, "
         f"{audit.time_journals_verified} time anchors)"
     )
     return 0 if audit.passed and report.dasein_complete else 1
+
+
+def _audit_workload(journals: int):
+    """Deterministic audit-target ledger: seeded keys, sim clock, direct TSA.
+
+    Returns ``(session, tsa_keys)`` — a v2 session over a ledger with
+    ``journals`` clue-tagged records, periodic time anchors, and committed
+    blocks, identical for a given ``journals`` on every run.
+    """
+    from repro import KeyPair, Ledger, LedgerConfig, Role, SimClock, TimeStampAuthority
+    from repro.api import LedgerSession
+
+    clock = SimClock()
+    tsa = TimeStampAuthority("audit-tsa", clock)
+    ledger = Ledger(
+        LedgerConfig(uri="ledger://audit", fractal_height=5, block_size=8),
+        clock=clock,
+    )
+    ledger.attach_tsa(tsa)
+    user = KeyPair.generate(seed="audit-user")
+    ledger.registry.register("audit-user", Role.USER, user.public)
+    session = LedgerSession(ledger, client_id="audit-user", keypair=user)
+    for index in range(journals):
+        session.append(f"audit record {index}".encode(), clue="AUDIT")
+        clock.advance(0.25)
+        if index % 16 == 15:
+            ledger.anchor_time()
+    ledger.commit_block()
+    return session, {"audit-tsa": tsa.public_key}
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json
+
+    session, tsa_keys = _audit_workload(args.journals)
+    checkpoint = args.resume if args.resume is not None else args.checkpoint
+    report = session.audit(
+        tsa_keys=tsa_keys,
+        workers=args.workers,
+        checkpoint=checkpoint,
+        resume=args.resume is not None,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for step in report.steps:
+            marker = "ok " if step.passed else "FAIL"
+            print(f"  [{marker}] {step.name}: {step.detail}")
+        print(
+            f"audit passed={report.passed} "
+            f"({report.journals_replayed} journals, {report.blocks_verified} blocks, "
+            f"{report.time_journals_verified} time anchors, "
+            f"workers={args.workers})"
+        )
+    return 0 if report.passed else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -212,6 +270,27 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("demo", help="guided end-to-end scenario").set_defaults(fn=_cmd_demo)
+
+    audit = sub.add_parser(
+        "audit", help="run the §V Dasein-complete audit on a seeded workload"
+    )
+    audit.add_argument(
+        "--workers", type=int, default=0,
+        help="parallel signature workers (0 = sequential engine)",
+    )
+    audit.add_argument("--json", action="store_true", help="print the report as JSON")
+    audit.add_argument(
+        "--journals", type=int, default=96, help="workload size (default: 96)"
+    )
+    audit.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="write resumable checkpoints to PATH while auditing",
+    )
+    audit.add_argument(
+        "--resume", metavar="CHECKPOINT", default=None,
+        help="resume from (and keep checkpointing to) CHECKPOINT",
+    )
+    audit.set_defaults(fn=_cmd_audit)
 
     bench = sub.add_parser("bench", help="reproduce the paper's tables/figures")
     bench.add_argument("experiments", nargs="*", help="subset (default: all)")

@@ -31,17 +31,23 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Iterator
 
-from .core.api import VerifyLevel, VerifyTarget
+from .audit import AuditReport, CheckpointStore
 from .core.errors import UsageError
 from .core.journal import ClientRequest, Journal
 from .core.ledger import Ledger, LedgerConfig
 from .core.receipt import Receipt
-from .core.verification import DaseinVerifier, VerifyResult
+from .core.verification import (
+    DaseinVerifier,
+    VerifyLevel,
+    VerifyResult,
+    VerifyTarget,
+)
 from .crypto.keys import KeyPair, PublicKey
 from .merkle.fam import FamAccumulator, FamProof
 from .service import LedgerService
 
 __all__ = [
+    "AuditReport",
     "VerifyLevel",
     "VerifyTarget",
     "VerifyResult",
@@ -511,6 +517,56 @@ class LedgerSession:
         report = verifier.verify_dasein(jsn, proof, receipt)
         return VerifyResult.from_dasein(
             report, proof=proof, trusted_root=verifier.trusted_root, level="client"
+        )
+
+    def audit(
+        self,
+        *,
+        tsa_keys: dict[str, PublicKey] | None = None,
+        workers: int = 0,
+        resume: bool = False,
+        checkpoint: CheckpointStore | str | None = None,
+        temporal_range: tuple[float, float] | None = None,
+        verify_client_signatures: bool = True,
+        early_terminate: bool = True,
+        **kwargs: Any,
+    ) -> AuditReport:
+        """Run the §V Dasein-complete audit over this ledger's exported view.
+
+        The session exports a fresh :class:`LedgerView` and hands it to
+        :func:`repro.audit.dasein_audit`; the returned :class:`AuditReport`
+        carries per-sub-proof steps and replay counters, with ``passed`` the
+        Definition-1 conjunction.
+
+        ``workers`` enables the parallel engine (signature chunks overlap
+        the replay fold; the report stays byte-identical to sequential).
+        ``checkpoint`` (a path or :class:`~repro.audit.CheckpointStore`)
+        makes the audit resumable; with ``resume=True`` a previously
+        interrupted audit of this ledger continues from its last verified
+        block range instead of genesis.  Remaining keyword arguments
+        (``chunk_size``, ``checkpoint_every``, ``pool``) pass through.
+
+        ``tsa_keys`` must come from the time authorities directly — an audit
+        that takes them from the LSP proves nothing about *when*.
+
+        Raises:
+            UsageError: ``resume=True`` without a ``checkpoint``.
+        """
+        if resume and checkpoint is None:
+            raise UsageError("audit(resume=True) needs a checkpoint= store or path")
+        from .audit import dasein_audit
+
+        view = self.ledger.export_view()
+        return dasein_audit(
+            view,
+            tsa_keys=tsa_keys,
+            temporal_range=temporal_range,
+            verify_client_signatures=verify_client_signatures,
+            early_terminate=early_terminate,
+            workers=workers,
+            checkpoint=checkpoint,
+            resume=resume,
+            **kwargs,
         )
 
     # ------------------------------------------------------------ lifecycle

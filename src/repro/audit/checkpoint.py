@@ -1,0 +1,191 @@
+"""Resumable audit checkpoints.
+
+A full Dasein audit over a large ledger can run for minutes; a killed audit
+that restarts from genesis repays everything it already verified.  The
+engine therefore snapshots its replay state after verified block ranges:
+everything needed to resume the fold mid-stream —
+
+* the fam replayer frontier (epoch roots + live-epoch peaks), exactly the
+  shape a pseudo-genesis snapshot uses;
+* the per-clue frontier accumulators (the CM-Tree state rebuilds from
+  these, the same way the purge path rebuilds it);
+* the block cursor (previous hash + index) and report counters;
+* the jsns of time journals already collected for the *when* phase, and the
+  replayed root at the receipt's jsn once the fold passes it;
+* the outcomes of the pre-replay steps (certificates, Π1, Π2), so a resumed
+  report is byte-identical to an uninterrupted one.
+
+Trust note: a checkpoint is the **auditor's own** state, stored on the
+auditor's disk — resuming trusts nothing the LSP produced.  Restarting from
+a checkpoint asserts "I already verified everything below ``next_jsn``",
+which holds exactly when the checkpoint file is the auditor's.
+
+Durability: :meth:`CheckpointStore.save` writes a checksummed JSON envelope
+to a temp file, fsyncs, then atomically renames over the previous
+checkpoint — a crash mid-save leaves the old checkpoint intact, and
+:meth:`load` rejects torn or bit-flipped files (falling back to a fresh
+audit rather than resuming from garbage).  ``file_factory`` admits the
+fault-injection harness (:mod:`repro.storage.faults`) for crash tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["AuditCheckpoint", "CheckpointStore", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+def _hex(digest: bytes) -> str:
+    return digest.hex()
+
+
+def _unhex(text: str) -> bytes:
+    return bytes.fromhex(text)
+
+
+@dataclass
+class AuditCheckpoint:
+    """Replay state as of ``next_jsn`` (everything below it is verified)."""
+
+    uri: str
+    fractal_height: int
+    genesis_start: int
+    next_jsn: int
+    fam_epoch_roots: list[bytes]
+    fam_live_size: int
+    fam_live_peaks: list[bytes]
+    fam_journal_count: int
+    clue_snapshot: dict[str, tuple[int, list[bytes]]]
+    previous_block_hash: bytes
+    block_index: int
+    journals_replayed: int
+    blocks_verified: int
+    time_jsns: list[int] = field(default_factory=list)
+    receipt_jsn: int | None = None
+    receipt_root: bytes | None = None
+    pre_steps: list[tuple[str, bool, str]] = field(default_factory=list)
+
+    def matches_view(self, view) -> bool:
+        """Does this checkpoint belong to (a later state of) ``view``?"""
+        return (
+            self.uri == view.uri
+            and self.fractal_height == view.fractal_height
+            and self.genesis_start == view.genesis_start
+            and view.genesis_start <= self.next_jsn
+            and self.next_jsn <= view.genesis_start + len(view.entries)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "uri": self.uri,
+            "fractal_height": self.fractal_height,
+            "genesis_start": self.genesis_start,
+            "next_jsn": self.next_jsn,
+            "fam_epoch_roots": [_hex(d) for d in self.fam_epoch_roots],
+            "fam_live_size": self.fam_live_size,
+            "fam_live_peaks": [_hex(d) for d in self.fam_live_peaks],
+            "fam_journal_count": self.fam_journal_count,
+            "clue_snapshot": {
+                clue: [size, [_hex(p) for p in peaks]]
+                for clue, (size, peaks) in self.clue_snapshot.items()
+            },
+            "previous_block_hash": _hex(self.previous_block_hash),
+            "block_index": self.block_index,
+            "journals_replayed": self.journals_replayed,
+            "blocks_verified": self.blocks_verified,
+            "time_jsns": list(self.time_jsns),
+            "receipt_jsn": self.receipt_jsn,
+            "receipt_root": _hex(self.receipt_root) if self.receipt_root else None,
+            "pre_steps": [[n, p, d] for n, p, d in self.pre_steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AuditCheckpoint":
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version: {data.get('version')}")
+        return cls(
+            uri=data["uri"],
+            fractal_height=data["fractal_height"],
+            genesis_start=data["genesis_start"],
+            next_jsn=data["next_jsn"],
+            fam_epoch_roots=[_unhex(d) for d in data["fam_epoch_roots"]],
+            fam_live_size=data["fam_live_size"],
+            fam_live_peaks=[_unhex(d) for d in data["fam_live_peaks"]],
+            fam_journal_count=data["fam_journal_count"],
+            clue_snapshot={
+                clue: (size, [_unhex(p) for p in peaks])
+                for clue, (size, peaks) in data["clue_snapshot"].items()
+            },
+            previous_block_hash=_unhex(data["previous_block_hash"]),
+            block_index=data["block_index"],
+            journals_replayed=data["journals_replayed"],
+            blocks_verified=data["blocks_verified"],
+            time_jsns=list(data["time_jsns"]),
+            receipt_jsn=data["receipt_jsn"],
+            receipt_root=_unhex(data["receipt_root"]) if data["receipt_root"] else None,
+            pre_steps=[(n, p, d) for n, p, d in data["pre_steps"]],
+        )
+
+
+class CheckpointStore:
+    """Durable slot for the latest :class:`AuditCheckpoint`.
+
+    ``file_factory`` wraps the raw temp-file handle (crash injection via
+    :class:`~repro.storage.faults.FaultyFile`); production callers leave it
+    ``None``.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        file_factory: Callable | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self._file_factory = file_factory
+
+    def save(self, checkpoint: AuditCheckpoint) -> None:
+        """Atomically persist ``checkpoint`` (old slot survives any crash)."""
+        payload = checkpoint.to_dict()
+        body = json.dumps(payload, sort_keys=True)
+        envelope = json.dumps(
+            {"sha256": hashlib.sha256(body.encode()).hexdigest(), "payload": body}
+        ).encode()
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        raw = open(tmp, "wb")
+        handle = self._file_factory(raw) if self._file_factory else raw
+        try:
+            handle.write(envelope)
+            handle.flush()
+            if hasattr(handle, "fsync"):
+                handle.fsync()
+            else:
+                os.fsync(handle.fileno())
+        finally:
+            handle.close()
+        os.replace(tmp, self.path)
+
+    def load(self) -> AuditCheckpoint | None:
+        """The last durable checkpoint, or None (missing, torn, corrupt)."""
+        try:
+            envelope = json.loads(self.path.read_bytes())
+            body = envelope["payload"]
+            if hashlib.sha256(body.encode()).hexdigest() != envelope["sha256"]:
+                return None
+            return AuditCheckpoint.from_dict(json.loads(body))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def clear(self) -> None:
+        """Remove the checkpoint (a completed audit needs no resume point)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

@@ -28,7 +28,6 @@ mixed freely during a migration.  Behaviour changes from the original v1:
 from __future__ import annotations
 
 import warnings
-from enum import Enum
 from typing import Any
 
 from ..crypto.keys import KeyPair
@@ -37,7 +36,11 @@ from .errors import UsageError
 from .journal import ClientRequest, Journal
 from .ledger import Ledger
 from .receipt import Receipt
-from .verification import VerifyResult
+
+# The enums now live in core.verification (their non-deprecated home);
+# re-imported here so v1-era ``from repro.core.api import VerifyTarget``
+# keeps working without a warning (it is the *functions* that deprecate).
+from .verification import VerifyLevel, VerifyResult, VerifyTarget
 
 __all__ = [
     "VerifyTarget",
@@ -51,20 +54,6 @@ __all__ = [
     "get_proof",
     "verify",
 ]
-
-
-class VerifyTarget(Enum):
-    """The enumeration parameter of the paper's Verify API."""
-
-    TX = "tx"  # existence of a single journal
-    CLUE = "clue"  # clue-oriented N-lineage verification
-
-
-class VerifyLevel(Enum):
-    """Who runs the validation (§IV-C ``level``)."""
-
-    SERVER = "server"  # the LSP validates; caller trusts the result
-    CLIENT = "client"  # proof sets are returned and validated caller-side
 
 
 def _v2():

@@ -1,427 +1,15 @@
-"""Dasein-complete audit (§V): full-ledger replay with 3w validation.
+"""Compatibility shim — the audit engine moved to :mod:`repro.audit`.
 
-The audit consumes an exported :class:`~repro.core.ledger.LedgerView` plus
-out-of-band trust anchors (CA public key from the view, TSA public keys) and
-re-derives everything else itself:
-
-1. **Π1** — every purge journal's Prerequisite-1 multi-signature validates;
-2. **Π2** — every occult journal's Prerequisite-2 multi-signature validates
-   (DBA + regulator);
-3. **replay (V)** — every journal's digest is recomputed (Protocol 2
-   substitutes the retained hash for occulted journals; Protocol 1 starts the
-   replay from the pseudo genesis after a purge) and folded through a
-   :class:`~repro.merkle.fam.FamReplayer` and a CM-Tree state replay; every
-   block's ``journal_root`` / ``state_root`` must match;
-4. **boundary (V')** — adjacent blocks chain by hash and journal ranges are
-   gapless;
-5. **time journals** — each anchored root must equal the replayed commitment
-   at its jsn, and its TSA evidence must verify; timestamps must be
-   monotone;
-6. **Π3** — the LSP's latest receipt signature, tx-hash, and ledger root all
-   match the replayed state.
-
-The final proof is the conjunction; any sub-proof failure terminates the
-audit early with a failed report, as Definition 1 requires.
+The Dasein-complete audit (§V, Definition 1) outgrew ``repro.core`` when it
+gained a parallel signature pipeline, resumable checkpoints, and its own
+worker module; it now lives in the :mod:`repro.audit` package.  This module
+re-exports the public surface so existing ``from repro.core.audit import
+dasein_audit`` (and ``repro.core.dasein_audit``) call sites keep working —
+the function itself is unchanged and not deprecated, only relocated.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from ..crypto.hashing import EMPTY_DIGEST, Digest
-from ..crypto.keys import PublicKey
-from ..crypto.multisig import MultiSignatureError
-from ..merkle.cmtree import encode_clue_value
-from ..merkle.fam import FamReplayer
-from ..merkle.mpt import MPT
-from ..merkle.shrubs import FrontierAccumulator
-from ..crypto.hashing import clue_key_hash
-from .journal import Journal, JournalType
-from .ledger import LedgerView
-from .verification import DaseinVerifier, parse_time_journal
+from ..audit import AuditReport, AuditStep, dasein_audit
 
 __all__ = ["AuditStep", "AuditReport", "dasein_audit"]
-
-
-@dataclass(frozen=True)
-class AuditStep:
-    """One verification sub-task and its outcome."""
-
-    name: str
-    passed: bool
-    detail: str = ""
-
-
-@dataclass
-class AuditReport:
-    """The conjunction of every audit sub-proof (§V step 6)."""
-
-    passed: bool
-    steps: list[AuditStep] = field(default_factory=list)
-    journals_replayed: int = 0
-    blocks_verified: int = 0
-    time_journals_verified: int = 0
-
-    def failures(self) -> list[AuditStep]:
-        return [step for step in self.steps if not step.passed]
-
-
-class _Auditor:
-    def __init__(
-        self,
-        view: LedgerView,
-        tsa_keys: dict[str, PublicKey],
-        temporal_range: tuple[float, float] | None,
-        verify_client_signatures: bool,
-    ) -> None:
-        self.view = view
-        self.tsa_keys = tsa_keys
-        self.temporal_range = temporal_range
-        self.verify_client_signatures = verify_client_signatures
-        self.report = AuditReport(passed=True)
-        self._roots_after: dict[int, Digest] = {}
-        self._time_entries: list[tuple[int, dict]] = []
-
-    def _step(self, name: str, passed: bool, detail: str = "") -> bool:
-        self.report.steps.append(AuditStep(name=name, passed=passed, detail=detail))
-        if not passed:
-            self.report.passed = False
-        return passed
-
-    # ------------------------------------------------------------ sub-proofs
-
-    def check_certificates(self) -> bool:
-        for member_id, certificate in self.view.certificates.items():
-            if not certificate.verify(self.view.ca_public_key):
-                return self._step(
-                    "certificates", False, f"CA signature invalid for {member_id!r}"
-                )
-            if certificate.member_id != member_id:
-                return self._step(
-                    "certificates", False, f"certificate id mismatch for {member_id!r}"
-                )
-        return self._step("certificates", True, f"{len(self.view.certificates)} members")
-
-    def check_purge_approvals(self) -> bool:
-        """Π1: purge journals carry valid multi-signatures incl. a DBA."""
-        from ..crypto.ca import Role
-
-        for jsn, record, approvals in self.view.purge_approvals:
-            if approvals.digest != record.approval_digest():
-                return self._step(
-                    "purge-approvals", False, f"purge@{jsn}: signatures cover wrong record"
-                )
-            signer_certs = {}
-            has_dba = False
-            for member_id in approvals.signer_ids():
-                certificate = self.view.certificates.get(member_id)
-                if certificate is None:
-                    return self._step(
-                        "purge-approvals", False, f"purge@{jsn}: unknown signer {member_id!r}"
-                    )
-                signer_certs[member_id] = certificate
-                has_dba = has_dba or certificate.role is Role.DBA
-            if not has_dba:
-                return self._step(
-                    "purge-approvals", False, f"purge@{jsn}: no DBA among signers"
-                )
-            try:
-                approvals.verify(signer_certs)
-            except MultiSignatureError as exc:
-                return self._step("purge-approvals", False, f"purge@{jsn}: {exc}")
-            # Prerequisite 1 coverage: every *related* member (owner of a
-            # purged journal, as recorded in the pseudo genesis) must have
-            # signed, in addition to the DBA checked above.
-            pseudo = self.view.pseudo_genesis
-            if pseudo is not None and record.pseudo_genesis_hash == pseudo.hash():
-                missing = sorted(
-                    member_id
-                    for member_id in pseudo.related_member_ids
-                    if member_id not in approvals.signer_ids()
-                )
-                if missing:
-                    return self._step(
-                        "purge-approvals",
-                        False,
-                        f"purge@{jsn}: related members did not sign: {missing}",
-                    )
-        return self._step(
-            "purge-approvals", True, f"{len(self.view.purge_approvals)} purge journal(s)"
-        )
-
-    def check_occult_approvals(self) -> bool:
-        """Π2: occult journals carry valid DBA + regulator multi-signatures."""
-        from ..crypto.ca import Role
-
-        for jsn, record, approvals in self.view.occult_approvals:
-            if approvals.digest != record.approval_digest():
-                return self._step(
-                    "occult-approvals", False, f"occult@{jsn}: signatures cover wrong record"
-                )
-            signer_certs = {}
-            roles = set()
-            for member_id in approvals.signer_ids():
-                certificate = self.view.certificates.get(member_id)
-                if certificate is None:
-                    return self._step(
-                        "occult-approvals", False, f"occult@{jsn}: unknown signer {member_id!r}"
-                    )
-                signer_certs[member_id] = certificate
-                roles.add(certificate.role)
-            if Role.DBA not in roles or Role.REGULATOR not in roles:
-                return self._step(
-                    "occult-approvals",
-                    False,
-                    f"occult@{jsn}: requires DBA and regulator signatures",
-                )
-            try:
-                approvals.verify(signer_certs)
-            except MultiSignatureError as exc:
-                return self._step("occult-approvals", False, f"occult@{jsn}: {exc}")
-        return self._step(
-            "occult-approvals", True, f"{len(self.view.occult_approvals)} occult journal(s)"
-        )
-
-    # ---------------------------------------------------------------- replay
-
-    def replay(self) -> bool:
-        """V and V': full journal replay with block-root and chain checks."""
-        view = self.view
-        pseudo = view.pseudo_genesis
-
-        if pseudo is not None and view.genesis_start > 0:
-            if view.genesis_start != pseudo.purge_point:
-                return self._step(
-                    "replay", False, "view genesis does not match pseudo genesis purge point"
-                )
-            fam = FamReplayer.from_snapshot(
-                view.fractal_height,
-                pseudo.fam_epoch_roots,
-                pseudo.fam_live_epoch[0],
-                list(pseudo.fam_live_epoch[1]),
-                journal_count=pseudo.purge_point,
-            )
-            if fam.current_root() != pseudo.fam_root:
-                return self._step(
-                    "replay", False, "pseudo genesis fam snapshot does not bag to its root"
-                )
-            state = MPT()
-            clue_frontiers: dict[str, FrontierAccumulator] = {}
-            for clue, size, peaks in pseudo.clue_snapshot:
-                frontier = FrontierAccumulator(size, list(peaks))
-                clue_frontiers[clue] = frontier
-                state.put(clue_key_hash(clue), encode_clue_value(size, frontier.peaks()))
-            if state.root != pseudo.state_root:
-                return self._step(
-                    "replay", False, "pseudo genesis clue snapshot does not rebuild its state root"
-                )
-        else:
-            fam = FamReplayer(view.fractal_height)
-            state = MPT()
-            clue_frontiers = {}
-
-        occult_by_target = {
-            record.target_jsn: record for _jsn, record, _sig in view.occult_approvals
-        }
-
-        blocks = [b for b in view.blocks if b.end_jsn > view.genesis_start]
-        block_index = 0
-        previous_block_hash = (
-            blocks[0].previous_hash if blocks else EMPTY_DIGEST
-        )
-        lsp_cert = view.certificates.get(view.lsp_member_id)
-        if lsp_cert is None:
-            return self._step("replay", False, "LSP certificate missing from view")
-
-        time_entries: list[tuple[int, dict]] = []
-        roots_after: dict[int, Digest] = {}
-
-        for entry in view.entries:
-            jsn = entry.jsn
-            if entry.data is not None:
-                try:
-                    journal = Journal.from_bytes(entry.data)
-                except Exception as exc:
-                    return self._step("replay", False, f"jsn {jsn}: undecodable: {exc}")
-                if journal.jsn != jsn:
-                    return self._step("replay", False, f"jsn {jsn}: journal claims {journal.jsn}")
-                digest = journal.tx_hash()
-                if digest != entry.retained_hash:
-                    return self._step(
-                        "replay", False, f"jsn {jsn}: digest mismatch with retained hash"
-                    )
-                if self.verify_client_signatures:
-                    certificate = view.certificates.get(journal.client_id)
-                    if certificate is None:
-                        return self._step(
-                            "replay", False, f"jsn {jsn}: unknown member {journal.client_id!r}"
-                        )
-                    if journal.client_signature is None or not certificate.public_key.verify(
-                        journal.request_hash, journal.client_signature
-                    ):
-                        return self._step(
-                            "replay", False, f"jsn {jsn}: invalid issuer signature"
-                        )
-                if journal.journal_type is JournalType.TIME:
-                    info = parse_time_journal(journal)
-                    # The anchor was taken immediately before this journal
-                    # was appended, so it must equal the running commitment.
-                    if info["as_of_jsn"] != jsn:
-                        return self._step(
-                            "replay", False, f"time journal {jsn}: as_of_jsn mismatch"
-                        )
-                    if info["anchored_root"] != fam.current_root():
-                        return self._step(
-                            "replay",
-                            False,
-                            f"time journal {jsn}: anchored root does not match replay",
-                        )
-                    time_entries.append((jsn, info))
-                clues = journal.clues
-            else:
-                # Mutated journal: Protocol 1/2 — use the retained digest.
-                digest = entry.retained_hash
-                clues = ()
-                if entry.occulted:
-                    record = occult_by_target.get(jsn)
-                    if record is None:
-                        return self._step(
-                            "replay", False, f"jsn {jsn}: occulted without an occult record"
-                        )
-                    if record.retained_hash != digest:
-                        return self._step(
-                            "replay", False, f"jsn {jsn}: retained hash disagrees with record"
-                        )
-                    # The occult record retains the clue labels so lineage
-                    # state replay stays complete after the payload is gone.
-                    clues = record.retained_clues
-
-            fam.append(digest)
-            roots_after[jsn] = fam.current_root()
-            for clue in clues:
-                frontier = clue_frontiers.get(clue)
-                if frontier is None:
-                    frontier = FrontierAccumulator()
-                    clue_frontiers[clue] = frontier
-                frontier.append_leaf(digest)
-                state.put(clue_key_hash(clue), encode_clue_value(frontier.size, frontier.peaks()))
-
-            # Block boundary checks (V at boundaries, V' across them).
-            if block_index < len(blocks) and jsn + 1 == blocks[block_index].end_jsn:
-                block = blocks[block_index]
-                if block.previous_hash != previous_block_hash:
-                    return self._step(
-                        "replay", False, f"block {block.height}: broken chain link"
-                    )
-                if block.journal_root != fam.current_root():
-                    return self._step(
-                        "replay", False, f"block {block.height}: journal root mismatch"
-                    )
-                if block.state_root != state.root:
-                    return self._step(
-                        "replay", False, f"block {block.height}: state root mismatch"
-                    )
-                previous_block_hash = block.hash()
-                block_index += 1
-                self.report.blocks_verified += 1
-
-            self.report.journals_replayed += 1
-
-        if block_index != len(blocks):
-            return self._step(
-                "replay", False, f"{len(blocks) - block_index} block(s) had no matching journals"
-            )
-        self._roots_after = roots_after
-        self._time_entries = time_entries
-        return self._step(
-            "replay",
-            True,
-            f"{self.report.journals_replayed} journals, {self.report.blocks_verified} blocks",
-        )
-
-    # ------------------------------------------------------------------ when
-
-    def check_time_journals(self) -> bool:
-        """TSA evidence for every (in-range) time journal, plus monotonicity."""
-        verifier = DaseinVerifier(
-            self.view,
-            tsa_keys=self.tsa_keys,
-            trusted_root=EMPTY_DIGEST,  # what-datum unused here
-        )
-        previous_timestamp = float("-inf")
-        verified = 0
-        for jsn, info in self._time_entries:
-            evidence = self.view.time_evidence.get(jsn)
-            timestamp, valid = verifier._check_time_evidence(info, evidence)
-            if self.temporal_range is not None:
-                low, high = self.temporal_range
-                if not low <= timestamp <= high:
-                    continue  # outside the audit's temporal predicate
-            if not valid:
-                return self._step(
-                    "time-journals", False, f"time journal {jsn}: evidence failed"
-                )
-            if timestamp < previous_timestamp:
-                return self._step(
-                    "time-journals", False, f"time journal {jsn}: timestamp regression"
-                )
-            previous_timestamp = timestamp
-            verified += 1
-        self.report.time_journals_verified = verified
-        return self._step("time-journals", True, f"{verified} anchors verified")
-
-    # ------------------------------------------------------------------- Π3
-
-    def check_receipt(self) -> bool:
-        receipt = self.view.latest_receipt
-        if receipt is None:
-            return self._step("receipt", False, "no receipt supplied")
-        lsp_cert = self.view.certificates.get(self.view.lsp_member_id)
-        if lsp_cert is None or not receipt.verify(lsp_cert.public_key):
-            return self._step("receipt", False, "LSP signature invalid")
-        if receipt.jsn >= self.view.genesis_start:
-            entry = self.view.entry(receipt.jsn)
-            if entry.retained_hash != receipt.tx_hash:
-                return self._step("receipt", False, "receipt tx-hash mismatch")
-            expected_root = self._roots_after.get(receipt.jsn)
-            if expected_root is not None and receipt.ledger_root != expected_root:
-                return self._step("receipt", False, "receipt ledger root mismatch")
-        return self._step("receipt", True, f"receipt for jsn {receipt.jsn}")
-
-
-def dasein_audit(
-    view: LedgerView,
-    tsa_keys: dict[str, PublicKey] | None = None,
-    temporal_range: tuple[float, float] | None = None,
-    verify_client_signatures: bool = True,
-    early_terminate: bool = True,
-) -> AuditReport:
-    """Run the full §V Dasein-complete audit over an exported view.
-
-    ``temporal_range`` optionally limits which time anchors are validated
-    (the §V closing example: "audit all transactions committed before
-    2018-12-31"); replay integrity is always checked end to end because root
-    continuity requires it.
-
-    With ``early_terminate`` (the paper's default semantics) the audit stops
-    at the first failed sub-proof; disable it to collect every failure.
-    """
-    auditor = _Auditor(
-        view,
-        tsa_keys or {},
-        temporal_range,
-        verify_client_signatures,
-    )
-    steps = (
-        auditor.check_certificates,
-        auditor.check_purge_approvals,
-        auditor.check_occult_approvals,
-        auditor.replay,
-        auditor.check_time_journals,
-        auditor.check_receipt,
-    )
-    for step in steps:
-        ok = step()
-        if not ok and early_terminate:
-            break
-    return auditor.report

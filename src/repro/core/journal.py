@@ -154,7 +154,7 @@ class Journal:
     def from_bytes(cls, data: bytes) -> "Journal":
         obj = decode(data)
         signature_bytes = bytes(obj["client_signature"])
-        return cls(
+        journal = cls(
             jsn=obj["jsn"],
             journal_type=JournalType(obj["journal_type"]),
             client_id=obj["client_id"],
@@ -167,6 +167,10 @@ class Journal:
                 Signature.from_bytes(signature_bytes) if signature_bytes else None
             ),
         )
+        # Seed the serialization memo with the wire bytes: ``tx_hash`` must
+        # digest the bytes fam actually accumulated, not a re-encoding.
+        object.__setattr__(journal, "_bytes", bytes(data))
+        return journal
 
     def tx_hash(self) -> Digest:
         """The server-side journal digest accumulated by fam (§III-C).

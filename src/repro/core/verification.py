@@ -21,6 +21,7 @@ no calls back into the — potentially malicious — LSP.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from enum import Enum
 from typing import Any
 
 from .. import obs
@@ -35,7 +36,29 @@ from .journal import Journal, JournalType
 from .ledger import LedgerView
 from .receipt import Receipt
 
-__all__ = ["DaseinReport", "DaseinVerifier", "VerifyResult", "parse_time_journal"]
+__all__ = [
+    "DaseinReport",
+    "DaseinVerifier",
+    "VerifyLevel",
+    "VerifyResult",
+    "VerifyTarget",
+    "check_time_evidence",
+    "parse_time_journal",
+]
+
+
+class VerifyTarget(Enum):
+    """What a Verify call checks: one journal, or a clue lineage."""
+
+    TX = "tx"
+    CLUE = "clue"
+
+
+class VerifyLevel(Enum):
+    """Where verification runs (§IV-B): inside the LSP, or client-side."""
+
+    SERVER = "server"
+    CLIENT = "client"
 
 
 def parse_time_journal(journal: Journal) -> dict:
@@ -45,6 +68,41 @@ def parse_time_journal(journal: Journal) -> dict:
     obj = decode(journal.payload)
     obj["anchored_root"] = bytes(obj["anchored_root"])
     return obj
+
+
+def check_time_evidence(
+    info: dict,
+    evidence: TimeEvidence | TimeStampToken | None,
+    tsa_keys: dict[str, PublicKey],
+) -> tuple[float, bool]:
+    """Validate one time journal's authority evidence: (timestamp, valid).
+
+    ``info`` is a :func:`parse_time_journal` payload.  "tsa" mode
+    reconstructs the timestamp token from the journal itself; "tledger" mode
+    checks the supplied cross-ledger evidence.  Stateless on purpose — the
+    audit engine's worker pool calls it from forked processes.
+    """
+    if info["mode"] == "tsa":
+        # The token is reconstructible from the journal payload itself.
+        from ..crypto.ecdsa import Signature
+
+        token = TimeStampToken(
+            digest=info["anchored_root"],
+            timestamp=info["timestamp"],
+            tsa_id=info["tsa_id"],
+            signature=Signature.from_bytes(bytes(info["signature"])),
+        )
+        key = tsa_keys.get(token.tsa_id)
+        return token.timestamp, key is not None and token.verify(key)
+    if info["mode"] == "tledger":
+        if not isinstance(evidence, TimeEvidence):
+            return 0.0, False
+        if evidence.entry.digest != info["anchored_root"]:
+            return 0.0, False
+        if not evidence.verify(tsa_keys):
+            return 0.0, False
+        return evidence.finalization.token.timestamp, True
+    return 0.0, False
 
 
 @dataclass(frozen=True)
@@ -188,27 +246,7 @@ class DaseinVerifier:
     def _check_time_evidence(
         self, info: dict, evidence: TimeEvidence | TimeStampToken | None
     ) -> tuple[float, bool]:
-        if info["mode"] == "tsa":
-            # The token is reconstructible from the journal payload itself.
-            from ..crypto.ecdsa import Signature
-
-            token = TimeStampToken(
-                digest=info["anchored_root"],
-                timestamp=info["timestamp"],
-                tsa_id=info["tsa_id"],
-                signature=Signature.from_bytes(bytes(info["signature"])),
-            )
-            key = self.tsa_keys.get(token.tsa_id)
-            return token.timestamp, key is not None and token.verify(key)
-        if info["mode"] == "tledger":
-            if not isinstance(evidence, TimeEvidence):
-                return 0.0, False
-            if evidence.entry.digest != info["anchored_root"]:
-                return 0.0, False
-            if not evidence.verify(self.tsa_keys):
-                return 0.0, False
-            return evidence.finalization.token.timestamp, True
-        return 0.0, False
+        return check_time_evidence(info, evidence, self.tsa_keys)
 
     def verify_when(self, jsn: int) -> tuple[TimeBound | None, bool]:
         """Bracket ``jsn`` between verified time journals.

@@ -33,8 +33,9 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+import secrets
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .. import obs
 
@@ -56,6 +57,7 @@ __all__ = [
     "shamir_multiply",
     "precompute_public_key",
     "clear_fast_path_caches",
+    "warm_tables",
 ]
 
 
@@ -108,23 +110,46 @@ _INFINITY = Point(0, 0)
 
 @dataclass(frozen=True)
 class Signature:
-    """An ECDSA signature (r, s), canonicalised to low-s form."""
+    """An ECDSA signature (r, s), canonicalised to low-s form.
+
+    ``ry`` is the y-coordinate of the nonce point R *after* low-s
+    normalisation — the "ECDSA*" variant (Antipa et al.): carrying R makes
+    the signature batch-verifiable, because a verifier can check many
+    signatures with one randomised aggregate equation instead of two table
+    scans each (see :func:`verify_digests`).  It is purely advisory —
+    verification verdicts depend on (r, s) alone, legacy 64-byte encodings
+    decode with ``ry=None``, a corrupted hint merely costs the fast path —
+    and it is excluded from equality because (r, s) identifies the
+    signature.
+    """
 
     r: int
     s: int
+    ry: int | None = field(default=None, compare=False)
 
     def to_bytes(self, curve: Curve = CURVE_P256) -> bytes:
         size = curve.byte_length
-        return self.r.to_bytes(size, "big") + self.s.to_bytes(size, "big")
+        body = self.r.to_bytes(size, "big") + self.s.to_bytes(size, "big")
+        if self.ry is None:
+            return body
+        return body + self.ry.to_bytes(size, "big")
 
     @classmethod
     def from_bytes(cls, data: bytes, curve: Curve = CURVE_P256) -> "Signature":
         size = curve.byte_length
-        if len(data) != 2 * size:
-            raise ValueError(f"signature must be {2 * size} bytes, got {len(data)}")
+        if len(data) == 2 * size:
+            ry = None
+        elif len(data) == 3 * size:
+            ry = int.from_bytes(data[2 * size :], "big")
+        else:
+            raise ValueError(
+                f"signature must be {2 * size} or {3 * size} bytes, "
+                f"got {len(data)}"
+            )
         return cls(
             int.from_bytes(data[:size], "big"),
-            int.from_bytes(data[size:], "big"),
+            int.from_bytes(data[size : 2 * size], "big"),
+            ry,
         )
 
 
@@ -494,6 +519,20 @@ def clear_fast_path_caches() -> None:
     _PUBKEY_SEEN.clear()
 
 
+def warm_tables(points=(), curve: Curve = CURVE_P256) -> None:
+    """Eagerly build the generator table (and tables for ``points``).
+
+    A fork-based worker pool inherits the parent's caches by copy-on-write,
+    so warming them once before forking gives every worker the fast path for
+    free instead of each child rebuilding tables on first use.  Off-curve or
+    identity points are skipped (they can never verify anyway).
+    """
+    _generator_table(curve)
+    for point in points:
+        if not point.is_infinity() and is_on_curve(point, curve):
+            precompute_public_key(point, curve)
+
+
 def _shamir_jacobian(
     u1: int, u2: int, point: Point, curve: Curve
 ) -> tuple[int, int, int]:
@@ -591,9 +630,11 @@ def _sign_digest_core(secret: int, digest: bytes, curve: Curve, kg_multiply) -> 
         if s == 0:
             counter += 1
             continue
-        if s > curve.n // 2:  # canonical low-s form
+        ry = point.y
+        if s > curve.n // 2:  # canonical low-s form; negating s negates R
             s = curve.n - s
-        return Signature(r, s)
+            ry = curve.p - ry
+        return Signature(r, s, ry)
 
 
 def sign_digest(secret: int, digest: bytes, curve: Curve = CURVE_P256) -> Signature:
@@ -645,14 +686,16 @@ def _sign_digests_batched(
     r_points = _batch_to_affine([table.multiply_jacobian(k) for k in nonces], curve.p)
     nonce_inverses = _batch_inverse(nonces, n)
     out: list[Signature] = []
-    for digest, (x, _y), k_inv in zip(digests, r_points, nonce_inverses):
+    for digest, (x, y), k_inv in zip(digests, r_points, nonce_inverses):
         r = x % n
         if r:
             s = k_inv * (_bits2int(digest, n) + r * secret) % n
             if s:
-                if s > n // 2:
+                ry = y
+                if s > n // 2:  # low-s flip negates R
                     s = n - s
-                out.append(Signature(r, s))
+                    ry = curve.p - ry
+                out.append(Signature(r, s, ry))
                 continue
         # r == 0 or s == 0 (astronomically rare): take the retrying scalar
         # path so the output still matches sign_digest exactly.
@@ -734,20 +777,155 @@ def verify_digest(
         return _verify_prepared(public_key, z, r, w, table, curve)
 
 
+#: Smallest same-key group worth the aggregated batch equation: below this
+#: the shared G/Q table scans don't amortise over the group.
+BATCH_VERIFY_MIN = 3
+#: Bits of the per-signature randomisers in the aggregate check.  A forged
+#: signature survives aggregation with probability 2^-64 per attempt, and
+#: any aggregate failure falls back to exact per-item verification.
+BATCH_RANDOMIZER_BITS = 64
+
+
+def _r_point_from_hint(r: int, ry: int, curve: Curve) -> tuple[int, int] | None:
+    """Validate the signer's R hint: the affine point (x, ry) with
+    ``x ≡ r (mod n)`` if it lies on the curve, else None (corrupt hint)."""
+    p = curve.p
+    if not 0 < ry < p:
+        return None
+    ry2 = ry * ry % p
+    for x in (r, r + curve.n):  # x may exceed n and wrap into r (≈2^-128)
+        if x >= p:
+            break
+        if (x * x % p * x + curve.a * x + curve.b - ry2) % p == 0:
+            return (x, ry)
+    return None
+
+
+def _wnaf(k: int, width: int) -> list[int]:
+    """Little-endian width-w non-adjacent form: odd digits |d| < 2^(w-1)."""
+    digits: list[int] = []
+    modulus = 1 << width
+    half = modulus >> 1
+    while k:
+        if k & 1:
+            d = k & (modulus - 1)
+            if d >= half:
+                d -= modulus
+            k -= d
+        else:
+            d = 0
+        digits.append(d)
+        k >>= 1
+    return digits
+
+
+def _straus_sum(
+    pairs: list[tuple[int, tuple[int, int]]], curve: Curve
+) -> tuple[int, int, int]:
+    """``sum(a_i * P_i)`` for small scalars via interleaved wNAF-4.
+
+    One doubling chain shared by every point; per point an affine table of
+    {1,3,5,7}·P (one batch normalisation, negations free) and ~bits/5 mixed
+    additions.  Sized for the 64-bit randomisers of the aggregate verify."""
+    p = curve.p
+    jacobians: list[tuple[int, int, int]] = []
+    for _a, (x, y) in pairs:
+        # Odd multiples via mixed adds against the affine base:
+        # 2P, 4P, 8P by doubling; 3P = 2P+P, 5P = 4P+P, 7P = 8P-P.
+        p2 = _jacobian_double((x, y, 1), curve)
+        p4 = _jacobian_double(p2, curve)
+        p8 = _jacobian_double(p4, curve)
+        jacobians.append(_jacobian_mixed_add(p2, x, y, curve))
+        jacobians.append(_jacobian_mixed_add(p4, x, y, curve))
+        jacobians.append(_jacobian_mixed_add(p8, x, p - y, curve))
+    extras = _batch_to_affine(jacobians, p)
+    # Bucket the nonzero wNAF digits by bit position up front, so the scan
+    # below touches only actual additions (~bits/5 per point) instead of
+    # sweeping every (position, point) cell.
+    buckets: dict[int, list[tuple[int, int]]] = {}
+    top = 0
+    for i, (a, (x, y)) in enumerate(pairs):
+        table = ((x, y), extras[3 * i], extras[3 * i + 1], extras[3 * i + 2])
+        for position, d in enumerate(_wnaf(a, 4)):
+            if d:
+                x2, y2 = table[(d if d > 0 else -d) >> 1]
+                buckets.setdefault(position, []).append(
+                    (x2, y2 if d > 0 else p - y2)
+                )
+                if position > top:
+                    top = position
+    acc = (1, 1, 0)
+    for position in range(top, -1, -1):
+        if acc[2]:
+            acc = _jacobian_double(acc, curve)
+        for x2, y2 in buckets.get(position, ()):
+            acc = _jacobian_mixed_add(acc, x2, y2, curve)
+    return acc
+
+
+def _jacobian_eq(
+    a: tuple[int, int, int], b: tuple[int, int, int], p: int
+) -> bool:
+    """Projective equality: X1·Z2² == X2·Z1² and Y1·Z2³ == Y2·Z1³."""
+    if a[2] == 0 or b[2] == 0:
+        return a[2] == b[2]
+    z1sq = a[2] * a[2] % p
+    z2sq = b[2] * b[2] % p
+    if (a[0] * z2sq - b[0] * z1sq) % p:
+        return False
+    return (a[1] * z2sq * b[2] - b[1] * z1sq * a[2]) % p == 0
+
+
+def _aggregate_group_verify(
+    group: list[tuple[int, int, int, int]], table, curve: Curve
+) -> bool:
+    """Randomised batch check for same-key signatures carrying their R.
+
+    ``group`` holds (z, r, w, ry) per signature, ``w = s^-1 mod n``.
+    Checks ``sum(a_i·(u1_i·G + u2_i·Q - R_i)) == O`` for random 64-bit a_i:
+    one generator scan, one key scan, and a small multi-scalar sum replace
+    two full scans per signature.  ``True`` means every signature is valid
+    (soundness error 2^-64); ``False`` means *something* failed — the caller
+    re-verifies per item for exact verdicts.
+    """
+    n = curve.n
+    tg = 0
+    tq = 0
+    pairs: list[tuple[int, tuple[int, int]]] = []
+    for z, r, w, ry in group:
+        r_point = _r_point_from_hint(r, ry, curve)
+        if r_point is None:
+            return False  # corrupt hint: attribute failures per item instead
+        a_i = 1 + secrets.randbits(BATCH_RANDOMIZER_BITS - 1)
+        tg = (tg + a_i * (z * w % n)) % n
+        tq = (tq + a_i * (r * w % n)) % n
+        pairs.append((a_i, r_point))
+    lhs = _jacobian_add(
+        _generator_table(curve).multiply_jacobian(tg),
+        table.multiply_jacobian(tq),
+        curve,
+    )
+    return _jacobian_eq(lhs, _straus_sum(pairs, curve), curve.p)
+
+
 def verify_digests(
     checks: list[tuple[Point, bytes, Signature]], curve: Curve = CURVE_P256
 ) -> list[bool]:
     """Verify many ``(public_key, digest, signature)`` triples at once.
 
-    Verdicts are exactly what :func:`verify_digest` would return per item
-    (including LRU warm-up side effects), but every ``s^-1 mod n`` shares one
-    Montgomery batch inversion — malformed items are sifted out first so they
-    never poison the shared product.
+    Verdicts match :func:`verify_digest` per item (including LRU warm-up
+    side effects).  Beyond sharing one Montgomery batch inversion for every
+    ``s^-1 mod n``, same-key groups of *recoverable* signatures (R carried,
+    cached window table, ≥ :data:`BATCH_VERIFY_MIN`) are checked with one
+    randomised aggregate equation — the audit engine's chunk fast path.  Any
+    aggregate mismatch falls back to exact per-item verification, so a bad
+    signature is always attributed to the right index; a forged signature
+    slipping through aggregation requires guessing a 64-bit randomiser.
     """
     with obs.span("ecdsa.verify_batch") as _sp:
         _sp.add("checks", len(checks))
         results = [False] * len(checks)
-        prepared: list[tuple[int, Point, int, int, object]] = []
+        prepared: list[tuple[int, Point, int, int, int | None, object]] = []
         s_values: list[int] = []
         for index, (public_key, digest, signature) in enumerate(checks):
             r, s = signature.r, signature.s
@@ -756,13 +934,49 @@ def verify_digests(
             usable, table = _resolve_pubkey_table(public_key, curve)
             if not usable:
                 continue
-            prepared.append((index, public_key, _bits2int(digest, curve.n), r, table))
+            prepared.append(
+                (
+                    index,
+                    public_key,
+                    _bits2int(digest, curve.n),
+                    r,
+                    signature.ry,
+                    table,
+                )
+            )
             s_values.append(s)
         if not prepared:
             return results
         inverses = _batch_inverse(s_values, curve.n)
-        for (index, public_key, z, r, table), w in zip(prepared, inverses):
-            results[index] = _verify_prepared(public_key, z, r, w, table, curve)
+
+        def flush_group(
+            items: list[tuple[int, Point, int, int, int | None, object, int]]
+        ) -> None:
+            head_table = items[0][5]
+            aggregable = (
+                len(items) >= BATCH_VERIFY_MIN
+                and head_table is not None
+                and all(ry is not None for _i, _pk, _z, _r, ry, _t, _w in items)
+            )
+            if aggregable and _aggregate_group_verify(
+                [(z, r, w, ry) for _i, _pk, z, r, ry, _t, w in items],
+                head_table,
+                curve,
+            ):
+                obs.inc("ecdsa.verify_batch.aggregated", len(items))
+                for item in items:
+                    results[item[0]] = True
+                return
+            for index, public_key, z, r, _parity, table, w in items:
+                results[index] = _verify_prepared(public_key, z, r, w, table, curve)
+
+        groups: "OrderedDict[tuple[int, int], list]" = OrderedDict()
+        for (index, public_key, z, r, parity, table), w in zip(prepared, inverses):
+            groups.setdefault((public_key.x, public_key.y), []).append(
+                (index, public_key, z, r, parity, table, w)
+            )
+        for group in groups.values():
+            flush_group(group)
         return results
 
 

@@ -101,59 +101,87 @@ def encode(value: Any) -> bytes:
     return bytes(out)
 
 
-class _Decoder:
-    def __init__(self, data: bytes) -> None:
-        self.data = data
-        self.pos = 0
+# Integer tag values for the decoder's dispatch: indexing a bytes object
+# yields ints, so comparing ints here avoids materialising a one-byte slice
+# per value (the decoder is on the audit replay's hot path).
+_T_NONE = _TAG_NONE[0]
+_T_FALSE = _TAG_FALSE[0]
+_T_TRUE = _TAG_TRUE[0]
+_T_INT_POS = _TAG_INT_POS[0]
+_T_INT_NEG = _TAG_INT_NEG[0]
+_T_BYTES = _TAG_BYTES[0]
+_T_STR = _TAG_STR[0]
+_T_FLOAT = _TAG_FLOAT[0]
+_T_LIST = _TAG_LIST[0]
+_T_DICT = _TAG_DICT[0]
 
-    def _take(self, n: int) -> bytes:
-        if self.pos + n > len(self.data):
+
+def _read_scalar(data: bytes, pos: int) -> tuple[int, int]:
+    """Read a variable-length big-endian magnitude; returns (value, new_pos)."""
+    try:
+        count = data[pos]
+    except IndexError:
+        raise EncodingError("truncated input") from None
+    pos += 1
+    if count == 0:
+        return 0, pos
+    end = pos + count
+    if end > len(data):
+        raise EncodingError("truncated input")
+    return int.from_bytes(data[pos:end], "big"), end
+
+
+def _read_value(data: bytes, pos: int) -> tuple[Any, int]:
+    try:
+        tag = data[pos]
+    except IndexError:
+        raise EncodingError("truncated input") from None
+    pos += 1
+    if tag == _T_BYTES or tag == _T_STR:
+        length, pos = _read_scalar(data, pos)
+        end = pos + length
+        if end > len(data):
             raise EncodingError("truncated input")
-        chunk = self.data[self.pos : self.pos + n]
-        self.pos += n
-        return chunk
-
-    def _read_length(self) -> int:
-        count = self._take(1)[0]
-        if count == 0:
-            return 0
-        return int.from_bytes(self._take(count), "big")
-
-    def read_value(self) -> Any:
-        tag = self._take(1)
-        if tag == _TAG_NONE:
-            return None
-        if tag == _TAG_TRUE:
-            return True
-        if tag == _TAG_FALSE:
-            return False
-        if tag == _TAG_INT_POS:
-            return self._read_length()
-        if tag == _TAG_INT_NEG:
-            return -self._read_length()
-        if tag == _TAG_BYTES:
-            return self._take(self._read_length())
-        if tag == _TAG_STR:
-            return self._take(self._read_length()).decode("utf-8")
-        if tag == _TAG_FLOAT:
-            return struct.unpack(">d", self._take(8))[0]
-        if tag == _TAG_LIST:
-            return [self.read_value() for _ in range(self._read_length())]
-        if tag == _TAG_DICT:
-            result = {}
-            for _ in range(self._read_length()):
-                key = self.read_value()
-                if not isinstance(key, str):
-                    raise EncodingError("dict key must decode to str")
-                result[key] = self.read_value()
-            return result
-        raise EncodingError(f"unknown tag: {tag!r}")
+        chunk = data[pos:end]
+        return (chunk if tag == _T_BYTES else chunk.decode("utf-8")), end
+    if tag == _T_INT_POS:
+        return _read_scalar(data, pos)
+    if tag == _T_INT_NEG:
+        value, pos = _read_scalar(data, pos)
+        return -value, pos
+    if tag == _T_DICT:
+        length, pos = _read_scalar(data, pos)
+        result = {}
+        for _ in range(length):
+            key, pos = _read_value(data, pos)
+            if type(key) is not str:
+                raise EncodingError("dict key must decode to str")
+            result[key], pos = _read_value(data, pos)
+        return result, pos
+    if tag == _T_LIST:
+        length, pos = _read_scalar(data, pos)
+        items = []
+        for _ in range(length):
+            item, pos = _read_value(data, pos)
+            items.append(item)
+        return items, pos
+    if tag == _T_FLOAT:
+        end = pos + 8
+        if end > len(data):
+            raise EncodingError("truncated input")
+        return struct.unpack(">d", data[pos:end])[0], end
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    raise EncodingError(f"unknown tag: {bytes([tag])!r}")
 
 
 def decode(data: bytes) -> Any:
     """Decode a canonically encoded byte string; rejects trailing garbage."""
-    decoder = _Decoder(data)
-    value = decoder.read_value()
-    if decoder.pos != len(data):
+    value, pos = _read_value(bytes(data), 0)
+    if pos != len(data):
         raise EncodingError("trailing bytes after value")
     return value

@@ -293,6 +293,47 @@ class TestDeprecatedFacade:
             with pytest.raises(UsageError):
                 v1.drop_ledger("ledger://not-there")
 
+    def test_each_shim_call_warns_exactly_once(self):
+        """One shim call -> one DeprecationWarning, even though every shim
+        delegates into the v2 session API internally."""
+        import warnings
+
+        from repro.core import api as v1
+
+        keypair = KeyPair.generate(seed="v1:once")
+
+        def deprecations(caught):
+            return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ledger = v1.create(URI)
+        assert len(deprecations(caught)) == 1
+        ledger.registry.register("u", Role.USER, keypair.public)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            receipt = v1.append_tx(URI, "u", b"doc", clue="D", keypair=keypair)
+        assert len(deprecations(caught)) == 1
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            v1.list_tx(URI, "D")
+            v1.get_proof(URI, receipt.jsn, anchored=False)
+        assert len(deprecations(caught)) == 2  # one per call, none extra
+
+        # Importing the enums is NOT deprecated — only the functions are.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert v1.VerifyTarget.TX.value == "tx"
+            assert v1.VerifyLevel.CLIENT.value == "client"
+        assert len(deprecations(caught)) == 0
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            v1.drop_ledger(URI)
+        assert len(deprecations(caught)) == 1
+
     def test_verify_bool_compat(self):
         """Old call sites doing `assert verify(...)`/`if not verify(...)` hold."""
         from repro.core import api as v1

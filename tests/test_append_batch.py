@@ -224,21 +224,18 @@ def test_client_sdk_append_batch_unwinds_nonce_on_rejection():
     assert client._nonce == 0
 
 
-def test_api_facade_append_tx_batch():
-    from repro import api as api_v2
-    from repro.core import api
+def test_session_append_batch():
+    from repro import api
 
-    with api_v2.scoped_ledger(
+    with api.scoped_ledger(
         URI, config=LedgerConfig(uri=URI, fractal_height=3, block_size=4)
     ) as session:
         keypair = KeyPair.generate(seed="batch:facade")
         session.ledger.registry.register("dave", Role.USER, keypair.public)
-        with pytest.warns(DeprecationWarning):
-            receipts = api.append_tx_batch(
-                URI,
-                "dave",
-                items=[(b"p1", "clue-x"), (b"p2", None), (b"p3", "clue-x")],
-                keypair=keypair,
-            )
+        receipts = session.append_batch(
+            [(b"p1", "clue-x"), (b"p2", None), (b"p3", "clue-x")],
+            client_id="dave",
+            keypair=keypair,
+        )
         assert [r.jsn for r in receipts] == [1, 2, 3]
         assert session.ledger.list_tx("clue-x") == [1, 3]

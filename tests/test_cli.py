@@ -37,3 +37,27 @@ def test_bench_unknown_experiment(capsys):
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_audit_passes(capsys):
+    assert main(["audit", "--journals", "24"]) == 0
+    out = capsys.readouterr().out
+    assert "[ok ]" in out and "passed=True" in out
+
+
+def test_audit_parallel_json(capsys):
+    import json
+
+    assert main(["audit", "--journals", "24", "--workers", "2", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["passed"] is True
+    assert report["journals_replayed"] > 0
+
+
+def test_audit_checkpoint_then_resume(tmp_path, capsys):
+    ckpt = str(tmp_path / "cli.ckpt")
+    assert main(["audit", "--journals", "24", "--checkpoint", ckpt]) == 0
+    first = capsys.readouterr().out
+    assert main(["audit", "--journals", "24", "--resume", ckpt]) == 0
+    second = capsys.readouterr().out
+    assert "passed=True" in first and "passed=True" in second

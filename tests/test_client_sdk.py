@@ -1,11 +1,12 @@
-"""LedgerClient SDK and the paper-style API facade."""
+"""LedgerClient SDK and the v2 session API surface."""
 
 import dataclasses
 
 import pytest
 
-from repro.core import LedgerClient, api
-from repro.core.api import VerifyLevel, VerifyTarget
+import repro.api as api
+from repro.api import VerifyLevel, VerifyTarget
+from repro.core import LedgerClient
 from repro.core.errors import LedgerError, VerificationFailure
 
 
@@ -89,15 +90,13 @@ class TestLedgerClient:
             client.sync_anchors()
 
 
-class TestAPIFacade:
-    """The deprecated v1 shims keep the paper-surface contract intact."""
+class TestSessionSurface:
+    """The v2 session surface keeps the paper-API contract intact."""
 
     @pytest.fixture(autouse=True)
     def registry_hygiene(self):
         yield
-        import repro.api
-
-        repro.api.drop_ledger("ledger://facade", missing_ok=True)
+        api.drop_ledger("ledger://facade", missing_ok=True)
 
     def test_create_and_duplicate(self):
         ledger = api.create("ledger://facade")
@@ -115,21 +114,19 @@ class TestAPIFacade:
         ledger = api.create("ledger://facade")
         user = KeyPair.generate(seed="facade-user")
         ledger.registry.register("u", Role.USER, user.public)
+        session = api.connect("ledger://facade", client_id="u", keypair=user)
         for i in range(4):
-            api.append_tx("ledger://facade", "u", b"item-%d" % i, clue="DCI001", keypair=user)
-        journals = api.list_tx("ledger://facade", "DCI001")
+            session.append(b"item-%d" % i, clue="DCI001")
+        journals = session.list_tx("DCI001")
         assert len(journals) == 4
-        assert api.verify(
-            "ledger://facade", VerifyTarget.CLUE, key="DCI001", txdata=journals,
-            level=VerifyLevel.SERVER,
+        assert session.verify(
+            VerifyTarget.CLUE, key="DCI001", txdata=journals, level=VerifyLevel.SERVER
         )
-        assert api.verify(
-            "ledger://facade", VerifyTarget.CLUE, key="DCI001", txdata=journals,
-            level=VerifyLevel.CLIENT,
+        assert session.verify(
+            VerifyTarget.CLUE, key="DCI001", txdata=journals, level=VerifyLevel.CLIENT
         )
-        assert api.verify(
-            "ledger://facade", VerifyTarget.TX, txdata=[journals[0]],
-            level=VerifyLevel.CLIENT,
+        assert session.verify(
+            VerifyTarget.TX, txdata=[journals[0]], level=VerifyLevel.CLIENT
         )
 
     def test_clue_verify_rejects_omission(self):
@@ -138,22 +135,23 @@ class TestAPIFacade:
         ledger = api.create("ledger://facade")
         user = KeyPair.generate(seed="facade-user")
         ledger.registry.register("u", Role.USER, user.public)
+        session = api.connect("ledger://facade", client_id="u", keypair=user)
         for i in range(4):
-            api.append_tx("ledger://facade", "u", b"item-%d" % i, clue="D", keypair=user)
-        journals = api.list_tx("ledger://facade", "D")
-        assert not api.verify(
-            "ledger://facade", VerifyTarget.CLUE, key="D", txdata=journals[:-1],
-            level=VerifyLevel.SERVER,
+            session.append(b"item-%d" % i, clue="D")
+        journals = session.list_tx("D")
+        assert not session.verify(
+            VerifyTarget.CLUE, key="D", txdata=journals[:-1], level=VerifyLevel.SERVER
         )
 
     def test_argument_validation(self):
         api.create("ledger://facade")
+        session = api.connect("ledger://facade")
         with pytest.raises(LedgerError):
-            api.append_tx("ledger://facade", "u", b"x")  # no keypair, no request
+            session.append(b"x")  # no keypair bound, none passed
         with pytest.raises(LedgerError):
-            api.verify("ledger://facade", VerifyTarget.TX, txdata=[])
+            session.verify(VerifyTarget.TX, txdata=[])
         with pytest.raises(LedgerError):
-            api.verify("ledger://facade", VerifyTarget.CLUE, key=None, txdata=None)
+            session.verify(VerifyTarget.CLUE, key=None, txdata=None)
 
 
 class TestOccultByClue:

@@ -248,6 +248,117 @@ def test_keypair_sign_batch_and_verify_batch_roundtrip():
     assert verify_batch(checks) == [True, True, True, False]
 
 
+# ------------------------------------------------- aggregated batch (ECDSA*)
+
+
+class TestAggregatedBatchVerify:
+    """The randomized-aggregate path behind ``verify_digests``.
+
+    Signatures carry the full R.y hint (ECDSA*, 96-byte wire form); same-key
+    groups of >= BATCH_VERIFY_MIN verify through one aggregate equation, and
+    *any* aggregate failure falls back to exact per-item verification — so
+    verdicts must match ``verify_digest`` under every corruption.
+    """
+
+    def _group(self, count, seed=0xA66):
+        rng = random.Random(seed)
+        secret = rng.randrange(1, N)
+        public = derive_public_key(secret)
+        precompute_public_key(public)  # aggregation requires the window table
+        digests = [hashlib.sha256(rng.randbytes(24)).digest() for _ in range(count)]
+        checks = [(public, d, sign_digest(secret, d)) for d in digests]
+        return secret, public, checks
+
+    def test_signature_carries_valid_r_hint(self):
+        _, _, checks = self._group(4)
+        for _, _, signature in checks:
+            assert signature.ry is not None
+            point = ecdsa._r_point_from_hint(signature.r, signature.ry, CURVE_P256)
+            assert point is not None
+            x, y = point
+            assert (
+                y * y - (x * x * x + CURVE_P256.a * x + CURVE_P256.b)
+            ) % CURVE_P256.p == 0
+
+    def test_wire_format_roundtrip_and_legacy(self):
+        _, _, checks = self._group(1)
+        signature = checks[0][2]
+        wire = signature.to_bytes()
+        assert len(wire) == 96
+        assert Signature.from_bytes(wire) == signature
+        assert Signature.from_bytes(wire).ry == signature.ry
+        legacy = Signature.from_bytes(wire[:64])
+        assert legacy == signature  # equality ignores the hint
+        assert legacy.ry is None
+        with pytest.raises(ValueError):
+            Signature.from_bytes(wire[:65])
+
+    def test_aggregate_path_actually_taken(self):
+        from repro import obs
+
+        _, _, checks = self._group(ecdsa.BATCH_VERIFY_MIN + 2)
+        obs.enable()
+        try:
+            assert verify_digests(checks) == [True] * len(checks)
+            snap = obs.snapshot()
+        finally:
+            obs.disable()
+            obs.reset()
+        assert snap["counters"]["ecdsa.verify_batch.aggregated"] == len(checks)
+
+    def test_tampered_digest_fails_exactly_at_its_index(self):
+        _, public, checks = self._group(6)
+        bad = hashlib.sha256(b"swapped payload").digest()
+        checks[3] = (public, bad, checks[3][2])
+        expected = [True, True, True, False, True, True]
+        assert verify_digests(checks) == expected
+        assert [verify_digest(k, d, s) for k, d, s in checks] == expected
+
+    @pytest.mark.parametrize("corrupt", ["off_curve", "negated", "zero"])
+    def test_corrupt_hint_never_changes_the_verdict(self, corrupt):
+        # The hint is an untrusted accelerator: breaking it may cost the
+        # fast path but the verdict comes from (r, s) alone.
+        _, public, checks = self._group(4, seed=0xC0)
+        target = checks[2][2]
+        ry = {
+            "off_curve": (target.ry + 1) % CURVE_P256.p,
+            "negated": CURVE_P256.p - target.ry,  # valid point, wrong sign
+            "zero": 0,
+        }[corrupt]
+        checks[2] = (public, checks[2][1], Signature(target.r, target.s, ry))
+        assert verify_digests(checks) == [True] * 4
+        assert verify_digest(public, checks[2][1], checks[2][2])
+
+    def test_legacy_signatures_without_hint_still_batch_correctly(self):
+        _, public, checks = self._group(5, seed=0x1E6)
+        checks = [
+            (public, d, Signature(s.r, s.s)) for public, d, s in checks
+        ]  # strip every hint: group is not aggregable, falls back per-item
+        assert verify_digests(checks) == [True] * 5
+
+    def test_forged_signature_in_group_rejected(self):
+        secret, public, checks = self._group(5, seed=0xF06)
+        mallory = random.Random(1).randrange(1, N)
+        forged = sign_digest(mallory, checks[1][1])
+        checks[1] = (public, checks[1][1], forged)
+        expected = [True, False, True, True, True]
+        assert verify_digests(checks) == expected
+        assert [verify_digest(k, d, s) for k, d, s in checks] == expected
+
+    def test_low_s_flip_keeps_hint_consistent(self):
+        # sign normalises s -> n - s; the hint must track the negated R.
+        rng = random.Random(0x10)
+        for _ in range(8):
+            secret = rng.randrange(1, N)
+            digest = hashlib.sha256(rng.randbytes(16)).digest()
+            signature = sign_digest(secret, digest)
+            assert signature.s <= N // 2
+            assert (
+                ecdsa._r_point_from_hint(signature.r, signature.ry, CURVE_P256)
+                is not None
+            )
+
+
 # ----------------------------------------------------------------- LRU cache
 
 
