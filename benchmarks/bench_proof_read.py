@@ -1,0 +1,210 @@
+"""Proof-read benchmark for the paged node store: cache effects + recovery.
+
+Standalone script (same conventions as ``bench_audit.py``)::
+
+    PYTHONPATH=src python benchmarks/bench_proof_read.py [--quick] [--out FILE]
+
+One section, ``proofs``, over a persistent paged-backend ledger (seeded
+keys, sim clock, checkpointed at close):
+
+* ``cold_clue_proof_us`` / ``warm_clue_proof_us`` — CM-Tree clue proofs on
+  a freshly opened ledger (every page fault goes to disk) vs the same
+  proofs again with the page cache and MPT node memo warm.  This is the
+  §IV-B2 "top layers in memory, bottom layers on disk" trade made
+  measurable.
+* ``single_get_proof_us`` / ``bulk_get_proofs_us`` — N anchored journal
+  proofs issued one ``get_proof`` at a time vs one ``get_proofs`` call
+  that amortises the trusted-root / epoch-anchor work across the batch.
+  Bulk results are checked byte-identical to the singles before any
+  timing is trusted; ``bulk_speedup`` is the acceptance metric (floor
+  1x — bulk must never lose; enforce with ``--min-bulk-speedup``).
+* ``snapshot_open_s`` / ``full_recover_s`` — restart cost: ``Ledger.open``
+  riding the snapshot + O(delta) replay vs ``force_rebuild=True`` full
+  journal replay of the same directory.
+
+``--quick`` shrinks the workload for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import ClientRequest, Ledger, LedgerConfig  # noqa: E402
+from repro.core.members import MemberRegistry  # noqa: E402
+from repro.crypto import KeyPair, Role  # noqa: E402
+from repro.timeauth import SimClock  # noqa: E402
+
+URI = "ledger://bench-proofs"
+CLUES = tuple(f"CLUE-{i}" for i in range(8))
+
+
+def _registry():
+    registry = MemberRegistry()
+    user = KeyPair.generate(seed="bench-proofs-user")
+    registry.register("user", Role.USER, user.public)
+    return registry, user
+
+
+def build_ledger(data_dir: str, journals: int) -> None:
+    registry, user = _registry()
+    lsp = KeyPair.generate(seed="bench-proofs-lsp")
+    clock = SimClock()
+    ledger = Ledger(
+        LedgerConfig(
+            uri=URI, fractal_height=4, block_size=8,
+            node_store="paged", cache_pages=64, data_dir=data_dir,
+        ),
+        clock=clock, registry=registry, lsp_keypair=lsp,
+    )
+    for i in range(journals):
+        request = ClientRequest.build(
+            URI, "user", b"bench-%06d" % i, clues=(CLUES[i % len(CLUES)],),
+            nonce=i.to_bytes(4, "big"), client_timestamp=clock.now(),
+        ).signed_by(user)
+        ledger.append(request)
+        clock.advance(0.05)
+    ledger.commit_block()
+    ledger.close()  # checkpoints: reopen takes the snapshot path
+
+
+def open_ledger(data_dir: str, force_rebuild: bool = False) -> Ledger:
+    registry, _user = _registry()
+    lsp = KeyPair.generate(seed="bench-proofs-lsp")
+    return Ledger.open(
+        data_dir, registry, lsp, clock=SimClock(), force_rebuild=force_rebuild
+    )
+
+
+def bench_proofs(journals: int, rounds: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-proofs-") as data_dir:
+        build_ledger(data_dir, journals)
+
+        # Restart cost: snapshot + delta replay vs full journal replay.
+        open_times, rebuild_times = [], []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            ledger = open_ledger(data_dir)
+            open_times.append(time.perf_counter() - start)
+            ledger.close(checkpoint=False)
+
+            start = time.perf_counter()
+            ledger = open_ledger(data_dir, force_rebuild=True)
+            rebuild_times.append(time.perf_counter() - start)
+            # The rebuild rewrote the page files; checkpoint so the snapshot
+            # manifest matches them again and the next round's open really
+            # takes the snapshot path instead of silently falling back.
+            ledger.close()
+
+        # Cold vs warm CM-Tree clue proofs.  A freshly opened ledger has an
+        # empty page cache and an empty MPT node memo: every trie step is a
+        # disk page fault.  The second sweep re-proves the same clues warm.
+        cold_times, warm_times = [], []
+        for _ in range(rounds):
+            ledger = open_ledger(data_dir)
+            start = time.perf_counter()
+            cold = [ledger.prove_clue(clue).to_bytes() for clue in CLUES]
+            cold_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            warm = [ledger.prove_clue(clue).to_bytes() for clue in CLUES]
+            warm_times.append(time.perf_counter() - start)
+            if warm != cold:
+                raise SystemExit("warm clue proofs diverged from cold ones")
+            store_stats = ledger.node_store_stats()
+            ledger.close(checkpoint=False)
+
+        # Bulk vs single anchored journal proofs on a warm ledger.
+        ledger = open_ledger(data_dir)
+        sample = list(range(0, ledger.size, 2))
+        singles = [ledger.get_proof(jsn).to_bytes() for jsn in sample]  # warm-up
+        bulk = [p.to_bytes() for p in ledger.get_proofs(sample)]
+        if bulk != singles:
+            raise SystemExit("bulk proofs diverged from singles — not benching a lie")
+        single_times, bulk_times, ratios = [], [], []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for jsn in sample:
+                ledger.get_proof(jsn)
+            single = time.perf_counter() - start
+
+            start = time.perf_counter()
+            ledger.get_proofs(sample)
+            bulk_t = time.perf_counter() - start
+
+            single_times.append(single)
+            bulk_times.append(bulk_t)
+            ratios.append(single / bulk_t)
+        ledger.close(checkpoint=False)
+
+    cold_med = statistics.median(cold_times)
+    warm_med = statistics.median(warm_times)
+    return {
+        "journals": journals,
+        "rounds": rounds,
+        "sampled_proofs": len(sample),
+        "cold_clue_proof_us": cold_med / len(CLUES) * 1e6,
+        "warm_clue_proof_us": warm_med / len(CLUES) * 1e6,
+        "cold_warm_ratio": cold_med / warm_med,
+        "single_get_proof_us": statistics.median(single_times) / len(sample) * 1e6,
+        "bulk_get_proofs_us": statistics.median(bulk_times) / len(sample) * 1e6,
+        "bulk_speedup": statistics.median(ratios),
+        "snapshot_open_s": statistics.median(open_times),
+        "full_recover_s": statistics.median(rebuild_times),
+        "recovery_speedup": statistics.median(rebuild_times) / statistics.median(open_times),
+        "page_cache_hit_rate": store_stats.get("cache_hit_rate", 0.0),
+        "proofs_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument("--journals", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--min-bulk-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero unless bulk_speedup meets this floor",
+    )
+    args = parser.parse_args(argv)
+
+    journals = args.journals or (96 if args.quick else 384)
+    rounds = args.rounds or (2 if args.quick else 3)
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "quick": bool(args.quick),
+        },
+        "proofs": bench_proofs(journals, rounds),
+    }
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out:
+        args.out.write_text(text + "\n")
+
+    speedup = report["proofs"]["bulk_speedup"]
+    if args.min_bulk_speedup is not None and speedup < args.min_bulk_speedup:
+        print(
+            f"FAIL: bulk_speedup {speedup:.2f}x below floor "
+            f"{args.min_bulk_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -372,6 +372,16 @@ class LedgerSession:
         """
         return self.ledger.get_proof(jsn, anchored=anchored)
 
+    def get_proofs(self, jsns: list[int], anchored: bool = True) -> list[FamProof]:
+        """Bulk GetProof — proofs byte-identical to ``N`` single calls.
+
+        Amortises the shared work across the batch: the link chain from each
+        touched epoch up to the current one is computed once per epoch, not
+        once per journal, so proving a batch that clusters in few epochs is
+        substantially cheaper than looping over :meth:`get_proof`.
+        """
+        return self.ledger.get_proofs(jsns, anchored=anchored)
+
     # ------------------------------------------------------------ verifying
 
     def verify(

@@ -68,6 +68,16 @@ class RecoveryError(LedgerError):
     """
 
 
+class SnapshotError(LedgerError):
+    """A checkpoint snapshot is unusable — missing, corrupt, from a different
+    ledger, or ahead of the journal stream it claims to summarise.
+
+    Deliberately *recoverable*: :meth:`repro.core.ledger.Ledger.open` treats
+    it as "no usable snapshot" and falls back to a full stream replay, because
+    a snapshot is derived state — the journal stream remains the truth.
+    """
+
+
 class JournalNotFoundError(LedgerError):
     """No journal exists at the requested jsn."""
 

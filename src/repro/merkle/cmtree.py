@@ -301,3 +301,44 @@ class CMTree:
         """Historical (clue, size, peaks) as of the clue's first ``at_size`` entries."""
         accumulator = self._require(clue)
         return (clue, at_size, tuple(accumulator.peaks(at_size=at_size)))
+
+    def reachable_nodes(self) -> set[Digest]:
+        """Node ids reachable from the current CM-Tree1 root — the live set
+        a node-store compaction must keep."""
+        return self._mpt.reachable()
+
+    def export_nodes(self) -> list[tuple[Digest, bytes]]:
+        """Live MPT nodes for snapshots of non-persistent node stores."""
+        return self._mpt.export_nodes()
+
+    def import_nodes(self, nodes) -> None:
+        self._mpt.import_nodes(nodes)
+
+    # ----------------------------------------------------------- checkpoints
+
+    def dump_state(self) -> dict:
+        """CM-Tree2 state + CM-Tree1 root for a ledger checkpoint.
+
+        MPT *nodes* are not included — they live in the (persistent) node
+        store; the root digest is enough to re-attach to them.
+        """
+        return {
+            "root": self.root,
+            "clues": [
+                {"name": self._clue_names[key], "levels": accumulator.dump_levels()}
+                for key, accumulator in sorted(self._accumulators.items())
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, store: KVStore | None = None) -> "CMTree":
+        """Rebuild from :meth:`dump_state`, re-attaching the MPT to ``store``
+        (which must already hold the nodes reachable from the saved root)."""
+        tree = cls(store)
+        tree._mpt.root = bytes(state["root"])
+        for entry in state["clues"]:
+            name = str(entry["name"])
+            key = clue_key_hash(name)
+            tree._accumulators[key] = ShrubsAccumulator.from_levels(entry["levels"])
+            tree._clue_names[key] = name
+        return tree

@@ -282,6 +282,58 @@ class FamAccumulator:
             link_proofs=link_proofs,
         )
 
+    def get_proofs(self, jsns: list[int], anchored: bool = True) -> list[FamProof]:
+        """Existence proofs for many journals, byte-identical to calling
+        :meth:`get_proof` per jsn.
+
+        The bulk win is the un-anchored path: the merged-leaf link chain from
+        epoch *k* to the live epoch is the same for every journal in epoch
+        *k* (and a suffix of the chain for every earlier epoch), so it is
+        computed once per epoch touched instead of once per proof.
+        """
+        link_cache: dict[int, list[MembershipProof]] = {}
+        num_epochs = len(self._epochs)
+        proofs: list[FamProof] = []
+        for jsn in jsns:
+            epoch_index, slot = self.locate(jsn)
+            if epoch_index in self._erased_epochs:
+                raise KeyError(
+                    f"epoch {epoch_index} was erased by purge; jsn {jsn} unprovable"
+                )
+            epoch_proof = self._epochs[epoch_index].prove(slot)
+            if anchored:
+                link_proofs: list[MembershipProof] = []
+            else:
+                link_proofs = list(self._link_chain(epoch_index, link_cache))
+            proofs.append(
+                FamProof(
+                    jsn=jsn,
+                    epoch_index=epoch_index,
+                    num_epochs=num_epochs,
+                    epoch_proof=epoch_proof,
+                    link_proofs=link_proofs,
+                )
+            )
+        return proofs
+
+    def _link_chain(
+        self, epoch_index: int, cache: dict[int, list[MembershipProof]]
+    ) -> list[MembershipProof]:
+        """Memoized merged-leaf chain from ``epoch_index`` to the live epoch."""
+        last = len(self._epochs) - 1
+        if epoch_index >= last:
+            return []
+        missing = []
+        k = epoch_index
+        while k < last and k not in cache:
+            missing.append(k)
+            k += 1
+        chain = cache.get(k, [])
+        for k in reversed(missing):
+            chain = [self._epochs[k + 1].prove(0)] + chain
+            cache[k] = chain
+        return cache[epoch_index]
+
     # ------------------------------------------------------------- verifying
 
     @staticmethod
@@ -413,6 +465,32 @@ class FamAccumulator:
     def num_nodes(self) -> int:
         """Total stored Merkle nodes across epochs (storage accounting)."""
         return sum(epoch.num_nodes() for epoch in self._epochs) + len(self._epoch_roots)
+
+    def dump_state(self) -> dict:
+        """Complete accumulator state for a ledger checkpoint (DESIGN.md §13).
+
+        Unlike :meth:`snapshot` (frontier-only, for pseudo-genesis replay)
+        this keeps every epoch's full node table so the restored accumulator
+        can keep *proving* — and is JSON/TLV-encodable as-is.
+        """
+        return {
+            "fractal_height": self.fractal_height,
+            "size": self._size,
+            "epoch_roots": list(self._epoch_roots),
+            "erased_epochs": sorted(self._erased_epochs),
+            "epochs": [epoch.dump_levels() for epoch in self._epochs],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FamAccumulator":
+        """Rebuild an accumulator from :meth:`dump_state` output."""
+        fam = cls(state["fractal_height"])
+        epochs = [ShrubsAccumulator.from_levels(levels) for levels in state["epochs"]]
+        fam._epochs = epochs if epochs else [ShrubsAccumulator()]
+        fam._epoch_roots = [bytes(root) for root in state["epoch_roots"]]
+        fam._erased_epochs = set(state["erased_epochs"])
+        fam._size = state["size"]
+        return fam
 
     def snapshot(self) -> tuple[tuple[Digest, ...], int, tuple[Digest, ...]]:
         """(completed epoch roots, live epoch size, live epoch peaks).

@@ -18,8 +18,10 @@ keys); internally they travel as nibble (4-bit) sequences.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
+from .. import obs
 from ..crypto.hashing import EMPTY_DIGEST, Digest, sha256
 from ..encoding import EncodingError, decode, encode
 from ..storage.kv import KeyNotFoundError, KVStore, MemoryKVStore
@@ -148,22 +150,58 @@ class MPTProof:
 
 
 class MPT:
-    """Persistent Merkle Patricia Trie over a pluggable node store."""
+    """Persistent Merkle Patricia Trie over a pluggable node store.
 
-    def __init__(self, store: KVStore | None = None, root: Digest = EMPTY_DIGEST) -> None:
+    ``node_cache`` bounds a decode memo keyed by node identity (the content
+    digest): nodes are immutable once written, so a decoded tuple can be
+    reused forever without invalidation.  On a paged disk store this skips
+    both the page read *and* the deserialization for hot upper-trie nodes —
+    the paper's "top layers cache in memory" (§IV-B2) at the node level.
+    Set ``node_cache=0`` to disable (every load hits the store).
+    """
+
+    def __init__(
+        self,
+        store: KVStore | None = None,
+        root: Digest = EMPTY_DIGEST,
+        node_cache: int = 4096,
+    ) -> None:
         self._store = store if store is not None else MemoryKVStore()
         self.root = root
+        self._node_cache: OrderedDict[Digest, tuple] = OrderedDict()
+        self._node_cache_limit = node_cache
 
     # -------------------------------------------------------------- node I/O
 
     def _load(self, digest: Digest) -> tuple:
-        return _deserialize(self._store.get(digest))
+        cache = self._node_cache
+        node = cache.get(digest)
+        if node is not None:
+            cache.move_to_end(digest)
+            obs.inc("mpt.node_cache.hit")
+            return node
+        node = _deserialize(self._store.get(digest))
+        obs.inc("mpt.node_cache.miss")
+        self._memo(digest, node)
+        return node
 
     def _save(self, node: tuple) -> Digest:
         data = _serialize(node)
         digest = sha256(data)
         self._store.put(digest, data)
+        self._memo(digest, node)
         return digest
+
+    def _memo(self, digest: Digest, node: tuple) -> None:
+        # Cached tuples are shared: every mutator copies children lists
+        # before modifying them, so a memoized node is never written to.
+        if self._node_cache_limit <= 0:
+            return
+        cache = self._node_cache
+        cache[digest] = node
+        cache.move_to_end(digest)
+        while len(cache) > self._node_cache_limit:
+            cache.popitem(last=False)
 
     # ------------------------------------------------------------------- get
 
@@ -376,6 +414,47 @@ class MPT:
         return MPTProof(key=key, value=value, nodes=nodes)
 
     # ------------------------------------------------------------- utilities
+
+    def reachable(self, root: Digest | None = None) -> set[Digest]:
+        """Digests of every node reachable from ``root``.
+
+        The live set for store compaction: nodes outside it belong to
+        superseded historical trie versions and can be dropped once history
+        queries against old roots are no longer needed.
+        """
+        at_root = self.root if root is None else root
+        live: set[Digest] = set()
+        if at_root == EMPTY_DIGEST:
+            return live
+        stack: list[Digest] = [at_root]
+        while stack:
+            digest = stack.pop()
+            if digest in live:
+                continue
+            live.add(digest)
+            node = self._load(digest)
+            kind = node[0]
+            if kind == "ext":
+                stack.append(node[2])
+            elif kind == "branch":
+                stack.extend(child for child in node[1] if child is not None)
+        return live
+
+    def export_nodes(self, root: Digest | None = None) -> list[tuple[Digest, bytes]]:
+        """Serialized (digest, bytes) for every node reachable from ``root``.
+
+        Snapshot material for stores that are not themselves persistent —
+        an on-disk node store instead persists pages and needs only the root.
+        """
+        return [
+            (digest, self._store.get(digest)) for digest in sorted(self.reachable(root))
+        ]
+
+    def import_nodes(self, nodes) -> None:
+        """Load ``(digest, bytes)`` pairs (from :meth:`export_nodes`) into the
+        backing store; content-addressed, so repeats are harmless."""
+        for digest, data in nodes:
+            self._store.put(bytes(digest), bytes(data))
 
     def items(self, root: Digest | None = None) -> list[tuple[bytes, bytes]]:
         """All (key, value) pairs under ``root`` (test oracle; O(n))."""

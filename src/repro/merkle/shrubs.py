@@ -326,6 +326,26 @@ class ShrubsAccumulator:
         """(size, peaks) — enough state to *resume* accumulation elsewhere."""
         return self.size, self.peaks()
 
+    def dump_levels(self) -> list[list[Digest | None]]:
+        """Full node table (``None`` for erased slots) — checkpoint material.
+
+        Unlike :meth:`frontier_snapshot` this preserves *proving* power: an
+        accumulator rebuilt by :meth:`from_levels` serves the same membership
+        and batch proofs, not just the same roots.
+        """
+        return [list(level) for level in self._levels]
+
+    @classmethod
+    def from_levels(cls, levels: list[list[Digest | None]]) -> "ShrubsAccumulator":
+        """Rebuild an accumulator from :meth:`dump_levels` output."""
+        fresh = cls()
+        restored = [
+            [None if digest is None else bytes(digest) for digest in level]
+            for level in levels
+        ]
+        fresh._levels = restored if restored else [[]]
+        return fresh
+
 
 class FrontierAccumulator:
     """Peaks-only Shrubs accumulator: O(#peaks) state, O(1) amortised append.

@@ -2,6 +2,7 @@
 
 from .checksum import crc32c
 from .kv import CachedKVStore, KeyNotFoundError, KVStore, MemoryKVStore
+from .pagestore import PageCorruptionError, PagedNodeStore
 from .stream import (
     FileStream,
     MemoryStream,
@@ -17,6 +18,8 @@ __all__ = [
     "KeyNotFoundError",
     "KVStore",
     "MemoryKVStore",
+    "PageCorruptionError",
+    "PagedNodeStore",
     "FileStream",
     "MemoryStream",
     "OpenReport",

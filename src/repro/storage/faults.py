@@ -46,11 +46,13 @@ __all__ = [
     "FaultPlan",
     "FaultyFile",
     "FaultyStream",
+    "FaultyPagedStore",
     "CrashPoint",
     "flip_bit",
     "flip_byte",
 ]
 
+from .pagestore import PagedNodeStore
 from .stream import FileStream
 
 
@@ -224,6 +226,30 @@ class FaultyStream(FileStream):
             self._file.close()
         except ValueError:  # already closed
             pass
+
+
+class FaultyPagedStore(PagedNodeStore):
+    """A :class:`~repro.storage.pagestore.PagedNodeStore` whose page commits
+    run through a fault plan.
+
+    Page files are written tmp -> fsync -> rename, so every crash point a
+    plan can hit lands *before* the rename: the injected power loss leaves a
+    torn ``.tmp`` that the next open sweeps away, and the §9 question becomes
+    whether the ledger regenerates the lost nodes from its journal stream.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        plan: FaultPlan,
+        **kwargs,
+    ) -> None:
+        self.fault_plan = plan
+        super().__init__(
+            directory,
+            file_factory=lambda raw: FaultyFile(raw, plan),
+            **kwargs,
+        )
 
 
 # --------------------------------------------------------------- corruption

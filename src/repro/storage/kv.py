@@ -13,6 +13,8 @@ from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import Iterator
 
+from .. import obs
+
 __all__ = ["KVStore", "MemoryKVStore", "CachedKVStore", "KeyNotFoundError"]
 
 
@@ -40,6 +42,17 @@ class KVStore(ABC):
 
     @abstractmethod
     def keys(self) -> Iterator[bytes]: ...
+
+    def flush(self) -> int:
+        """Persist buffered writes (no-op for unbuffered stores)."""
+        return 0
+
+    def close(self) -> None:
+        """Release resources (no-op for in-memory stores)."""
+
+    def stats(self) -> dict:
+        """Counter snapshot for observability surfaces (empty by default)."""
+        return {}
 
 
 class MemoryKVStore(KVStore):
@@ -98,9 +111,11 @@ class CachedKVStore(KVStore):
         if key in self._cache:
             self._cache.move_to_end(key)
             self.cache_hits += 1
+            obs.inc("kvcache.hit")
             return self._cache[key]
         value = self._backend.get(key)
         self.backend_reads += 1
+        obs.inc("kvcache.miss")
         self._insert_cache(key, value)
         return value
 
@@ -119,10 +134,38 @@ class CachedKVStore(KVStore):
             self._cache.popitem(last=False)
 
     def __contains__(self, key: bytes) -> bool:
-        return key in self._cache or key in self._backend
+        # A containment probe is a read for accounting purposes: a cached key
+        # is an LRU hit (and is promoted, like any other touch); a key found
+        # only in the backend costs a backend round trip.
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            obs.inc("kvcache.hit")
+            return True
+        if key in self._backend:
+            self.backend_reads += 1
+            obs.inc("kvcache.miss")
+            return True
+        return False
 
     def __len__(self) -> int:
         return len(self._backend)
 
     def keys(self) -> Iterator[bytes]:
         return self._backend.keys()
+
+    def flush(self) -> int:
+        return self._backend.flush()
+
+    def close(self) -> None:
+        self._backend.close()
+
+    def stats(self) -> dict:
+        total = self.cache_hits + self.backend_reads
+        return {
+            "capacity": self._capacity,
+            "cached": len(self._cache),
+            "cache_hits": self.cache_hits,
+            "backend_reads": self.backend_reads,
+            "hit_rate": (self.cache_hits / total) if total else 0.0,
+        }

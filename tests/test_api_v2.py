@@ -122,6 +122,15 @@ class TestLedgerSession:
         assert result
         assert result.proof is proof
 
+    def test_get_proofs_matches_single_calls(self, session):
+        receipts = [session.append(b"doc-%d" % i) for i in range(7)]
+        jsns = [r.jsn for r in receipts]
+        for anchored in (False, True):
+            bulk = session.get_proofs(jsns, anchored=anchored)
+            singles = [session.get_proof(jsn, anchored=anchored) for jsn in jsns]
+            assert [p.to_bytes() for p in bulk] == [p.to_bytes() for p in singles]
+        assert session.get_proofs([]) == []
+
     def test_session_owned_service_lifecycle(self):
         with api.scoped_ledger(URI, service=True) as session:
             keypair = KeyPair.generate(seed="v2:svc")

@@ -61,3 +61,86 @@ def test_audit_checkpoint_then_resume(tmp_path, capsys):
     assert main(["audit", "--journals", "24", "--resume", ckpt]) == 0
     second = capsys.readouterr().out
     assert "passed=True" in first and "passed=True" in second
+
+
+def test_stats_includes_node_store_and_kv_cache(capsys):
+    import json
+
+    assert main(["stats", "--journals", "12", "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["node_store"]["backend"] == "paged"
+    assert snapshot["node_store"]["backend_reads"] > 0
+    assert 0.0 <= snapshot["node_store"]["cache_hit_rate"] <= 1.0
+    assert snapshot["kv_cache"]["cache_hits"] > 0
+    assert 0.0 <= snapshot["kv_cache"]["hit_rate"] <= 1.0
+
+
+def test_stats_table_renders_new_sections(capsys):
+    assert main(["stats", "--journals", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "node store" in out and "kv cache" in out
+    assert "cache_hit_rate" in out
+
+
+def _make_paged_ledger(tmp_path):
+    from repro.core import ClientRequest, Ledger, LedgerConfig
+    from repro.core.members import MemberRegistry
+    from repro.crypto import KeyPair, Role
+    from repro.timeauth import SimClock
+
+    registry = MemberRegistry()
+    lsp = KeyPair.generate(seed="cli-lsp")
+    user = KeyPair.generate(seed="cli-user")
+    registry.register("user", Role.USER, user.public)
+    clock = SimClock()
+    ledger = Ledger(
+        LedgerConfig(
+            uri="ledger://cli", fractal_height=3, block_size=4,
+            node_store="paged", data_dir=str(tmp_path),
+        ),
+        clock=clock, registry=registry, lsp_keypair=lsp,
+    )
+    for i in range(20):
+        # Re-put churn: overwrite-heavy trie updates leave shadowed entries.
+        request = ClientRequest.build(
+            "ledger://cli", "user", b"cli-%04d" % i, clues=("C",),
+            nonce=i.to_bytes(4, "big"), client_timestamp=clock.now(),
+        ).signed_by(user)
+        ledger.append(request)
+        clock.advance(0.5)
+    ledger.commit_block()
+    return ledger, registry, lsp
+
+
+def test_compact_command_preserves_reopen(tmp_path, capsys):
+    import json
+
+    from repro.core import Ledger
+
+    ledger, registry, lsp, = _make_paged_ledger(tmp_path)
+    root = ledger.current_root()
+    ledger.close()  # checkpoints, so compact can use the snapshot's live set
+    assert main(["compact", str(tmp_path), "--json"]) == 0
+    result = json.loads(capsys.readouterr().out)
+    assert result["pages_after"] <= result["pages_before"]
+    assert result["entries_after"] <= result["entries_before"]
+    from repro.timeauth import SimClock
+
+    fresh = MemberRegistry_rebuild(registry)
+    reopened = Ledger.open(str(tmp_path), fresh, lsp, clock=SimClock())
+    assert reopened.current_root() == root
+    reopened.close(checkpoint=False)
+
+
+def MemberRegistry_rebuild(registry):
+    from repro.core.members import MemberRegistry
+
+    fresh = MemberRegistry()
+    cert = registry.certificate("user")
+    fresh.register("user", cert.role, cert.public_key)
+    return fresh
+
+
+def test_compact_rejects_missing_store(tmp_path, capsys):
+    assert main(["compact", str(tmp_path / "nope")]) == 1
+    assert "no paged node store" in capsys.readouterr().err

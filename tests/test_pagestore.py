@@ -1,0 +1,284 @@
+"""Paged node store: KV semantics, page commits, crash/corruption behaviour.
+
+The §9 contract applied to page files: a visible ``page-*.pg`` is complete by
+construction (tmp -> fsync -> rename -> dir fsync), torn commits leave only
+ignorable ``.tmp``s, and every section of a page is checksummed — header and
+index verified at open, blob verified at first cache fault.
+"""
+
+import pytest
+
+from repro.storage.faults import (
+    FaultPlan,
+    FaultyPagedStore,
+    InjectedCrash,
+    flip_byte,
+)
+from repro.storage.kv import KeyNotFoundError
+from repro.storage.pagestore import PageCorruptionError, PagedNodeStore
+
+
+def fill(store, count, prefix=b"k"):
+    pairs = {}
+    for i in range(count):
+        key = prefix + b"%04d" % i
+        value = b"value-%04d-" % i + bytes([i % 251]) * (i % 40)
+        store.put(key, value)
+        pairs[key] = value
+    return pairs
+
+
+class TestKVSemantics:
+    def test_get_put_delete_contains_len(self, tmp_path):
+        store = PagedNodeStore(tmp_path)
+        pairs = fill(store, 25)
+        assert len(store) == 25
+        for key, value in pairs.items():
+            assert key in store
+            assert store.get(key) == value
+        store.delete(b"k0003")
+        assert b"k0003" not in store
+        assert len(store) == 24
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"k0003")
+        with pytest.raises(KeyNotFoundError):
+            store.delete(b"missing")
+        assert sorted(store.keys()) == sorted(k for k in pairs if k != b"k0003")
+
+    def test_overwrite_same_length_different_bytes(self, tmp_path):
+        # The content-addressed dedupe fast path must compare bytes, not
+        # lengths: a same-length overwrite has to win.
+        store = PagedNodeStore(tmp_path)
+        store.put(b"k", b"aaaa")
+        store.flush()
+        store.put(b"k", b"bbbb")
+        assert store.get(b"k") == b"bbbb"
+        store.flush()
+        assert store.get(b"k") == b"bbbb"
+
+    def test_dedupe_skips_rewrite_of_identical_value(self, tmp_path):
+        store = PagedNodeStore(tmp_path)
+        store.put(b"k", b"payload")
+        store.flush()
+        written = store.pages_written
+        store.put(b"k", b"payload")  # identical: replayed delta pattern
+        assert store.flush() == 0
+        assert store.pages_written == written
+
+    def test_reopen_round_trip(self, tmp_path):
+        store = PagedNodeStore(tmp_path, page_bytes=256)
+        pairs = fill(store, 60)
+        store.delete(b"k0010")
+        del pairs[b"k0010"]
+        store.close()
+        reopened = PagedNodeStore(tmp_path)
+        assert len(reopened) == len(pairs)
+        for key, value in pairs.items():
+            assert reopened.get(key) == value
+        assert b"k0010" not in reopened
+
+    def test_unflushed_writes_die_without_flush(self, tmp_path):
+        # Write-behind means durability arrives at flush(), not put().
+        store = PagedNodeStore(tmp_path)
+        store.put(b"durable", b"1")
+        store.flush()
+        store.put(b"buffered", b"2")
+        # Simulated crash: drop the handle without close()/flush().
+        del store
+        reopened = PagedNodeStore(tmp_path)
+        assert b"durable" in reopened
+        assert b"buffered" not in reopened
+
+    def test_tombstone_survives_reopen(self, tmp_path):
+        store = PagedNodeStore(tmp_path)
+        fill(store, 5)
+        store.flush()
+        store.delete(b"k0002")
+        store.flush()
+        reopened = PagedNodeStore(tmp_path)
+        assert b"k0002" not in reopened
+        assert len(reopened) == 4
+
+    def test_pages_split_by_page_bytes(self, tmp_path):
+        store = PagedNodeStore(tmp_path, page_bytes=128)
+        fill(store, 40)
+        store.flush()
+        assert store.pages_written > 1
+        assert len(list(tmp_path.glob("page-*.pg"))) == store.pages_written
+
+
+class TestCacheAndStats:
+    def test_lru_eviction_and_hit_accounting(self, tmp_path):
+        store = PagedNodeStore(tmp_path, cache_pages=2, page_bytes=64)
+        pairs = fill(store, 30)
+        store.flush()
+        store.close()
+        reopened = PagedNodeStore(tmp_path, cache_pages=2)
+        for key, value in sorted(pairs.items()):
+            assert reopened.get(key) == value
+        assert len(reopened._mmaps) <= 2
+        first_loads = reopened.page_loads
+        # A second sequential sweep re-faults evicted pages.
+        for key, value in sorted(pairs.items()):
+            assert reopened.get(key) == value
+        assert reopened.page_loads > first_loads
+        stats = reopened.stats()
+        assert stats["cache_hits"] == reopened.cache_hits
+        assert stats["cache_misses"] == reopened.cache_misses
+        assert 0.0 <= stats["cache_hit_rate"] <= 1.0
+        assert stats["backend_reads"] == len(pairs) * 2
+
+    def test_warm_cache_hits(self, tmp_path):
+        store = PagedNodeStore(tmp_path, cache_pages=8)
+        fill(store, 10)
+        store.flush()
+        store.close()
+        reopened = PagedNodeStore(tmp_path, cache_pages=8)
+        reopened.get(b"k0001")
+        misses = reopened.cache_misses
+        for _ in range(5):
+            reopened.get(b"k0001")
+        assert reopened.cache_misses == misses
+        assert reopened.cache_hits >= 5
+
+
+class TestCompaction:
+    def test_compact_drops_shadowed_entries(self, tmp_path):
+        store = PagedNodeStore(tmp_path, page_bytes=128)
+        for round_ in range(5):
+            for i in range(10):
+                store.put(b"k%02d" % i, b"round-%d-%02d" % (round_, i))
+            store.flush()
+        before = len(list(tmp_path.glob("page-*.pg")))
+        result = store.compact()
+        assert result["pages_after"] < before
+        assert result["entries_after"] == 10
+        for i in range(10):
+            assert store.get(b"k%02d" % i) == b"round-4-%02d" % i
+        reopened = PagedNodeStore(tmp_path)
+        assert len(reopened) == 10
+
+    def test_compact_with_live_set_drops_garbage(self, tmp_path):
+        store = PagedNodeStore(tmp_path)
+        pairs = fill(store, 20)
+        store.flush()
+        live = set(sorted(pairs)[:5])
+        result = store.compact(live)
+        assert result["entries_after"] == 5
+        assert sorted(store.keys()) == sorted(live)
+        assert result["bytes_after"] < result["bytes_before"]
+
+
+class TestManifest:
+    def test_manifest_round_trip(self, tmp_path):
+        store = PagedNodeStore(tmp_path, page_bytes=128)
+        fill(store, 20)
+        store.flush()
+        manifest = store.manifest()
+        assert store.verify_manifest(manifest)
+        # Newer pages beyond the manifest are fine.
+        store.put(b"new", b"post-snapshot")
+        store.flush()
+        assert store.verify_manifest(manifest)
+        store.close()
+        assert PagedNodeStore(tmp_path).verify_manifest(manifest)
+
+    def test_manifest_detects_missing_page(self, tmp_path):
+        store = PagedNodeStore(tmp_path, page_bytes=64)
+        fill(store, 30)
+        store.flush()
+        manifest = store.manifest()
+        store.close()
+        victim = sorted(tmp_path.glob("page-*.pg"))[0]
+        victim.unlink()
+        assert not PagedNodeStore(tmp_path).verify_manifest(manifest)
+
+
+class TestCorruption:
+    def _one_page(self, tmp_path):
+        store = PagedNodeStore(tmp_path)
+        fill(store, 10)
+        store.flush()
+        store.close()
+        (page,) = tmp_path.glob("page-*.pg")
+        return page
+
+    def test_header_bit_rot_refused_at_open(self, tmp_path):
+        page = self._one_page(tmp_path)
+        flip_byte(page, 10)  # inside the fixed header
+        with pytest.raises(PageCorruptionError):
+            PagedNodeStore(tmp_path)
+
+    def test_index_bit_rot_refused_at_open(self, tmp_path):
+        page = self._one_page(tmp_path)
+        flip_byte(page, 33)  # first index byte
+        with pytest.raises(PageCorruptionError):
+            PagedNodeStore(tmp_path)
+
+    def test_blob_bit_rot_detected_at_read(self, tmp_path):
+        page = self._one_page(tmp_path)
+        flip_byte(page, page.stat().st_size - 1)  # last blob byte
+        store = PagedNodeStore(tmp_path)  # open is lazy about the blob
+        with pytest.raises(PageCorruptionError):
+            store.get(b"k0000")
+
+    def test_truncated_page_refused_at_open(self, tmp_path):
+        page = self._one_page(tmp_path)
+        with open(page, "r+b") as handle:
+            handle.truncate(page.stat().st_size - 3)
+        with pytest.raises(PageCorruptionError):
+            PagedNodeStore(tmp_path)
+
+    def test_rotted_entry_can_be_overwritten(self, tmp_path):
+        # put() must not let a corrupt committed entry block the fresh value.
+        page = self._one_page(tmp_path)
+        flip_byte(page, page.stat().st_size - 1)
+        store = PagedNodeStore(tmp_path)
+        last = b"k0009"
+        replacement = store_value = b"value-0009-" + bytes([9]) * 9
+        assert len(store_value) > 0
+        store.put(last, replacement)
+        store.flush()
+        assert store.get(last) == replacement
+
+
+class TestCrashInjection:
+    def test_every_crash_point_leaves_committed_pages_intact(self, tmp_path):
+        # Dry run: enumerate the I/O ops of one flush.
+        plan = FaultPlan()
+        store = FaultyPagedStore(tmp_path / "dry", plan)
+        fill(store, 12)
+        store.flush()
+        points = plan.crash_points()
+        assert points, "flush issued no I/O operations"
+
+        for point in points:
+            plan = FaultPlan()
+            directory = tmp_path / f"crash-{point.op_index}"
+            store = FaultyPagedStore(directory, plan)
+            store.put(b"committed", b"before the crash")
+            store.flush()
+            plan.reset()
+            fill(store, 12)
+            plan.arm(point.op_index, partial_bytes=point.size // 2)
+            with pytest.raises(InjectedCrash):
+                store.flush()
+            # Restarted process: torn tmp swept, committed page intact.
+            reopened = PagedNodeStore(directory)
+            assert reopened.get(b"committed") == b"before the crash"
+            assert not list(directory.glob("*.tmp"))
+
+    def test_crash_then_rewrite_recovers(self, tmp_path):
+        plan = FaultPlan()
+        store = FaultyPagedStore(tmp_path, plan)
+        pairs = fill(store, 12)
+        plan.arm(1)
+        with pytest.raises(InjectedCrash):
+            store.flush()
+        reopened = PagedNodeStore(tmp_path)
+        # The writer replays its puts (content-addressed, idempotent).
+        for key, value in pairs.items():
+            reopened.put(key, value)
+        reopened.flush()
+        for key, value in pairs.items():
+            assert reopened.get(key) == value

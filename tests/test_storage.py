@@ -325,3 +325,28 @@ class TestKVStores:
     def test_cache_capacity_validation(self):
         with pytest.raises(ValueError):
             CachedKVStore(MemoryKVStore(), capacity=0)
+
+    def test_contains_counts_hits_and_promotes(self):
+        # Regression: __contains__ used to probe the cache dict directly,
+        # bypassing hit/miss accounting and LRU promotion, so `key in store`
+        # skewed hit rates and could evict the wrong entry.
+        cached = CachedKVStore(MemoryKVStore(), capacity=2)
+        cached.put(b"a", b"1")
+        cached.put(b"b", b"2")
+        assert b"a" in cached
+        assert cached.cache_hits == 1
+        # The probe promoted "a", so inserting "c" must evict "b" instead.
+        cached.put(b"c", b"3")
+        cached.get(b"a")
+        assert cached.backend_reads == 0
+        cached.get(b"b")
+        assert cached.backend_reads == 1
+        # Backend-only membership costs (and counts) a backend round trip.
+        reads = cached.backend_reads
+        cached._cache.pop(b"b", None)  # force the backend path
+        assert b"b" in cached
+        assert cached.backend_reads == reads + 1
+        assert b"missing" not in cached
+        stats = cached.stats()
+        assert stats["cache_hits"] == cached.cache_hits
+        assert stats["backend_reads"] == cached.backend_reads
