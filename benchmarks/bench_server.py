@@ -1,0 +1,236 @@
+"""Remote server benchmark: concurrent TCP clients vs in-process group commit.
+
+Standalone script (not a pytest-benchmark module) so CI and developers get a
+one-command JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_server.py [--quick] [--out FILE]
+
+One section, ``server``: N :class:`repro.net.RemoteLedgerClient` instances
+(each its own thread, its own TCP connection, each pipelining a window of
+in-flight futures with the receipt verified client-side) race pre-signed
+requests through a :class:`repro.net.ServerThread`, against the same thread
+fan-out driving :class:`repro.service.LedgerService` futures directly on an
+identical durable file-backed ledger.  Both sides coalesce through the same
+group-commit writer and pay identical crypto per journal; what the remote
+side adds is framing, the socket hop, and client-side receipt verification
+— ``remote_slowdown`` is the headline number, and the acceptance ceiling is
+2x (enforce it with ``--max-slowdown 2.0``).
+
+In-process and remote segments alternate round by round so system-wide
+speed drift (CPU throttling, fsync latency swings) hits both sides alike;
+the reported slowdown is the *median* of per-round paired ratios.
+
+``--quick`` shrinks the workload to a smoke-test scale for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import ClientRequest, Ledger, LedgerConfig  # noqa: E402
+from repro.crypto import KeyPair, Role  # noqa: E402
+from repro.net import RemoteLedgerClient, ServerThread  # noqa: E402
+from repro.service import LedgerService, ServiceConfig  # noqa: E402
+from repro.storage.stream import FileStream  # noqa: E402
+
+URI = "ledger://bench-server"
+CLIENTS = ("alice", "bob", "carol", "dan")
+CLUES = ("order:41", "shipment:8")
+
+
+def _make_ledger(directory: str, tag: str) -> tuple[Ledger, dict[str, KeyPair]]:
+    stream = FileStream(Path(directory) / f"{tag}.log", durable=True)
+    ledger = Ledger(
+        LedgerConfig(uri=URI, fractal_height=10, block_size=64),
+        journal_stream=stream,
+    )
+    keys = {}
+    for name in CLIENTS:
+        keypair = KeyPair.generate(seed=f"bench:{name}")
+        keys[name] = keypair
+        ledger.registry.register(name, Role.USER, keypair.public)
+    return ledger, keys
+
+
+def _requests(keys: dict[str, KeyPair], count: int, start: int) -> list[ClientRequest]:
+    out = []
+    for i in range(start, start + count):
+        client = CLIENTS[i % len(CLIENTS)]
+        out.append(
+            ClientRequest.build(
+                URI,
+                client,
+                payload=f"tx-{i}".encode(),
+                clues=CLUES,
+                nonce=i.to_bytes(8, "big"),
+                client_timestamp=1.0,
+            ).signed_by(keys[client])
+        )
+    return out
+
+
+def _drive(submit_fns, per_thread: list[list[ClientRequest]], window: int) -> float:
+    """One submitter per thread, each keeping ``window`` futures in flight."""
+    errors: list[BaseException] = []
+
+    def worker(submit, requests: list[ClientRequest]) -> None:
+        try:
+            inflight: deque = deque()
+            for request in requests:
+                inflight.append(submit(request))
+                if len(inflight) >= window:
+                    inflight.popleft().result(timeout=60.0)
+            while inflight:
+                inflight.popleft().result(timeout=60.0)
+        except BaseException as exc:  # benchmark must not swallow failures
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(submit, chunk))
+        for submit, chunk in zip(submit_fns, per_thread)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def bench_server(
+    clients: int, per_client: int, rounds: int, warmup: int, window: int = 48
+) -> dict:
+    round_size = clients * per_client
+    round_times: list[tuple[float, float]] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        local_ledger, keys = _make_ledger(tmp, "local")
+        remote_ledger, _ = _make_ledger(tmp, "remote")
+        service_config = ServiceConfig(max_batch=clients * window, max_wait_ms=2.0)
+        local_service = LedgerService(local_ledger, service_config)
+        served = ServerThread(remote_ledger, service_config=service_config)
+        host, port = served.address
+        remote_clients = [RemoteLedgerClient(host, port) for _ in range(clients)]
+        local_submits = [
+            (lambda request, s=local_service: s.submit(request, timeout=60.0))
+        ] * clients
+        remote_submits = [client.submit for client in remote_clients]
+        try:
+            # Warm both paths: window tables, pubkey LRU, connection setup.
+            warm = _requests(keys, warmup, start=0)
+            _drive(local_submits, [warm[t::clients] for t in range(clients)], window)
+            warm = _requests(keys, warmup, start=warmup)
+            _drive(remote_submits, [warm[t::clients] for t in range(clients)], window)
+
+            for index in range(rounds):
+                local_work = _requests(keys, round_size, start=10_000 + index * round_size)
+                chunks = [
+                    local_work[t * per_client : (t + 1) * per_client]
+                    for t in range(clients)
+                ]
+                local_elapsed = _drive(local_submits, chunks, window)
+
+                remote_work = _requests(keys, round_size, start=50_000 + index * round_size)
+                chunks = [
+                    remote_work[t * per_client : (t + 1) * per_client]
+                    for t in range(clients)
+                ]
+                remote_elapsed = _drive(remote_submits, chunks, window)
+                round_times.append((local_elapsed, remote_elapsed))
+            verified = sum(len(c.state.receipts) for c in remote_clients)
+        finally:
+            for client in remote_clients:
+                client.close()
+            served.close()
+            local_service.close()
+
+    total = rounds * round_size
+    local_total = sum(local for local, _remote in round_times)
+    remote_total = sum(remote for _local, remote in round_times)
+    ratios = sorted(remote / local for local, remote in round_times)
+    return {
+        "clients": clients,
+        "per_client": per_client,
+        "window": window,
+        "rounds": rounds,
+        "journals_per_side": total,
+        "clues_per_journal": len(CLUES),
+        "inprocess_us_per_append": local_total / total * 1e6,
+        "remote_us_per_append": remote_total / total * 1e6,
+        "inprocess_appends_per_sec": total / local_total,
+        "remote_appends_per_sec": total / remote_total,
+        "remote_slowdown": ratios[len(ratios) // 2],
+        "receipts_verified_client_side": verified,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke-test scale (CI-friendly)"
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=None,
+        help="exit non-zero if remote_slowdown exceeds this factor",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_server.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    # Fail on an unwritable report path *before* minutes of benchmarking.
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.touch()
+
+    if args.quick:
+        server_report = bench_server(clients=4, per_client=16, rounds=1, warmup=16)
+    else:
+        server_report = bench_server(clients=4, per_client=48, rounds=3, warmup=32)
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "quick": args.quick,
+        },
+        "server": server_report,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    slowdown = server_report["remote_slowdown"]
+    print(
+        f"\nremote {slowdown:.2f}x in-process "
+        f"({server_report['remote_appends_per_sec']:.0f} vs "
+        f"{server_report['inprocess_appends_per_sec']:.0f} appends/sec over "
+        f"{server_report['clients']} TCP clients; report: {args.out})",
+        file=sys.stderr,
+    )
+    if args.max_slowdown is not None and slowdown > args.max_slowdown:
+        print(
+            f"::error::remote append overhead above ceiling: {slowdown:.2f}x > "
+            f"{args.max_slowdown:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

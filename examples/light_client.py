@@ -1,94 +1,105 @@
 #!/usr/bin/env python3
-"""Light client with trusted anchors — fam-aoa in practice (§III-A1).
+"""Remote light client with trusted anchors — fam-aoa over a real socket.
 
-A :class:`LedgerClient` tracks a growing ledger with O(delta) work per epoch:
+The paper's "ubiquitous verification" client talks to an **untrusted**
+centralized ledger over a network.  This demo runs a real TCP server
+(:class:`repro.net.ServerThread`) and a :class:`repro.net.RemoteLedgerClient`
+that never takes the server's word for anything:
 
-1. it fully verifies epoch 0 once (the bootstrap);
-2. every sealed epoch after that is anchored via a single merged-leaf link
-   proof (Rule 1: the old epoch's root is leaf 0 of the new epoch);
+1. the LSP public key is pinned at connect time (out-of-band trust root);
+   every receipt's signature and request-hash echo is checked locally;
+2. epoch 0 is fully verified once (the bootstrap); every sealed epoch after
+   that is anchored via a single merged-leaf link proof (Rule 1: the old
+   epoch's root is leaf 0 of the new epoch);
 3. the live epoch is tracked via consistency proofs, so a server that
-   rewrites *any* committed journal — even in the not-yet-sealed epoch —
-   is caught on the next sync;
+   rewrites *any* committed journal is caught on the next sync;
 4. with anchors in hand, every existence verification is a short in-epoch
    path — never the full-chain walk.
 
 Run: python examples/light_client.py
 """
 
-from repro import KeyPair, Ledger, LedgerConfig, Role, SimClock, TimeLedger
-from repro.core import LedgerClient
+from repro import KeyPair, Ledger, LedgerConfig, Role
 from repro.core.errors import VerificationFailure
-from repro.timeauth import TimeStampAuthority
+from repro.core.ledger import LSP_MEMBER_ID
+from repro.net import RemoteLedgerClient, ServerThread
 
 URI = "ledger://light-client-demo"
 
 
 def main() -> None:
-    clock = SimClock()
-    tsa = TimeStampAuthority("tsa", clock)
-    tledger = TimeLedger(clock, tsa, finalize_interval=1.0, admission_tolerance=2.0)
-    ledger = Ledger(LedgerConfig(uri=URI, fractal_height=3, block_size=4), clock=clock)
-    ledger.attach_time_ledger(tledger)
-
+    ledger = Ledger(LedgerConfig(uri=URI, fractal_height=3, block_size=4))
     alice = KeyPair.generate(seed="alice")
     ledger.registry.register("alice", Role.USER, alice.public)
-    client = LedgerClient("alice", alice, ledger, tsa_keys={"tsa": tsa.public_key})
 
-    # --- Grow the ledger across several fam epochs, syncing as we go -------
-    receipts = []
-    for batch in range(5):
-        for i in range(8):
-            receipts.append(client.append(f"batch{batch}-item{i}".encode()))
-            clock.advance(0.1)
-        new_anchors = client.sync_anchors()
-        print(
-            f"after batch {batch}: ledger size {ledger.size}, "
-            f"+{new_anchors} epoch anchor(s), "
-            f"{client.state.anchored_epochs} anchored / "
-            f"{ledger._fam.num_epochs - 1} sealed epochs"
+    # The pinned trust root: in a deployment this arrives out of band
+    # (config file, registration response) — never from the server itself.
+    lsp_key = ledger.registry.public_key(LSP_MEMBER_ID)
+
+    with ServerThread(ledger) as served:
+        host, port = served.address
+        print(f"ledger served on {host}:{port}; client pins the LSP key\n")
+        client = RemoteLedgerClient(
+            host, port, member_id="alice", keypair=alice, expected_lsp_key=lsp_key
         )
+        with client:
+            # --- Grow the ledger across several fam epochs, syncing as we go
+            receipts = []
+            for batch in range(5):
+                for i in range(8):
+                    receipts.append(client.append(f"batch{batch}-item{i}".encode()))
+                new_anchors = client.sync_anchors()
+                print(
+                    f"after batch {batch}: ledger size {ledger.size}, "
+                    f"+{new_anchors} epoch anchor(s), "
+                    f"{client.state.anchored_epochs} anchored epochs"
+                )
 
-    # --- O(delta) verification against the client's own anchors ------------
-    checked = 0
-    for receipt in receipts:
-        journal = ledger.get_journal(receipt.jsn)
-        assert client.verify_journal(journal), receipt.jsn
-        proof = ledger.get_proof(receipt.jsn, anchored=True)
-        assert proof.anchored_cost <= ledger.config.fractal_height
-        checked += 1
-    print(f"verified {checked} journals, every path <= delta = "
-          f"{ledger.config.fractal_height} nodes (no full-chain walks)")
+            # --- O(delta) verification against the client's own anchors ----
+            checked = 0
+            for receipt in receipts:
+                journal = client.get_journal(receipt.jsn)
+                assert client.verify_journal(journal), receipt.jsn
+                proof = client.get_proof(receipt.jsn, anchored=True)
+                assert proof.anchored_cost <= ledger.config.fractal_height
+                checked += 1
+            print(
+                f"verified {checked} journals over the wire, every path <= "
+                f"delta = {ledger.config.fractal_height} nodes (no full-chain walks)"
+            )
 
-    # --- The anchor storage is tiny ----------------------------------------
-    anchors = client.state.anchored_epochs
-    print(f"client-side anchor storage: {anchors} epoch roots = {anchors * 32} bytes "
-          f"(vs a bim light client's header-per-block O(n))")
+            # --- The anchor storage is tiny --------------------------------
+            anchors = client.state.anchored_epochs
+            print(
+                f"client-side anchor storage: {anchors} epoch roots = "
+                f"{anchors * 32} bytes (vs a bim light client's O(n) headers)"
+            )
 
-    # --- A rewriting server is caught by the consistency check -------------
-    print("\nsimulating a malicious server rewriting a live-epoch journal...")
-    from repro.crypto.hashing import leaf_hash
-    from repro.merkle.shrubs import ShrubsAccumulator
+            # --- A rewriting server is caught by the consistency check -----
+            print("\nsimulating a malicious server rewriting a live-epoch journal...")
+            from repro.crypto.hashing import leaf_hash
+            from repro.merkle.shrubs import ShrubsAccumulator
 
-    fam = ledger._fam
-    live = fam._epochs[-1]
-    forged = ShrubsAccumulator()
-    leaves = list(live._levels[0])
-    if len(leaves) < 2:  # make sure there's a journal to rewrite
-        client.append(b"bait")
-        client.sync_anchors()
-        live = fam._epochs[-1]
-        leaves = list(live._levels[0])
-    leaves[-1] = leaf_hash(b"REWRITTEN JOURNAL")
-    for leaf in leaves:
-        forged.append_leaf(leaf)
-    fam._epochs[-1] = forged
+            fam = ledger._fam
+            live = fam._epochs[-1]
+            forged = ShrubsAccumulator()
+            leaves = list(live._levels[0])
+            if len(leaves) < 2:  # make sure there's a journal to rewrite
+                client.append(b"bait")
+                client.sync_anchors()
+                live = fam._epochs[-1]
+                leaves = list(live._levels[0])
+            leaves[-1] = leaf_hash(b"REWRITTEN JOURNAL")
+            for leaf in leaves:
+                forged.append_leaf(leaf)
+            fam._epochs[-1] = forged
 
-    client.append(b"post-rewrite append")  # server keeps operating
-    try:
-        client.sync_anchors()
-        raise SystemExit("the rewrite should have been detected!")
-    except VerificationFailure as exc:
-        print(f"caught: {exc}")
+            client.append(b"post-rewrite append")  # server keeps operating
+            try:
+                client.sync_anchors()
+                raise SystemExit("the rewrite should have been detected!")
+            except VerificationFailure as exc:
+                print(f"caught: {exc}")
 
 
 if __name__ == "__main__":

@@ -11,7 +11,9 @@ Commands:
 * ``stats``  — run an instrumented workload and print the observability
   snapshot (DESIGN.md §10): per-phase spans, cache hit rates, storage I/O;
 * ``compact`` — rewrite a persistent ledger's paged node store down to its
-  live node set (DESIGN.md §13) and refresh the snapshot's page manifest.
+  live node set (DESIGN.md §13) and refresh the snapshot's page manifest;
+* ``serve``  — expose a ledger over TCP (DESIGN.md §14): the asyncio frame
+  server fronting the group-commit service, for remote verifying clients.
 """
 
 from __future__ import annotations
@@ -203,7 +205,13 @@ def _stats_workload(journals: int) -> dict:
 
     Exercises every instrumented layer: single and batched appends onto a
     durable :class:`FileStream`, fam proofs, server-side verification, full
-    client-side Dasein verification, and a reopen (storage.open_scan).
+    client-side Dasein verification, a reopen (storage.open_scan), and a
+    served leg — a real socket round trip through the §14 frame server so
+    the ``net.*`` families are present in the snapshot.
+
+    Runs inside :func:`repro.obs.scoped`: the process-global registry (and
+    whatever it had accumulated) is untouched afterwards, so a ``stats``
+    run can never skew later measurements.
     """
     import tempfile
 
@@ -221,13 +229,12 @@ def _stats_workload(journals: int) -> dict:
     from repro import obs
     from repro.storage.stream import FileStream
 
-    was_enabled = obs.is_enabled()
-    obs.enable()
-    obs.reset()
-    clock = SimClock()
-    tsa = TimeStampAuthority("stats-tsa", clock)
-    tledger = TimeLedger(clock, tsa, finalize_interval=1.0, admission_tolerance=2.0)
-    with tempfile.TemporaryDirectory(prefix="repro-stats-") as tmp:
+    with obs.scoped() as scoped_registry, tempfile.TemporaryDirectory(
+        prefix="repro-stats-"
+    ) as tmp:
+        clock = SimClock()
+        tsa = TimeStampAuthority("stats-tsa", clock)
+        tledger = TimeLedger(clock, tsa, finalize_interval=1.0, admission_tolerance=2.0)
         stream = FileStream(f"{tmp}/journal.stream", durable=True)
         ledger = Ledger(
             LedgerConfig(uri="ledger://stats", fractal_height=4, block_size=4),
@@ -314,15 +321,85 @@ def _stats_workload(journals: int) -> dict:
                 cached.get(key)
         kv_cache_stats = cached.stats()
         paged.close(checkpoint=False)
-    snapshot = obs.snapshot()
+
+        # Served leg: the same appends/proofs through a real socket (§14),
+        # so the snapshot carries the net.* families a deployment watches.
+        _stats_net_leg(journals=min(journals, 8))
+
+        snapshot = scoped_registry.snapshot()
     snapshot["node_store"] = node_store_stats
     snapshot["kv_cache"] = kv_cache_stats
-    # The workload borrowed the process-global registry; hand it back the
-    # way it was found so one `stats` run can't skew later measurements.
-    obs.reset()
-    if not was_enabled:
-        obs.disable()
     return snapshot
+
+
+def _stats_net_leg(journals: int) -> None:
+    """Round-trip a few appends/proofs through the asyncio frame server."""
+    from repro import KeyPair, Ledger, LedgerConfig, Role
+    from repro.net import RemoteLedgerClient, ServerThread
+
+    ledger = Ledger(
+        LedgerConfig(uri="ledger://stats-net", fractal_height=3, block_size=4)
+    )
+    user = KeyPair.generate(seed="stats-net-user")
+    ledger.registry.register("stats-net-user", Role.USER, user.public)
+    with ServerThread(ledger) as served:
+        host, port = served.address
+        client = RemoteLedgerClient(
+            host, port, member_id="stats-net-user", keypair=user
+        )
+        try:
+            receipts = [
+                client.append(f"net record {i}".encode(), ("NET",))
+                for i in range(journals)
+            ]
+            client.get_proofs([receipt.jsn for receipt in receipts])
+            client.sync_anchors()
+            if not client.verify_journal(client.get_journal(receipts[0].jsn)):
+                raise RuntimeError("stats net leg: remote verification failed")
+        finally:
+            client.close()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import KeyPair, Ledger, LedgerConfig, Role
+    from repro.core.ledger import LSP_MEMBER_ID
+    from repro.net import LedgerServer
+
+    config_kwargs: dict = {
+        "uri": args.uri,
+        "fractal_height": args.fractal_height,
+        "block_size": args.block_size,
+    }
+    if args.data_dir:
+        config_kwargs.update(node_store="paged", data_dir=args.data_dir)
+    ledger = Ledger(LedgerConfig(**config_kwargs))
+    if args.seed_demo:
+        # Deterministic demo principal so `connect()` examples work out of
+        # the box: seed "demo-user" → the same keypair on every run.
+        demo = KeyPair.generate(seed="demo-user")
+        ledger.registry.register("demo-user", Role.USER, demo.public)
+
+    async def run() -> None:
+        server = LedgerServer(ledger, host=args.host, port=args.port)
+        host, port = await server.start()
+        print(f"serving {ledger.config.uri} on ledger://{host}:{port}", flush=True)
+        lsp_key = ledger.registry.public_key(LSP_MEMBER_ID)
+        print(f"lsp public key: {lsp_key.to_bytes().hex()}", flush=True)
+        try:
+            await server.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            print("draining...", flush=True)
+            await server.close(drain=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _render_stats_table(snapshot: dict) -> str:
@@ -418,6 +495,28 @@ def main(argv: list[str] | None = None) -> int:
         "--journals", type=int, default=24, help="workload size (default: 24)"
     )
     stats.set_defaults(fn=_cmd_stats)
+
+    serve = sub.add_parser(
+        "serve", help="expose a ledger over TCP for remote verifying clients"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=7468, help="bind port (0 = ephemeral)")
+    serve.add_argument("--uri", default="ledger://served", help="ledger URI")
+    serve.add_argument(
+        "--data-dir", default=None,
+        help="persist to this directory (paged node store); default in-memory",
+    )
+    serve.add_argument(
+        "--fractal-height", type=int, default=8, help="FAM epoch height (default: 8)"
+    )
+    serve.add_argument(
+        "--block-size", type=int, default=64, help="journals per block (default: 64)"
+    )
+    serve.add_argument(
+        "--seed-demo", action="store_true",
+        help='register the deterministic "demo-user" principal',
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     compact = sub.add_parser(
         "compact", help="compact a persistent ledger's paged node store"

@@ -166,17 +166,48 @@ def scoped_ledger(
 ServiceConfigLike = Any
 
 
+def _parse_remote_uri(lgid: str) -> tuple[str, int] | None:
+    """``ledger://host:port`` → ``(host, port)``; None when not address-shaped.
+
+    Local registry ids (``ledger://demo``) carry no port, so the two URI
+    families never collide — and a *registered* id always wins regardless.
+    """
+    from urllib.parse import urlsplit
+
+    if "://" not in lgid:
+        return None
+    try:
+        parts = urlsplit(lgid)
+        host, port = parts.hostname, parts.port
+    except ValueError:
+        return None
+    if parts.scheme != "ledger" or not host or port is None:
+        return None
+    return host, port
+
+
 def connect(
     lgid: str,
     *,
     client_id: str | None = None,
     keypair: KeyPair | None = None,
     service: LedgerService | ServiceConfigLike = None,
-) -> "LedgerSession":
-    """Open a session handle on a registered ledger.
+    expected_lsp_key: Any = None,
+    timeout: float = 30.0,
+) -> "LedgerSession | Any":
+    """Open a session handle on a registered ledger — or a remote one.
+
+    A ``lgid`` naming a registered ledger yields a local
+    :class:`LedgerSession`.  A ``ledger://host:port`` address that is *not*
+    registered locally connects over TCP instead, returning a
+    :class:`~repro.net.client.RemoteLedgerSession` with the same append /
+    proof surface whose receipts and proofs are verified client-side
+    (``expected_lsp_key`` pins the server's LSP key out-of-band; ``timeout``
+    bounds each remote call).  Both session kinds context-manage and
+    ``close()`` identically, so callers move between backends untouched.
 
     ``client_id`` / ``keypair`` become the session's defaults for signing
-    appends (overridable per call).  ``service`` routes the session's
+    appends (overridable per call).  ``service`` routes a *local* session's
     appends through a group-commit front end: pass an existing
     :class:`LedgerService` (shared with other sessions; the caller closes
     it), ``True`` for a service the session creates and owns, or a
@@ -184,8 +215,33 @@ def connect(
     coalescing knobs.
 
     Raises:
-        UsageError: unknown ``lgid``, or ``service`` is none of the above.
+        UsageError: unknown ``lgid``, ``service`` misuse, or remote options
+            passed for a local session.
     """
+    with _REGISTRY_LOCK:
+        registered = lgid in _REGISTRY
+    if not registered:
+        address = _parse_remote_uri(lgid)
+        if address is not None:
+            if service is not None:
+                raise UsageError(
+                    "service= applies to local sessions only; the remote "
+                    "server runs its own group-commit service"
+                )
+            from .net.client import RemoteLedgerSession
+
+            host, port = address
+            return RemoteLedgerSession(
+                host,
+                port,
+                lgid=lgid,
+                client_id=client_id,
+                keypair=keypair,
+                expected_lsp_key=expected_lsp_key,
+                timeout=timeout,
+            )
+    if expected_lsp_key is not None:
+        raise UsageError("expected_lsp_key= applies to remote sessions only")
     return LedgerSession(
         get_ledger(lgid),
         lgid=lgid,

@@ -104,6 +104,43 @@ class ClientRequest:
             client_timestamp=client_timestamp,
         )
 
+    def to_bytes(self) -> bytes:
+        """Canonical wire serialization (signature included).
+
+        This is what crosses the network boundary: the signed request travels
+        whole, so the server admits exactly the bytes the client signed over
+        (the signature itself is outside :meth:`request_hash`).
+        """
+        return encode(
+            {
+                "ledger_uri": self.ledger_uri,
+                "client_id": self.client_id,
+                "journal_type": self.journal_type.value,
+                "payload": self.payload,
+                "clues": list(self.clues),
+                "nonce": self.nonce,
+                "client_timestamp": self.client_timestamp,
+                "signature": self.signature.to_bytes() if self.signature else b"",
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ClientRequest":
+        obj = decode(data)
+        signature_bytes = bytes(obj["signature"])
+        return cls(
+            ledger_uri=obj["ledger_uri"],
+            client_id=obj["client_id"],
+            journal_type=JournalType(obj["journal_type"]),
+            payload=bytes(obj["payload"]),
+            clues=tuple(obj["clues"]),
+            nonce=bytes(obj["nonce"]),
+            client_timestamp=obj["client_timestamp"],
+            signature=(
+                Signature.from_bytes(signature_bytes) if signature_bytes else None
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class Journal:

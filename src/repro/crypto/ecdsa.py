@@ -34,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 import secrets
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -785,6 +786,31 @@ BATCH_VERIFY_MIN = 3
 #: any aggregate failure falls back to exact per-item verification.
 BATCH_RANDOMIZER_BITS = 64
 
+#: Secret seed for the batch-randomizer DRBG, drawn from the OS once per
+#: process.  The aggregate check only needs randomizers the signature
+#: submitter cannot predict; a SHA-256 counter stream keyed by this seed
+#: gives that without a getrandom syscall per verification (getrandom can
+#: cost milliseconds on entropy-starved VMs).
+_RANDOMIZER_SEED = secrets.token_bytes(32)
+_randomizer_counter = 0
+_randomizer_lock = threading.Lock()
+
+
+def _randomizer_bytes(nbytes: int) -> bytes:
+    """``nbytes`` of DRBG output: SHA-256(seed ‖ counter) blocks."""
+    global _randomizer_counter
+    blocks = (nbytes + 31) // 32
+    with _randomizer_lock:
+        start = _randomizer_counter
+        _randomizer_counter += blocks
+    out = b"".join(
+        hashlib.sha256(
+            _RANDOMIZER_SEED + (start + i).to_bytes(8, "big")
+        ).digest()
+        for i in range(blocks)
+    )
+    return out[:nbytes]
+
 
 def _r_point_from_hint(r: int, ry: int, curve: Curve) -> tuple[int, int] | None:
     """Validate the signer's R hint: the affine point (x, ry) with
@@ -892,11 +918,20 @@ def _aggregate_group_verify(
     tg = 0
     tq = 0
     pairs: list[tuple[int, tuple[int, int]]] = []
-    for z, r, w, ry in group:
+    # Randomizers come from a process-local DRBG, not per-call urandom:
+    # getrandom can cost milliseconds on entropy-starved VMs, which would
+    # dominate small-batch verification.  Unpredictability to the signature
+    # *submitter* is all soundness needs, and a secret-seeded SHA-256
+    # counter stream provides exactly that.
+    width = BATCH_RANDOMIZER_BITS // 8
+    entropy = _randomizer_bytes(width * len(group))
+    mask = (1 << (BATCH_RANDOMIZER_BITS - 1)) - 1
+    for index, (z, r, w, ry) in enumerate(group):
         r_point = _r_point_from_hint(r, ry, curve)
         if r_point is None:
             return False  # corrupt hint: attribute failures per item instead
-        a_i = 1 + secrets.randbits(BATCH_RANDOMIZER_BITS - 1)
+        chunk = entropy[index * width : (index + 1) * width]
+        a_i = 1 + (int.from_bytes(chunk, "big") & mask)
         tg = (tg + a_i * (z * w % n)) % n
         tq = (tq + a_i * (r * w % n)) % n
         pairs.append((a_i, r_point))

@@ -1,0 +1,45 @@
+"""repro.net — the wire boundary (DESIGN.md §14).
+
+Everything built below this package is in-process; this is where the
+paper's actual deployment model starts: clients talking to an *untrusted*
+centralized ledger over a socket, re-verifying every proof locally.
+
+* :mod:`repro.net.protocol` — length-prefixed binary frames (reusing
+  :mod:`repro.encoding`), request/response envelopes, :class:`ProtocolError`;
+* :mod:`repro.net.server` — the asyncio front end over
+  :class:`~repro.service.LedgerService` (pipelined appends, bulk proofs,
+  graceful drain);
+* :mod:`repro.net.client` — :class:`AsyncRemoteLedger` (asyncio core) and
+  :class:`RemoteLedgerClient` (sync wrapper) which never trust the server:
+  receipts, proofs, and epoch anchors are verified with the local Merkle /
+  Dasein machinery before anything is accepted.
+"""
+
+from .client import (
+    AsyncRemoteLedger,
+    RemoteLedgerClient,
+    RemoteLedgerError,
+    RemoteLedgerSession,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+)
+from .server import LedgerServer, ServerThread
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "AsyncRemoteLedger",
+    "FrameDecoder",
+    "LedgerServer",
+    "ProtocolError",
+    "RemoteLedgerClient",
+    "RemoteLedgerError",
+    "RemoteLedgerSession",
+    "ServerThread",
+    "encode_frame",
+]

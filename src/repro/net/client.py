@@ -1,0 +1,896 @@
+"""Remote ledger client SDK: asyncio core plus a synchronous wrapper.
+
+The design rule is the paper's threat model: **the server is untrusted**.
+Every byte that comes back over the socket is a *claim* until the client has
+checked it against something it trusts:
+
+* receipts are accepted only if the LSP signature verifies against the
+  public key pinned at connect time AND the receipt echoes the exact
+  request hash the client signed (:class:`~repro.core.receipt.Receipt` is
+  the pi_s evidence — a receipt for the wrong request convicts nobody);
+* existence proofs are folded locally (:class:`~repro.merkle.fam.FamProof`
+  against the client's own :class:`~repro.merkle.fam.AnchorStore`, advanced
+  exactly like the in-process :class:`~repro.core.client.LedgerClient`:
+  epoch 0 bootstrapped from raw leaf digests, later epochs via merged-leaf
+  link proofs, the live epoch via consistency proofs);
+* clue proofs are verified with the local CM-Tree verifier.
+
+What the client necessarily takes on faith is documented in DESIGN.md §14's
+trust-model table (completeness of ``list_tx``, freshness of roots between
+syncs — the non-equivocation gap ROADMAP item 4 closes).
+
+:class:`AsyncRemoteLedger` is the asyncio core: one connection, pipelined
+request ids, out-of-order completion.  :class:`RemoteLedgerClient` wraps it
+for synchronous code by parking the event loop on a background thread; it
+is thread-safe and is what ``repro.api.connect("ledger://host:port")``
+hands out (as a :class:`RemoteLedgerSession`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import socket
+import threading
+from typing import Any
+
+from ..core.client import ClientState
+from ..core.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    JournalNotFoundError,
+    JournalOccultedError,
+    JournalPurgedError,
+    LedgerError,
+    UsageError,
+    VerificationFailure,
+)
+from ..core.journal import ClientRequest, Journal
+from ..core.receipt import Receipt
+from ..crypto.hashing import Digest, sha256
+from ..crypto.keys import KeyPair, PublicKey, verify_batch
+from ..merkle.cmtree import ClueProof
+from ..merkle.consistency import ConsistencyProof
+from ..merkle.fam import AnchorStore, FamProof
+from ..merkle.proofs import MembershipProof
+from ..merkle.shrubs import FrontierAccumulator
+from ..service import ServiceClosedError, ServiceOverloadedError, ServiceTimeout
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameBatcher,
+    ProtocolError,
+    read_frame,
+    request as make_request,
+)
+
+__all__ = [
+    "AsyncRemoteLedger",
+    "RemoteLedgerClient",
+    "RemoteLedgerError",
+    "RemoteLedgerSession",
+]
+
+
+class RemoteLedgerError(LedgerError):
+    """Transport-level failure: connection lost, server gone, bad handshake."""
+
+
+#: Server-side exception types that re-raise as their local counterparts.
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "AuthenticationError": AuthenticationError,
+    "AuthorizationError": AuthorizationError,
+    "UsageError": UsageError,
+    "VerificationFailure": VerificationFailure,
+    "JournalNotFoundError": JournalNotFoundError,
+    "JournalOccultedError": JournalOccultedError,
+    "JournalPurgedError": JournalPurgedError,
+    "ServiceClosedError": ServiceClosedError,
+    "ServiceOverloadedError": ServiceOverloadedError,
+    "ServiceTimeout": ServiceTimeout,
+    "ProtocolError": ProtocolError,
+}
+
+
+def _set_nodelay(writer: asyncio.StreamWriter) -> None:
+    """Disable Nagle: frames are small and latency-sensitive; batching is
+    the group-commit service's job, not the kernel's."""
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        with contextlib.suppress(OSError):
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+def _raise_remote(error: Any) -> None:
+    if not isinstance(error, dict):
+        raise RemoteLedgerError(f"malformed error response: {error!r}")
+    error_type = error.get("type", "?")
+    detail = error.get("message", "")
+    exc_class = _ERROR_TYPES.get(error_type, RemoteLedgerError)
+    raise exc_class(f"[remote {error_type}] {detail}")
+
+
+class _ReceiptChecker:
+    """Micro-batched LSP receipt verification.
+
+    Receipts whose responses land in the same event-loop burst (the common
+    case under pipelining: the server group-commits a window and writes the
+    response frames back-to-back) are verified with **one** batched ECDSA
+    pass — all receipts carry the same LSP key, so
+    :func:`repro.crypto.keys.verify_batch` collapses the group into a single
+    randomised aggregate equation plus a shared inversion, the same fast
+    path the audit engine uses.  A lone receipt costs exactly one ordinary
+    verification; correctness is per-receipt either way (a bad signature in
+    a batch is re-checked and attributed individually).
+    """
+
+    def __init__(self, remote: "AsyncRemoteLedger") -> None:
+        self._remote = remote
+        self._pending: list[tuple[Receipt, ClientRequest, asyncio.Future]] = []
+        self._scheduled = False
+
+    def check(self, receipt: Receipt, request: ClientRequest) -> asyncio.Future:
+        """Future resolving to the receipt once verified (or failing typed)."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((receipt, request, future))
+        if not self._scheduled:
+            self._scheduled = True
+            loop.call_soon(self._drain)
+        return future
+
+    def _drain(self) -> None:
+        self._scheduled = False
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        key = self._remote.lsp_public_key
+        if key is None:
+            verdicts = [False] * len(pending)
+        else:
+            verdicts = verify_batch(
+                [
+                    (key, sha256(receipt.signing_payload()), receipt.lsp_signature)
+                    for receipt, _request, _future in pending
+                ]
+            )
+        for (receipt, request, future), ok in zip(pending, verdicts):
+            if future.done():
+                continue
+            if not ok:
+                future.set_exception(
+                    VerificationFailure("LSP receipt signature invalid")
+                )
+            elif receipt.request_hash != request.request_hash():
+                future.set_exception(
+                    VerificationFailure("receipt does not cover the submitted request")
+                )
+            else:
+                future.set_result(receipt)
+
+
+class _SubmitCoalescer:
+    """Client-side group commit: pipelined :meth:`AsyncRemoteLedger.submit`
+    calls landing in the same event-loop tick ride one ``append_batch``
+    frame.
+
+    The per-frame costs — request envelope, frame encode, send/drain, the
+    server's read/dispatch/response cycle — are paid once per group instead
+    of once per append, which is what keeps a single-process benchmark
+    (client, server, and commit writer all sharing one GIL) honest about
+    *protocol* overhead rather than measuring Python thread churn.  Receipts
+    come back in request order and each caller's future resolves with its
+    own locally-verified receipt; a rejected group fails every member with
+    the server's typed error (use :meth:`AsyncRemoteLedger.append` for
+    per-request isolation).
+    """
+
+    def __init__(self, remote: "AsyncRemoteLedger", max_group: int = 64) -> None:
+        self._remote = remote
+        self._max_group = max_group
+        self._pending: list[tuple[ClientRequest, asyncio.Future]] = []
+        self._scheduled = False
+
+    def submit(self, request: ClientRequest) -> asyncio.Future:
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((request, future))
+        if not self._scheduled:
+            self._scheduled = True
+            loop.call_soon(self._launch)
+        return future
+
+    def _launch(self) -> None:
+        self._scheduled = False
+        pending, self._pending = self._pending, []
+        while pending:
+            group, pending = pending[: self._max_group], pending[self._max_group :]
+            asyncio.ensure_future(self._send_group(group))
+
+    async def _send_group(
+        self, group: list[tuple[ClientRequest, asyncio.Future]]
+    ) -> None:
+        requests = [request for request, _future in group]
+        try:
+            if len(group) == 1:
+                receipts = [await self._remote.append(requests[0])]
+            else:
+                receipts = await self._remote.append_batch(requests)
+        except BaseException as exc:
+            for _request, future in group:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_request, future), receipt in zip(group, receipts):
+            if not future.done():
+                future.set_result(receipt)
+
+
+class AsyncRemoteLedger:
+    """One pipelined connection to a :class:`~repro.net.server.LedgerServer`.
+
+    Create with :meth:`connect`; every public coroutine may be in flight
+    concurrently — responses are matched by request id, so slow bulk
+    operations never block fast ones.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame_bytes = max_frame_bytes
+        self._batcher = FrameBatcher(writer, max_bytes=max_frame_bytes)
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._drain_lock = asyncio.Lock()
+        self._closed = False
+        self._conn_error: BaseException | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._checker = _ReceiptChecker(self)
+        self._coalescer = _SubmitCoalescer(self)
+        # Filled by the hello handshake.
+        self.ledger_uri: str = ""
+        self.lsp_public_key: PublicKey | None = None
+        self.ca_public_key: PublicKey | None = None
+        self.fractal_height: int = 0
+
+    # ---------------------------------------------------------- lifecycle
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        expected_lsp_key: PublicKey | bytes | None = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> "AsyncRemoteLedger":
+        """Open a connection and run the hello handshake.
+
+        ``expected_lsp_key`` is the out-of-band trust root for receipts: a
+        :class:`PublicKey` (or its serialized bytes) the server's claimed
+        LSP key must equal.  Without it the key is pinned trust-on-first-use
+        — fine for tests and demos, documentedly weaker for deployments.
+        """
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            raise RemoteLedgerError(f"cannot reach ledger at {host}:{port}: {exc}") from None
+        _set_nodelay(writer)
+        remote = cls(reader, writer, max_frame_bytes=max_frame_bytes)
+        remote._reader_task = asyncio.ensure_future(remote._reader_loop())
+        try:
+            hello = await remote._call("hello", protocol=PROTOCOL_VERSION)
+        except BaseException:
+            await remote.close()
+            raise
+        remote.ledger_uri = hello["ledger_uri"]
+        remote.fractal_height = hello["fractal_height"]
+        claimed = bytes(hello["lsp_public_key"])
+        if expected_lsp_key is not None:
+            expected = (
+                expected_lsp_key.to_bytes()
+                if isinstance(expected_lsp_key, PublicKey)
+                else bytes(expected_lsp_key)
+            )
+            if claimed != expected:
+                await remote.close()
+                raise VerificationFailure(
+                    "server's claimed LSP key does not match the expected key"
+                )
+        remote.lsp_public_key = PublicKey.from_bytes(claimed)
+        remote.ca_public_key = PublicKey.from_bytes(bytes(hello["ca_public_key"]))
+        return remote
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._fail_pending(RemoteLedgerError("connection closed"))
+        self._batcher.flush()
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ----------------------------------------------------------- plumbing
+
+    async def _reader_loop(self) -> None:
+        try:
+            while True:
+                message = await read_frame(self._reader, max_bytes=self._max_frame_bytes)
+                future = self._pending.pop(message["id"], None)
+                if future is None or future.done():
+                    continue  # late response for an abandoned request
+                if message["ok"]:
+                    future.set_result(message.get("result"))
+                else:
+                    try:
+                        _raise_remote(message.get("error"))
+                    except BaseException as exc:
+                        future.set_exception(exc)
+        except asyncio.CancelledError:
+            raise
+        except asyncio.IncompleteReadError:
+            self._fail_pending(RemoteLedgerError("server closed the connection"))
+        except (ConnectionError, OSError) as exc:
+            self._fail_pending(RemoteLedgerError(f"connection lost: {exc}"))
+        except ProtocolError as exc:
+            self._fail_pending(exc)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        # Set before draining: a _call racing with this sees the error and
+        # fails fast instead of parking a future nobody will ever resolve.
+        self._conn_error = error
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def _call(self, op: str, **fields: Any) -> dict:
+        if self._closed:
+            raise RemoteLedgerError("client is closed")
+        if self._conn_error is not None:
+            raise self._conn_error
+        request_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        if self._conn_error is not None:
+            self._pending.pop(request_id, None)
+            raise self._conn_error
+        try:
+            # Pipelined requests issued in the same loop tick coalesce into
+            # one socket write; the drain (behind a lock — concurrent
+            # StreamWriter.drain is not portable) keeps TCP backpressure.
+            self._batcher.send(make_request(request_id, op, **fields))
+            async with self._drain_lock:
+                await self._batcher.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise RemoteLedgerError(f"connection lost: {exc}") from None
+        return await future
+
+    # ------------------------------------------------------------ appends
+
+    async def append(self, request: ClientRequest, *, verify: bool = True) -> Receipt:
+        """Submit one pre-signed request; returns the locally-verified receipt."""
+        result = await self._call("append", request=request.to_bytes())
+        receipt = Receipt.from_bytes(bytes(result["receipt"]))
+        return await self._checker.check(receipt, request) if verify else receipt
+
+    async def submit(self, request: ClientRequest) -> Receipt:
+        """Pipelined append: same-tick submits coalesce into one
+        ``append_batch`` frame (see :class:`_SubmitCoalescer`); the receipt
+        is verified exactly like :meth:`append`'s."""
+        return await self._coalescer.submit(request)
+
+    async def append_batch(
+        self, requests: list[ClientRequest], *, verify: bool = True
+    ) -> list[Receipt]:
+        result = await self._call(
+            "append_batch", requests=[request.to_bytes() for request in requests]
+        )
+        receipts = [Receipt.from_bytes(bytes(blob)) for blob in result["receipts"]]
+        if len(receipts) != len(requests):
+            raise VerificationFailure(
+                f"server returned {len(receipts)} receipts for {len(requests)} requests"
+            )
+        if verify:
+            # Enqueued synchronously, so the whole batch lands in one
+            # checker drain — a single aggregated ECDSA pass.
+            await asyncio.gather(
+                *(
+                    self._checker.check(receipt, request)
+                    for request, receipt in zip(requests, receipts)
+                )
+            )
+        return receipts
+
+    # -------------------------------------------------------------- reads
+
+    async def get_journal(self, jsn: int) -> Journal:
+        result = await self._call("get_journal", jsn=jsn)
+        return Journal.from_bytes(bytes(result["journal"]))
+
+    async def list_tx(self, clue: str) -> list[int]:
+        return list((await self._call("list_tx", clue=clue))["jsns"])
+
+    async def get_proof(self, jsn: int, anchored: bool = True) -> FamProof:
+        result = await self._call("get_proof", jsn=jsn, anchored=anchored)
+        return FamProof.from_bytes(bytes(result["proof"]))
+
+    async def get_proofs(self, jsns: list[int], anchored: bool = True) -> list[FamProof]:
+        result = await self._call("get_proofs", jsns=list(jsns), anchored=anchored)
+        return [FamProof.from_bytes(bytes(blob)) for blob in result["proofs"]]
+
+    async def prove_clue(self, clue: str) -> tuple[ClueProof, Digest]:
+        """The clue proof plus the server's *claimed* CM-Tree1 root."""
+        result = await self._call("prove_clue", clue=clue)
+        return ClueProof.from_bytes(bytes(result["proof"])), bytes(result["state_root"])
+
+    async def get_root(self) -> dict:
+        """The server's claimed commitments (verify before trusting)."""
+        result = await self._call("get_root")
+        blob = bytes(result["latest_receipt"])
+        return {
+            "root": bytes(result["root"]),
+            "state_root": bytes(result["state_root"]),
+            "size": result["size"],
+            "latest_receipt": Receipt.from_bytes(blob) if blob else None,
+        }
+
+    async def receipt_for(self, jsn: int) -> Receipt | None:
+        blob = bytes((await self._call("receipt_for", jsn=jsn))["receipt"])
+        return Receipt.from_bytes(blob) if blob else None
+
+    async def register(self, member_id: str, role: str, public_key: PublicKey) -> None:
+        await self._call(
+            "register", member_id=member_id, role=role, public_key=public_key.to_bytes()
+        )
+
+    async def verify_journal_remote(self, journal: Journal) -> bool:
+        """Ask the *server* to verify (advisory only — it could lie)."""
+        return bool((await self._call("verify_journal", journal=journal.to_bytes()))["ok"])
+
+    async def fam_info(self) -> dict:
+        return await self._call("fam_info")
+
+    async def epoch_anchor(self, epoch: int) -> Digest:
+        return bytes((await self._call("epoch_anchor", epoch=epoch))["root"])
+
+    async def epoch_link(self, epoch: int) -> MembershipProof:
+        result = await self._call("epoch_link", epoch=epoch)
+        return MembershipProof.from_bytes(bytes(result["proof"]))
+
+    async def epoch_leaves(self, epoch: int = 0) -> list[Digest]:
+        result = await self._call("epoch_leaves", epoch=epoch)
+        return [bytes(digest) for digest in result["digests"]]
+
+    async def live_consistency(self, old_size: int) -> ConsistencyProof:
+        result = await self._call("live_consistency", old_size=old_size)
+        return ConsistencyProof.from_bytes(bytes(result["proof"]))
+
+    async def epoch_consistency(self, epoch: int, old_size: int) -> ConsistencyProof:
+        result = await self._call("epoch_consistency", epoch=epoch, old_size=old_size)
+        return ConsistencyProof.from_bytes(bytes(result["proof"]))
+
+    async def stats(self) -> dict:
+        return await self._call("stats")
+
+    async def ping(self) -> int:
+        return (await self._call("ping"))["size"]
+
+
+class RemoteLedgerClient:
+    """Synchronous verifying remote client — the over-the-wire twin of
+    :class:`~repro.core.client.LedgerClient`.
+
+    Owns a background event loop carrying one :class:`AsyncRemoteLedger`
+    connection, a local signing identity, and client-side trust state
+    (receipts, epoch anchors).  All methods are thread-safe: any number of
+    threads may append/verify through one client, and their requests
+    pipeline onto the single connection.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        member_id: str | None = None,
+        keypair: KeyPair | None = None,
+        expected_lsp_key: PublicKey | bytes | None = None,
+        timeout: float = 30.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.member_id = member_id
+        self.keypair = keypair
+        self.timeout = timeout
+        self.anchors = AnchorStore()
+        self.state = ClientState()
+        self._nonce_lock = threading.Lock()
+        self._nonce = 0
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="ledger-client", daemon=True
+        )
+        self._thread.start()
+        try:
+            self._remote: AsyncRemoteLedger = self._submit(
+                AsyncRemoteLedger.connect(
+                    host,
+                    port,
+                    expected_lsp_key=expected_lsp_key,
+                    max_frame_bytes=max_frame_bytes,
+                )
+            ).result(timeout)
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    # ----------------------------------------------------------- plumbing
+
+    def _submit(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def _wait(self, coro, timeout: float | None = None):
+        return self._submit(coro).result(self.timeout if timeout is None else timeout)
+
+    def _stop_loop(self) -> None:
+        if self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        if not self._loop.is_running():
+            self._loop.close()
+
+    def close(self) -> None:
+        """Close the connection and release the background loop.  Idempotent."""
+        if not self._loop.is_closed() and self._thread.is_alive():
+            try:
+                self._submit(self._remote.close()).result(self.timeout)
+            except Exception:
+                pass
+            self._stop_loop()
+
+    def __enter__(self) -> "RemoteLedgerClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def ledger_uri(self) -> str:
+        return self._remote.ledger_uri
+
+    @property
+    def lsp_public_key(self) -> PublicKey | None:
+        return self._remote.lsp_public_key
+
+    # ------------------------------------------------------------ appends
+
+    def _build_request(self, payload: bytes, clues: tuple[str, ...]) -> ClientRequest:
+        if self.member_id is None or self.keypair is None:
+            raise UsageError(
+                "no signing identity: construct the client with member_id and keypair"
+            )
+        with self._nonce_lock:
+            self._nonce += 1
+            nonce = self._nonce
+        import time as _time
+
+        return ClientRequest.build(
+            self.ledger_uri,
+            self.member_id,
+            payload,
+            clues=tuple(clues),
+            nonce=nonce.to_bytes(8, "big"),
+            client_timestamp=_time.time(),
+        ).signed_by(self.keypair)
+
+    def append(
+        self,
+        payload: bytes | None = None,
+        clues: tuple[str, ...] = (),
+        *,
+        request: ClientRequest | None = None,
+        timeout: float | None = None,
+    ) -> Receipt:
+        """Sign locally, submit remotely, verify the receipt locally."""
+        if (payload is None) == (request is None):
+            raise UsageError("append() takes exactly one of payload or request=")
+        if request is None:
+            request = self._build_request(payload, clues)
+        receipt = self._wait(self._remote.append(request), timeout)
+        self.state.receipts[receipt.jsn] = receipt
+        return receipt
+
+    def append_batch(
+        self,
+        items: list[tuple[bytes, tuple[str, ...]]] | None = None,
+        *,
+        requests: list[ClientRequest] | None = None,
+        timeout: float | None = None,
+    ) -> list[Receipt]:
+        if (items is None) == (requests is None):
+            raise UsageError("append_batch() takes exactly one of items or requests=")
+        if requests is None:
+            requests = [self._build_request(payload, clues) for payload, clues in items]
+        receipts = self._wait(self._remote.append_batch(requests), timeout)
+        for receipt in receipts:
+            self.state.receipts[receipt.jsn] = receipt
+        return receipts
+
+    def submit(self, request: ClientRequest):
+        """Fire-and-collect pipelining: returns a concurrent Future[Receipt].
+
+        The receipt is verified (LSP signature + request echo) before the
+        future resolves, exactly like :meth:`append`.  Submits in flight
+        together coalesce into ``append_batch`` frames on the wire — a
+        rejected group fails every member's future with the typed error.
+        """
+
+        async def _do() -> Receipt:
+            receipt = await self._remote.submit(request)
+            self.state.receipts[receipt.jsn] = receipt
+            return receipt
+
+        return self._submit(_do())
+
+    def receipt_for(self, jsn: int) -> Receipt | None:
+        return self.state.receipts.get(jsn)
+
+    # -------------------------------------------------------------- reads
+
+    def get_journal(self, jsn: int) -> Journal:
+        return self._wait(self._remote.get_journal(jsn))
+
+    def list_tx(self, clue: str) -> list[int]:
+        return self._wait(self._remote.list_tx(clue))
+
+    def get_proof(self, jsn: int, anchored: bool = True) -> FamProof:
+        return self._wait(self._remote.get_proof(jsn, anchored))
+
+    def get_proofs(self, jsns: list[int], anchored: bool = True) -> list[FamProof]:
+        return self._wait(self._remote.get_proofs(jsns, anchored))
+
+    def register(self, member_id: str, role: str, public_key: PublicKey) -> None:
+        self._wait(self._remote.register(member_id, role, public_key))
+
+    def stats(self) -> dict:
+        return self._wait(self._remote.stats())
+
+    def ping(self) -> int:
+        return self._wait(self._remote.ping())
+
+    # ------------------------------------------------------------- anchors
+
+    def sync_anchors(self) -> int:
+        """Advance the trusted-anchor store against the remote fam — the
+        over-the-wire :meth:`LedgerClient.sync_anchors`.
+
+        Epoch 0 is bootstrapped by downloading and re-hashing its raw leaf
+        digests; each later epoch is anchored via its merged-leaf link proof;
+        the live epoch is tracked with consistency proofs so a server that
+        rewrites *any* committed journal is caught on the next sync.
+
+        Raises:
+            VerificationFailure: any link fails — nothing unverified is
+                ever anchored.
+        """
+        info = self._wait(self._remote.fam_info())
+        completed = info["num_epochs"] - 1
+        added = 0
+        while self.state.anchored_epochs < completed:
+            epoch = self.state.anchored_epochs
+            claimed_root = self._wait(self._remote.epoch_anchor(epoch))
+            if epoch == 0:
+                leaves = self._wait(self._remote.epoch_leaves(0))
+                frontier = FrontierAccumulator()
+                for leaf in leaves:
+                    frontier.append_leaf(leaf)
+                if frontier.root() != claimed_root:
+                    raise VerificationFailure("epoch 0 bootstrap verification failed")
+                self.anchors.add(0, claimed_root)
+            else:
+                link = self._wait(self._remote.epoch_link(epoch))
+                if not self.anchors.advance(epoch, claimed_root, link):
+                    raise VerificationFailure(
+                        f"merged-leaf link for epoch {epoch} failed"
+                    )
+            self.state.anchored_epochs += 1
+            added += 1
+        self._sync_live(info)
+        return added
+
+    def _sync_live(self, info: dict) -> None:
+        current_epoch = info["num_epochs"] - 1
+        live_size = info["live_size"]
+        live_root = bytes(info["live_root"])
+        state = self.state
+        if state.live_root is not None and state.live_size > 0:
+            if state.live_epoch_index == current_epoch:
+                if state.live_size == live_size:
+                    if live_root != state.live_root:
+                        raise VerificationFailure("live commitment changed without appends")
+                elif state.live_size < live_size:
+                    proof = self._wait(self._remote.live_consistency(state.live_size))
+                    if not proof.verify(state.live_root, live_root):
+                        raise VerificationFailure(
+                            "live epoch evolved non-append-only (history rewritten?)"
+                        )
+                else:
+                    raise VerificationFailure("live epoch shrank")
+            else:
+                sealed_epoch = state.live_epoch_index
+                sealed_root = self._wait(self._remote.epoch_anchor(sealed_epoch))
+                proof = self._wait(
+                    self._remote.epoch_consistency(sealed_epoch, state.live_size)
+                )
+                if not proof.verify(state.live_root, sealed_root):
+                    raise VerificationFailure(
+                        f"sealed epoch {sealed_epoch} does not extend the state "
+                        "this client verified"
+                    )
+                anchor = self.anchors.get(sealed_epoch)
+                if anchor is not None and anchor != sealed_root:
+                    raise VerificationFailure(
+                        f"sealed epoch {sealed_epoch} root disagrees with anchor"
+                    )
+        state.live_epoch_index = current_epoch
+        state.live_size = live_size
+        state.live_root = live_root
+
+    # ----------------------------------------------------------- verifying
+
+    def verify_journal(self, journal: Journal) -> bool:
+        """O(delta) existence verification against the client's own anchors."""
+        proof = self.get_proof(journal.jsn, anchored=True)
+        if proof.epoch_index == proof.num_epochs - 1:
+            if self.state.live_root is None:
+                return False
+            try:
+                return (
+                    proof.epoch_proof.computed_root(journal.tx_hash())
+                    == self.state.live_root
+                )
+            except (ValueError, IndexError):
+                return False
+        anchor = self.anchors.get(proof.epoch_index)
+        if anchor is None:
+            return False
+        try:
+            return proof.epoch_proof.computed_root(journal.tx_hash()) == anchor
+        except (ValueError, IndexError):
+            return False
+
+    def verify_clue(self, clue: str) -> bool:
+        """Client-side N-lineage verification of an entire clue lineage.
+
+        The CM-Tree1 root the proof folds to is the server's claim — pin it
+        against out-of-band state if non-equivocation matters (DESIGN.md
+        §14 trust model).
+        """
+        jsns = self.list_tx(clue)
+        if not jsns:
+            return False
+        try:
+            journals = [self.get_journal(jsn) for jsn in jsns]
+        except LedgerError:
+            return False
+        proof, claimed_state_root = self._wait(self._remote.prove_clue(clue))
+        digests = {i: journal.tx_hash() for i, journal in enumerate(journals)}
+        return proof.verify(digests, claimed_state_root)
+
+
+class RemoteLedgerSession:
+    """The v2-session face of a remote connection.
+
+    ``repro.api.connect("ledger://host:port")`` returns one of these; it
+    mirrors the :class:`~repro.api.LedgerSession` surface (append /
+    append_batch / list_tx / get_proof / get_proofs / close / context
+    manager) so callers move between local and remote backends without
+    code changes.  Verification happens in the underlying
+    :class:`RemoteLedgerClient` — receipts and proofs arrive pre-checked.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        lgid: str | None = None,
+        client_id: str | None = None,
+        keypair: KeyPair | None = None,
+        expected_lsp_key: PublicKey | bytes | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.client = RemoteLedgerClient(
+            host,
+            port,
+            member_id=client_id,
+            keypair=keypair,
+            expected_lsp_key=expected_lsp_key,
+            timeout=timeout,
+        )
+        self.lgid = lgid if lgid is not None else self.client.ledger_uri
+        self.client_id = client_id
+        self.keypair = keypair
+
+    def append(
+        self,
+        payload: bytes | None = None,
+        *,
+        clue: str | None = None,
+        clues: tuple[str, ...] | None = None,
+        request: ClientRequest | None = None,
+        timeout: float | None = None,
+        **_ignored: Any,
+    ) -> Receipt:
+        if clue is not None and clues is not None:
+            raise UsageError("pass clue= or clues=, not both")
+        all_clues = clues if clues is not None else ((clue,) if clue else ())
+        return self.client.append(
+            payload, tuple(all_clues), request=request, timeout=timeout
+        )
+
+    def append_batch(
+        self,
+        items: list[tuple[bytes, str | None]] | None = None,
+        *,
+        requests: list[ClientRequest] | None = None,
+        timeout: float | None = None,
+        **_ignored: Any,
+    ) -> list[Receipt]:
+        pairs = None
+        if items is not None:
+            pairs = [
+                (payload, (clue,) if clue else ()) for payload, clue in items
+            ]
+        return self.client.append_batch(pairs, requests=requests, timeout=timeout)
+
+    def list_tx(self, clue: str) -> list[Journal]:
+        return [self.client.get_journal(jsn) for jsn in self.client.list_tx(clue)]
+
+    def get_proof(self, jsn: int, anchored: bool = True) -> FamProof:
+        return self.client.get_proof(jsn, anchored)
+
+    def get_proofs(self, jsns: list[int], anchored: bool = True) -> list[FamProof]:
+        return self.client.get_proofs(jsns, anchored)
+
+    def sync_anchors(self) -> int:
+        return self.client.sync_anchors()
+
+    def verify_journal(self, journal: Journal) -> bool:
+        return self.client.verify_journal(journal)
+
+    def verify_clue(self, clue: str) -> bool:
+        return self.client.verify_clue(clue)
+
+    def close(self) -> None:
+        self.client.close()
+
+    def __enter__(self) -> "RemoteLedgerSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<RemoteLedgerSession {self.lgid} client_id={self.client_id!r}>"

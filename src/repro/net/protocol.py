@@ -1,0 +1,239 @@
+"""Wire protocol: length-prefixed binary frames over the canonical encoding.
+
+A frame is a 4-byte big-endian unsigned length followed by exactly that many
+payload bytes; the payload is one :func:`repro.encoding.encode` value.  The
+same canonical TLV that every digest in the system is computed over is thus
+also the wire format — there is no second serializer to keep honest.
+
+Every frame carries a *message*: a dict with an integer ``id``.  Requests
+additionally carry an ``op`` string (plus op-specific fields); responses
+carry ``ok`` (bool) and either ``result`` or ``error``.  Request ids are
+chosen by the client and echoed verbatim, which is what allows the server to
+answer out of order — a pipelined append can overtake a slow bulk proof
+fetch without head-of-line blocking.
+
+Malformed input of any kind — oversized length, zero length, truncated
+payload, undecodable bytes, a payload that is not a message-shaped dict —
+raises :class:`ProtocolError`, never anything else and never a hang: the
+decoder consumes nothing it cannot validate first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Any
+
+from ..core.errors import LedgerError
+from ..encoding import EncodingError, decode, encode
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "decode_message",
+    "FrameDecoder",
+    "read_frame",
+    "write_frame",
+    "request",
+    "response_ok",
+    "response_error",
+]
+
+#: Bumped on any incompatible change; exchanged in the ``hello`` op.
+PROTOCOL_VERSION = 1
+
+#: Default ceiling on one frame's payload.  Large enough for a bulk proof
+#: fetch over thousands of journals, small enough that a hostile length
+#: prefix cannot make the server allocate gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(LedgerError):
+    """The peer sent bytes that are not a valid protocol frame/message."""
+
+
+def _check_length(length: int, max_bytes: int) -> None:
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > max_bytes:
+        raise ProtocolError(f"frame of {length} bytes exceeds the {max_bytes}-byte cap")
+
+
+def encode_frame(message: dict[str, Any], *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one message dict into a length-prefixed frame."""
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message must be a dict, got {type(message).__name__}")
+    try:
+        payload = encode(message)
+    except EncodingError as exc:
+        raise ProtocolError(f"unencodable message: {exc}") from None
+    if len(payload) > max_bytes:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the {max_bytes}-byte cap"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_message(payload: bytes) -> dict[str, Any]:
+    """Decode and shape-check one frame payload into a message dict."""
+    try:
+        message = decode(payload)
+    except EncodingError as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must decode to a dict, got {type(message).__name__}"
+        )
+    request_id = message.get("id")
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise ProtocolError("message has no integer 'id'")
+    is_request = "op" in message
+    is_response = "ok" in message
+    if is_request == is_response:
+        raise ProtocolError("message must carry exactly one of 'op' or 'ok'")
+    if is_request and not isinstance(message["op"], str):
+        raise ProtocolError("'op' must be a string")
+    if is_response and not isinstance(message["ok"], bool):
+        raise ProtocolError("'ok' must be a bool")
+    return message
+
+
+class FrameDecoder:
+    """Incremental frame decoder for byte streams of any chunking.
+
+    Feed it whatever the transport produced — single bytes, half a length
+    prefix, three frames at once — and it yields every complete message, in
+    order, holding partial input until the rest arrives.  A protocol
+    violation raises :class:`ProtocolError` and poisons the decoder (a
+    stream is unrecoverable once framing is lost).
+    """
+
+    def __init__(self, *, max_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_bytes = max_bytes
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Absorb ``data``; return every message completed by it."""
+        if self._poisoned:
+            raise ProtocolError("decoder poisoned by an earlier protocol error")
+        self._buffer += data
+        messages: list[dict[str, Any]] = []
+        try:
+            while True:
+                if len(self._buffer) < _LENGTH.size:
+                    return messages
+                (length,) = _LENGTH.unpack_from(self._buffer)
+                _check_length(length, self.max_bytes)
+                end = _LENGTH.size + length
+                if len(self._buffer) < end:
+                    return messages
+                payload = bytes(self._buffer[_LENGTH.size : end])
+                del self._buffer[:end]
+                messages.append(decode_message(payload))
+        except ProtocolError:
+            self._poisoned = True
+            raise
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_bytes: int = MAX_FRAME_BYTES
+) -> dict[str, Any]:
+    """Read one complete message from an asyncio stream.
+
+    Raises:
+        ProtocolError: malformed length or payload.
+        asyncio.IncompleteReadError: the peer closed mid-frame (or cleanly
+            between frames, with ``partial`` empty).
+    """
+    header = await reader.readexactly(_LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    _check_length(length, max_bytes)
+    payload = await reader.readexactly(length)
+    return decode_message(payload)
+
+
+class FrameBatcher:
+    """Coalesce frames written in one event-loop tick into one transport write.
+
+    Under pipelining, bursts of small frames (a window of appends going out,
+    a group commit's receipts coming back) otherwise cost one ``send``
+    syscall — and on loopback one GIL handoff to the peer's thread — *each*.
+    ``send`` buffers the encoded frame and schedules a single flush with
+    ``call_soon``; everything buffered in the same tick leaves in one write.
+
+    Encoding errors (oversized/unencodable message) still raise synchronously
+    from ``send``.  Transport errors surface on the connection's reader side,
+    where both peers already treat them as fatal.  Await :meth:`drain` after
+    ``send`` to keep the transport's flow-control backpressure.
+    """
+
+    def __init__(
+        self, writer: asyncio.StreamWriter, *, max_bytes: int = MAX_FRAME_BYTES
+    ) -> None:
+        self._writer = writer
+        self._max_bytes = max_bytes
+        self._chunks: list[bytes] = []
+        self._scheduled = False
+
+    def send(self, message: dict[str, Any]) -> int:
+        """Buffer one message for the next flush; returns the frame size."""
+        frame = encode_frame(message, max_bytes=self._max_bytes)
+        self._chunks.append(frame)
+        if not self._scheduled:
+            self._scheduled = True
+            asyncio.get_running_loop().call_soon(self.flush)
+        return len(frame)
+
+    def flush(self) -> None:
+        """Push any buffered frames to the transport now (close paths)."""
+        self._scheduled = False
+        chunks, self._chunks = self._chunks, []
+        if not chunks:
+            return
+        try:
+            self._writer.write(b"".join(chunks) if len(chunks) > 1 else chunks[0])
+        except (ConnectionError, OSError, RuntimeError):
+            pass  # connection teardown is reported by the reader side
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    message: dict[str, Any],
+    *,
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> int:
+    """Write one message and drain; returns the frame size in bytes."""
+    frame = encode_frame(message, max_bytes=max_bytes)
+    writer.write(frame)
+    await writer.drain()
+    return len(frame)
+
+
+# ------------------------------------------------------------- envelopes
+
+
+def request(request_id: int, op: str, **fields: Any) -> dict[str, Any]:
+    message = {"id": request_id, "op": op}
+    message.update(fields)
+    return message
+
+
+def response_ok(request_id: int, result: dict[str, Any]) -> dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def response_error(request_id: int, error_type: str, detail: str) -> dict[str, Any]:
+    return {"id": request_id, "ok": False, "error": {"type": error_type, "message": detail}}

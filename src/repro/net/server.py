@@ -1,0 +1,607 @@
+"""Asyncio ledger server: the network front end over :class:`LedgerService`.
+
+One :class:`LedgerServer` listens on a TCP socket and speaks the frame
+protocol of :mod:`repro.net.protocol`.  Its job is purely *transport*: every
+append is funneled into the group-commit service (so remote traffic
+coalesces with in-process traffic into the same single-fsync batches), and
+every read is served straight off the ledger's public read API.  The server
+adds no trust — clients are expected to re-verify everything it returns.
+
+Concurrency model::
+
+    connection reader ──▶ per-request asyncio task ──▶ response frame
+         (one loop)          (bounded in flight)        (write lock)
+
+* Requests are dispatched to their own task the moment the frame arrives,
+  so responses go out in *completion* order, not arrival order — a pipelined
+  append stream is never head-of-line blocked behind a bulk proof fetch.
+  Clients match responses by request id.
+* At most ``max_inflight`` requests per connection run at once; past that
+  the reader stops pulling frames and TCP backpressure reaches the client.
+  Blocking service calls (``submit`` against a full admission queue) run on
+  a small thread pool, so the event loop itself never blocks.
+* ``close(drain=True)`` stops accepting connections and new requests,
+  answers everything already in flight, then drains the owned service —
+  no accepted append is ever dropped without a response.
+
+A hostile or broken peer costs exactly its own connection: malformed frames
+poison only that stream (best-effort error frame, then close), and a peer
+that trickles bytes one at a time just waits on its own reader.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import socket as _socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Awaitable, Callable
+
+from .. import obs
+from ..core.errors import UsageError
+from ..core.journal import ClientRequest
+from ..core.ledger import LSP_MEMBER_ID, Ledger
+from ..crypto.ca import Role
+from ..crypto.keys import PublicKey
+from ..encoding import EncodingError
+from ..service import (
+    LedgerService,
+    ServiceClosedError,
+    ServiceConfig,
+    ServiceOverloadedError,
+)
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameBatcher,
+    ProtocolError,
+    read_frame,
+    response_error,
+    response_ok,
+)
+
+__all__ = ["LedgerServer", "ServerThread"]
+
+#: Ops refused while draining (reads stay up until the socket closes).
+_MUTATING_OPS = frozenset({"append", "append_batch", "register"})
+
+
+class _Connection:
+    """Per-connection state: streams, write serialisation, in-flight tasks."""
+
+    __slots__ = ("conn_id", "reader", "writer", "batcher", "drain_lock", "inflight", "semaphore")
+
+    def __init__(
+        self,
+        conn_id: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_inflight: int,
+        max_frame_bytes: int,
+    ) -> None:
+        self.conn_id = conn_id
+        self.reader = reader
+        self.writer = writer
+        self.batcher = FrameBatcher(writer, max_bytes=max_frame_bytes)
+        self.drain_lock = asyncio.Lock()
+        self.inflight: set[asyncio.Task] = set()
+        self.semaphore = asyncio.Semaphore(max_inflight)
+
+
+class LedgerServer:
+    """Serve one ledger (via its group-commit service) over TCP frames.
+
+    Pass either a :class:`Ledger` (the server creates and owns a
+    :class:`LedgerService` over it, closed with the server) or an existing
+    :class:`LedgerService` (shared; the caller keeps ownership unless
+    ``close_service=True``).
+
+    All coroutine methods must run on one event loop; use
+    :class:`ServerThread` to host a server from synchronous code.
+    """
+
+    def __init__(
+        self,
+        target: Ledger | LedgerService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        service_config: ServiceConfig | None = None,
+        close_service: bool | None = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        max_inflight: int = 64,
+        submit_timeout_s: float = 30.0,
+        workers: int = 8,
+    ) -> None:
+        if isinstance(target, LedgerService):
+            if service_config is not None:
+                raise UsageError("service_config only applies when passing a Ledger")
+            self.service = target
+            self._owns_service = bool(close_service)
+        elif isinstance(target, Ledger):
+            self.service = LedgerService(target, service_config)
+            self._owns_service = True if close_service is None else close_service
+        else:
+            raise UsageError(
+                f"serve a Ledger or a LedgerService, not {type(target).__name__}"
+            )
+        self.ledger = self.service.ledger
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self.max_inflight = max_inflight
+        self.submit_timeout_s = submit_timeout_s
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[_Connection] = set()
+        self._conn_counter = 0
+        self._draining = False
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="ledger-net"
+        )
+        self._handlers: dict[str, Callable[[dict], Awaitable[dict]]] = {
+            "hello": self._op_hello,
+            "ping": self._op_ping,
+            "append": self._op_append,
+            "append_batch": self._op_append_batch,
+            "register": self._op_register,
+            "get_journal": self._op_get_journal,
+            "list_tx": self._op_list_tx,
+            "get_proof": self._op_get_proof,
+            "get_proofs": self._op_get_proofs,
+            "prove_clue": self._op_prove_clue,
+            "get_root": self._op_get_root,
+            "receipt_for": self._op_receipt_for,
+            "fam_info": self._op_fam_info,
+            "epoch_anchor": self._op_epoch_anchor,
+            "epoch_link": self._op_epoch_link,
+            "epoch_leaves": self._op_epoch_leaves,
+            "live_consistency": self._op_live_consistency,
+            "epoch_consistency": self._op_epoch_consistency,
+            "verify_journal": self._op_verify_journal,
+            "stats": self._op_stats,
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the actual ``(host, port)`` bound."""
+        if self._server is not None:
+            raise UsageError("server already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._server.serve_forever()
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Shut down: stop listening, settle in-flight work, close transports.
+
+        ``drain=True`` answers every request already dispatched (and drains
+        the owned service's admission queue) before closing; ``drain=False``
+        cancels in-flight work and fails queued appends fast.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections):
+            if drain:
+                if conn.inflight:
+                    await asyncio.gather(*conn.inflight, return_exceptions=True)
+            else:
+                for task in list(conn.inflight):
+                    task.cancel()
+            conn.batcher.flush()
+            conn.writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await conn.writer.wait_closed()
+        if self._owns_service and not self.service.closed:
+            # The service's writer thread blocks; keep it off the event loop.
+            await asyncio.get_running_loop().run_in_executor(
+                self._pool, lambda: self.service.close(drain=drain)
+            )
+        self._pool.shutdown(wait=False)
+        obs.set_gauge("net.connections.open", 0)
+
+    # ---------------------------------------------------------- connections
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conn_counter += 1
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # Frames are small and latency-sensitive; batching is the
+            # group-commit service's job, not the kernel's.
+            with contextlib.suppress(OSError):
+                sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+        conn = _Connection(
+            self._conn_counter, reader, writer, self.max_inflight, self.max_frame_bytes
+        )
+        self._connections.add(conn)
+        obs.inc("net.connections.accepted")
+        obs.set_gauge("net.connections.open", len(self._connections))
+        try:
+            while not self._closed:
+                try:
+                    message = await read_frame(reader, max_bytes=self.max_frame_bytes)
+                except asyncio.IncompleteReadError:
+                    break  # peer closed (cleanly or mid-frame)
+                except (ConnectionError, OSError):
+                    break
+                except ProtocolError as exc:
+                    # Framing is lost: best-effort error frame, then hang up.
+                    # Only this peer pays; every other connection is unharmed.
+                    obs.inc("net.errors.protocol")
+                    with contextlib.suppress(Exception):
+                        await self._send(conn, response_error(0, "ProtocolError", str(exc)))
+                    break
+                obs.inc("net.frames.in")
+                await conn.semaphore.acquire()
+                task = asyncio.create_task(self._dispatch(conn, message))
+                conn.inflight.add(task)
+                task.add_done_callback(
+                    lambda done, c=conn: (c.inflight.discard(done), c.semaphore.release())
+                )
+        finally:
+            if conn.inflight:
+                # Answer pipelined requests already accepted from this peer.
+                await asyncio.gather(*conn.inflight, return_exceptions=True)
+            conn.batcher.flush()
+            conn.writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await conn.writer.wait_closed()
+            self._connections.discard(conn)
+            obs.set_gauge("net.connections.open", len(self._connections))
+
+    async def _dispatch(self, conn: _Connection, message: dict[str, Any]) -> None:
+        request_id = message["id"]
+        op = message.get("op")
+        started = time.perf_counter()
+        try:
+            handler = self._handlers.get(op) if isinstance(op, str) else None
+            if handler is None:
+                raise ProtocolError(f"unknown op: {op!r}")
+            if self._draining and op in _MUTATING_OPS:
+                raise ServiceClosedError("server is draining; no new appends")
+            result = await handler(message)
+            reply = response_ok(request_id, result)
+        except asyncio.CancelledError:
+            with contextlib.suppress(Exception):
+                await self._send(
+                    conn,
+                    response_error(request_id, "ServiceClosedError", "server shut down"),
+                )
+            raise
+        except BaseException as exc:  # typed error travels; connection survives
+            obs.inc("net.errors.request")
+            reply = response_error(request_id, type(exc).__name__, str(exc))
+        obs.observe("net.request.latency_us", (time.perf_counter() - started) * 1e6)
+        if isinstance(op, str):
+            obs.inc(f"net.op.{op}")
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._send(conn, reply)
+
+    async def _send(self, conn: _Connection, message: dict[str, Any]) -> None:
+        # Responses completing in one loop tick (a group-committed window of
+        # receipts) leave in one socket write; the drain (behind a lock —
+        # concurrent StreamWriter.drain is not portable) keeps backpressure.
+        size = conn.batcher.send(message)
+        obs.inc("net.frames.out")
+        obs.observe("net.frame.out_bytes", size)
+        async with conn.drain_lock:
+            await conn.batcher.drain()
+
+    async def _run(self, fn: Callable, *args: Any) -> Any:
+        """Run a blocking ledger/service call off the event loop."""
+        return await asyncio.get_running_loop().run_in_executor(self._pool, fn, *args)
+
+    # ------------------------------------------------------------------ ops
+
+    async def _op_hello(self, message: dict) -> dict:
+        protocol = message.get("protocol")
+        if protocol != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: server speaks {PROTOCOL_VERSION}, "
+                f"client sent {protocol!r}"
+            )
+        ledger = self.ledger
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "ledger_uri": ledger.config.uri,
+            "size": ledger.size,
+            "fractal_height": ledger.config.fractal_height,
+            "lsp_public_key": ledger.registry.public_key(LSP_MEMBER_ID).to_bytes(),
+            "ca_public_key": ledger.registry.ca_public_key.to_bytes(),
+        }
+
+    async def _op_ping(self, message: dict) -> dict:
+        return {"size": self.ledger.size}
+
+    @staticmethod
+    def _decode_request(blob: Any) -> ClientRequest:
+        try:
+            return ClientRequest.from_bytes(_require_bytes(blob, "request"))
+        except (EncodingError, KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"undecodable client request: {exc}") from None
+
+    def _submit(self, request: ClientRequest) -> "asyncio.Future":
+        """Admit one request into the service without blocking the loop.
+
+        Fast path: ``submit(timeout=0)`` inline — admission is a lock'd
+        deque append when the queue has room, far cheaper than two thread
+        hops.  Only when the queue is full (real backpressure) does the
+        blocking wait move to the pool, where it stalls a worker instead of
+        the event loop.
+        """
+
+        async def admit() -> Any:
+            try:
+                return self.service.submit(request, timeout=0)
+            except ServiceOverloadedError:
+                return await self._run(
+                    lambda: self.service.submit(request, timeout=self.submit_timeout_s)
+                )
+
+        return admit()
+
+    async def _op_append(self, message: dict) -> dict:
+        request = self._decode_request(message.get("request"))
+        future = await self._submit(request)
+        receipt = await asyncio.wrap_future(future)
+        return {"receipt": receipt.to_bytes()}
+
+    async def _op_append_batch(self, message: dict) -> dict:
+        blobs = message.get("requests")
+        if not isinstance(blobs, list) or not blobs:
+            raise ProtocolError("append_batch needs a non-empty 'requests' list")
+        requests = [self._decode_request(blob) for blob in blobs]
+        try:
+            # All-or-nothing admission, so overload here leaves nothing
+            # queued and the blocking retry on the pool cannot double-append.
+            futures = self.service.submit_many(requests, timeout=0)
+        except ServiceOverloadedError:
+            futures = await self._run(
+                lambda: self.service.submit_many(
+                    requests, timeout=self.submit_timeout_s
+                )
+            )
+        receipts = await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))
+        return {"receipts": [receipt.to_bytes() for receipt in receipts]}
+
+    async def _op_register(self, message: dict) -> dict:
+        member_id = _require_str(message.get("member_id"), "member_id")
+        try:
+            role = Role(_require_str(message.get("role"), "role"))
+        except ValueError:
+            raise ProtocolError(f"unknown role: {message.get('role')!r}") from None
+        try:
+            public_key = PublicKey.from_bytes(
+                _require_bytes(message.get("public_key"), "public_key")
+            )
+        except (ValueError, IndexError) as exc:
+            raise ProtocolError(f"undecodable public key: {exc}") from None
+        await self._run(lambda: self.ledger.registry.register(member_id, role, public_key))
+        return {"member_id": member_id, "role": role.value}
+
+    async def _op_get_journal(self, message: dict) -> dict:
+        jsn = _require_int(message.get("jsn"), "jsn")
+        journal = await self._run(self.ledger.get_journal, jsn)
+        return {"journal": journal.to_bytes()}
+
+    async def _op_list_tx(self, message: dict) -> dict:
+        clue = _require_str(message.get("clue"), "clue")
+        return {"jsns": list(await self._run(self.ledger.list_tx, clue))}
+
+    async def _op_get_proof(self, message: dict) -> dict:
+        jsn = _require_int(message.get("jsn"), "jsn")
+        anchored = bool(message.get("anchored", True))
+        proof = await self._run(lambda: self.ledger.get_proof(jsn, anchored=anchored))
+        return {"proof": proof.to_bytes()}
+
+    async def _op_get_proofs(self, message: dict) -> dict:
+        jsns = message.get("jsns")
+        if not isinstance(jsns, list):
+            raise ProtocolError("get_proofs needs a 'jsns' list")
+        jsns = [_require_int(jsn, "jsn") for jsn in jsns]
+        anchored = bool(message.get("anchored", True))
+        proofs = await self._run(lambda: self.ledger.get_proofs(jsns, anchored=anchored))
+        return {"proofs": [proof.to_bytes() for proof in proofs]}
+
+    async def _op_prove_clue(self, message: dict) -> dict:
+        clue = _require_str(message.get("clue"), "clue")
+        proof = await self._run(self.ledger.prove_clue, clue)
+        return {"proof": proof.to_bytes(), "state_root": self.ledger.state_root()}
+
+    async def _op_get_root(self, message: dict) -> dict:
+        ledger = self.ledger
+        latest = ledger.latest_receipt
+        return {
+            "root": ledger.current_root(),
+            "state_root": ledger.state_root(),
+            "size": ledger.size,
+            "latest_receipt": latest.to_bytes() if latest is not None else b"",
+        }
+
+    async def _op_receipt_for(self, message: dict) -> dict:
+        jsn = _require_int(message.get("jsn"), "jsn")
+        receipt = await self._run(self.ledger.receipt_for, jsn)
+        return {"receipt": receipt.to_bytes() if receipt is not None else b""}
+
+    async def _op_fam_info(self, message: dict) -> dict:
+        fam = self.ledger._fam  # the public read path of a real deployment
+        _roots, live_size, _peaks = fam.snapshot()
+        return {
+            "size": fam.size,
+            "num_epochs": fam.num_epochs,
+            "epoch_capacity": fam.epoch_capacity,
+            "fractal_height": fam.fractal_height,
+            "live_size": live_size,
+            "live_root": fam.current_root(),
+        }
+
+    async def _op_epoch_anchor(self, message: dict) -> dict:
+        epoch = _require_int(message.get("epoch"), "epoch")
+        return {"root": await self._run(self.ledger._fam.epoch_root, epoch)}
+
+    async def _op_epoch_link(self, message: dict) -> dict:
+        epoch = _require_int(message.get("epoch"), "epoch")
+        proof = await self._run(self.ledger._fam.prove_epoch_link, epoch)
+        return {"proof": proof.to_bytes()}
+
+    async def _op_epoch_leaves(self, message: dict) -> dict:
+        fam = self.ledger._fam
+        epoch = _require_int(message.get("epoch"), "epoch")
+        if epoch != 0:
+            raise UsageError("only epoch 0 is bootstrapped from raw leaves")
+
+        def leaves():
+            return [fam.leaf_digest(jsn) for jsn in range(fam.epoch_capacity)]
+
+        return {"digests": await self._run(leaves)}
+
+    async def _op_live_consistency(self, message: dict) -> dict:
+        old_size = _require_int(message.get("old_size"), "old_size")
+        proof = await self._run(self.ledger._fam.prove_live_consistency, old_size)
+        return {"proof": proof.to_bytes()}
+
+    async def _op_epoch_consistency(self, message: dict) -> dict:
+        epoch = _require_int(message.get("epoch"), "epoch")
+        old_size = _require_int(message.get("old_size"), "old_size")
+        proof = await self._run(
+            lambda: self.ledger._fam.prove_epoch_consistency(epoch, old_size)
+        )
+        return {"proof": proof.to_bytes()}
+
+    async def _op_verify_journal(self, message: dict) -> dict:
+        from ..core.journal import Journal
+
+        try:
+            journal = Journal.from_bytes(_require_bytes(message.get("journal"), "journal"))
+        except (EncodingError, KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"undecodable journal: {exc}") from None
+        return {"ok": bool(await self._run(self.ledger.verify_journal, journal))}
+
+    async def _op_stats(self, message: dict) -> dict:
+        stats = self.service.stats()
+        stats["ledger_size"] = self.ledger.size
+        stats["connections"] = len(self._connections)
+        return stats
+
+
+# ------------------------------------------------------- field validation
+
+
+def _require_bytes(value: Any, field: str) -> bytes:
+    if not isinstance(value, (bytes, bytearray)):
+        raise ProtocolError(f"'{field}' must be bytes")
+    return bytes(value)
+
+
+def _require_str(value: Any, field: str) -> str:
+    if not isinstance(value, str):
+        raise ProtocolError(f"'{field}' must be a string")
+    return value
+
+
+def _require_int(value: Any, field: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"'{field}' must be an integer")
+    return value
+
+
+# -------------------------------------------------------------- threading
+
+
+class ServerThread:
+    """Host a :class:`LedgerServer` on a background event loop.
+
+    The synchronous world's handle on a server: tests, benchmarks, the
+    ``stats`` workload, and examples all start one of these, talk to it over
+    real sockets, and tear it down with :meth:`close` (graceful drain) or
+    :meth:`kill` (simulated crash — transports die mid-flight).
+    """
+
+    def __init__(
+        self,
+        target: Ledger | LedgerService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **kwargs: Any,
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.server = LedgerServer(target, host, port, **kwargs)
+        self._thread = threading.Thread(
+            target=self._run, name="ledger-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._started.is_set():
+            raise TimeoutError("server thread failed to start within 30s")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            # Settle whatever close()/kill() left cancelled, then free the loop.
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            self._loop.close()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Graceful shutdown from any thread; idempotent."""
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.close(drain=drain), self._loop
+            )
+            future.result(timeout)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def kill(self, timeout: float = 30.0) -> None:
+        """Abrupt shutdown: connections die mid-flight, nothing drains."""
+        self.close(drain=False, timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -30,6 +30,7 @@ by construction.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager as _contextmanager
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NullRegistry
 from .tracing import NULL_SPAN, Span
@@ -51,6 +52,7 @@ __all__ = [
     "set_gauge",
     "snapshot",
     "reset",
+    "scoped",
 ]
 
 _NULL_REGISTRY = NullRegistry()
@@ -115,3 +117,30 @@ def snapshot() -> dict:
 
 def reset() -> None:
     _registry.reset()
+
+
+@_contextmanager
+def scoped():
+    """Install a fresh registry for the block; restore the prior one after.
+
+    Yields the temporary :class:`MetricsRegistry` so the caller can take a
+    snapshot of *exactly* the block's activity.  Whatever registry (live or
+    null) was installed before — including everything it had accumulated —
+    comes back untouched on exit, so an instrumented workload (``python -m
+    repro stats``) can run mid-process without skewing later measurements.
+
+    The swap is process-global, like the registry itself: metrics emitted by
+    *other* threads during the block also land in the scoped registry.  That
+    is what lets a scoped workload capture its own background threads
+    (service writers, the net server loop), and why two scoped workloads
+    should not run concurrently.
+    """
+    global _enabled, _registry
+    prior_enabled, prior_registry = _enabled, _registry
+    fresh = MetricsRegistry()
+    _registry = fresh
+    _enabled = True
+    try:
+        yield fresh
+    finally:
+        _enabled, _registry = prior_enabled, prior_registry

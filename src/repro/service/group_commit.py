@@ -186,6 +186,59 @@ class LedgerService:
             self._has_work.notify()
         return pending.future
 
+    def submit_many(
+        self,
+        requests: list[ClientRequest],
+        *,
+        timeout: float | None | object = ...,
+    ) -> list[Future]:
+        """Admit a whole batch under one lock acquisition, all-or-nothing.
+
+        Semantics match calling :meth:`submit` per request in order (same
+        backpressure wait, same typed rejections), but a pipelined batch —
+        the network server's ``append_batch`` — pays the admission lock and
+        the writer wake-up once instead of once per request.  Nothing is
+        admitted unless everything is: a timeout or a batch larger than the
+        admission queue raises :class:`ServiceOverloadedError` with zero
+        requests queued, so the caller may safely retry the whole batch.
+        """
+        for request in requests:
+            if not isinstance(request, ClientRequest):
+                raise UsageError(
+                    f"submit_many() takes signed ClientRequests, "
+                    f"got {type(request).__name__}"
+                )
+        if len(requests) > self.config.max_queue:
+            raise ServiceOverloadedError(
+                f"batch of {len(requests)} exceeds the admission queue "
+                f"({self.config.max_queue}); split it"
+            )
+        if timeout is ...:
+            timeout = self.config.submit_timeout_s
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._lock:
+            while True:
+                if self._closed:
+                    raise ServiceClosedError("service is closed; no new appends")
+                if len(self._queue) + len(requests) <= self.config.max_queue:
+                    break
+                if deadline is None:
+                    self._has_room.wait()
+                else:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or not self._has_room.wait(remaining):
+                        obs.inc("service.overloaded")
+                        raise ServiceOverloadedError(
+                            f"no room for a batch of {len(requests)} "
+                            f"(queue limit {self.config.max_queue}) within {timeout}s"
+                        )
+            pendings = [_Pending(request) for request in requests]
+            self._queue.extend(pendings)
+            self._submitted += len(pendings)
+            obs.set_gauge("service.queue.depth", len(self._queue))
+            self._has_work.notify()
+        return [pending.future for pending in pendings]
+
     def append(self, request: ClientRequest, *, timeout: float | None = None) -> Receipt:
         """Submit and wait: the blocking single-call form of :meth:`submit`.
 

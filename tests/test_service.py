@@ -238,6 +238,39 @@ def test_backpressure_unblocks_when_room_frees():
     assert ledger.size == 9
 
 
+def test_submit_many_matches_per_request_submits():
+    ledger, keys = make_ledger()
+    service = LedgerService(ledger)
+    requests = [make_request(keys, "alice", f"many-{i}") for i in range(10)]
+    futures = service.submit_many(requests)
+    receipts = [future.result(timeout=10.0) for future in futures]
+    service.close()
+    assert [r.request_hash for r in receipts] == [r.request_hash() for r in requests]
+    assert [r.jsn for r in receipts] == sorted(r.jsn for r in receipts)
+
+
+def test_submit_many_is_all_or_nothing_on_overflow():
+    """An overloaded batch admits nothing, so retrying cannot double-append."""
+    ledger, keys = make_slow_ledger(delay=0.3)
+    service = LedgerService(ledger, ServiceConfig(max_batch=1, max_wait_ms=0.0, max_queue=2))
+    service.submit(make_request(keys, "alice", "head"))  # writer grabs this
+    time.sleep(0.05)
+    service.submit(make_request(keys, "alice", "fills"))  # queue now 1/2
+    batch = [make_request(keys, "bob", f"b-{i}") for i in range(2)]
+    with pytest.raises(ServiceOverloadedError):
+        service.submit_many(batch, timeout=0.01)  # needs 2 slots, only 1 free
+    with pytest.raises(ServiceOverloadedError):
+        # A batch that can never fit fails immediately, nothing queued.
+        service.submit_many(
+            [make_request(keys, "bob", f"huge-{i}") for i in range(3)], timeout=0
+        )
+    futures = service.submit_many(batch, timeout=10.0)  # retry is safe: blocks, lands
+    for future in futures:
+        future.result(timeout=10.0)
+    service.close(drain=True)
+    assert ledger.size == 5  # genesis + head + fills + the batch of 2, no dupes
+
+
 # ----------------------------------------------------------- batch salvage
 
 
