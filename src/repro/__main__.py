@@ -382,7 +382,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ledger.registry.register("demo-user", Role.USER, demo.public)
 
     async def run() -> None:
-        server = LedgerServer(ledger, host=args.host, port=args.port)
+        server = LedgerServer(
+            ledger,
+            host=args.host,
+            port=args.port,
+            allow_register=args.allow_register,
+        )
         host, port = await server.start()
         print(f"serving {ledger.config.uri} on ledger://{host}:{port}", flush=True)
         lsp_key = ledger.registry.public_key(LSP_MEMBER_ID)
@@ -515,6 +520,11 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument(
         "--seed-demo", action="store_true",
         help='register the deterministic "demo-user" principal',
+    )
+    serve.add_argument(
+        "--allow-register", action="store_true",
+        help="let remote peers self-register as role 'user' (off by default; "
+        "privileged roles can never be registered over the wire)",
     )
     serve.set_defaults(fn=_cmd_serve)
 

@@ -385,6 +385,12 @@ class AsyncRemoteLedger:
         except (ConnectionError, OSError) as exc:
             self._pending.pop(request_id, None)
             raise RemoteLedgerError(f"connection lost: {exc}") from None
+        except BaseException:
+            # Nothing went on the wire (e.g. ProtocolError: the request
+            # exceeds the frame cap) — drop the pending entry or it leaks
+            # for the life of the connection.
+            self._pending.pop(request_id, None)
+            raise
         return await future
 
     # ------------------------------------------------------------ appends
@@ -461,6 +467,9 @@ class AsyncRemoteLedger:
         return Receipt.from_bytes(blob) if blob else None
 
     async def register(self, member_id: str, role: str, public_key: PublicKey) -> None:
+        """Ask the server to mint a member.  Refused (AuthorizationError)
+        unless the server was started with ``allow_register=True``, and
+        only role ``"user"`` is ever accepted over the wire."""
         await self._call(
             "register", member_id=member_id, role=role, public_key=public_key.to_bytes()
         )

@@ -40,7 +40,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Callable
 
 from .. import obs
-from ..core.errors import UsageError
+from ..core.errors import AuthorizationError, UsageError
 from ..core.journal import ClientRequest
 from ..core.ledger import LSP_MEMBER_ID, Ledger
 from ..crypto.ca import Role
@@ -98,6 +98,13 @@ class LedgerServer:
     :class:`LedgerService` (shared; the caller keeps ownership unless
     ``close_service=True``).
 
+    Member registration is a governance operation (registered members gain
+    append access and privileged roles sit in destructive-op signer sets),
+    so the ``register`` op is refused unless the operator opts in with
+    ``allow_register=True`` — and even then only :attr:`Role.USER` members
+    may be minted over the wire; DBA/regulator/LSP registration stays a
+    local operator action.
+
     All coroutine methods must run on one event loop; use
     :class:`ServerThread` to host a server from synchronous code.
     """
@@ -114,6 +121,7 @@ class LedgerServer:
         max_inflight: int = 64,
         submit_timeout_s: float = 30.0,
         workers: int = 8,
+        allow_register: bool = False,
     ) -> None:
         if isinstance(target, LedgerService):
             if service_config is not None:
@@ -133,6 +141,7 @@ class LedgerServer:
         self.max_frame_bytes = max_frame_bytes
         self.max_inflight = max_inflight
         self.submit_timeout_s = submit_timeout_s
+        self.allow_register = allow_register
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[_Connection] = set()
         self._conn_counter = 0
@@ -296,8 +305,23 @@ class LedgerServer:
         obs.observe("net.request.latency_us", (time.perf_counter() - started) * 1e6)
         if isinstance(op, str):
             obs.inc(f"net.op.{op}")
-        with contextlib.suppress(ConnectionError, OSError):
+        try:
             await self._send(conn, reply)
+        except (ConnectionError, OSError):
+            pass
+        except ProtocolError as exc:
+            # The *response* was undeliverable (exceeds the frame cap /
+            # unencodable).  The request id must still be settled — a
+            # pipelined client otherwise awaits this future forever — so
+            # downgrade to a small typed error frame.
+            obs.inc("net.errors.protocol")
+            with contextlib.suppress(ConnectionError, OSError, ProtocolError):
+                await self._send(
+                    conn,
+                    response_error(
+                        request_id, "ProtocolError", f"response undeliverable: {exc}"
+                    ),
+                )
 
     async def _send(self, conn: _Connection, message: dict[str, Any]) -> None:
         # Responses completing in one loop tick (a group-committed window of
@@ -387,11 +411,28 @@ class LedgerServer:
         return {"receipts": [receipt.to_bytes() for receipt in receipts]}
 
     async def _op_register(self, message: dict) -> dict:
+        # A certified member gains append access and a permanent member id,
+        # and privileged roles enter the occult/purge required-signer sets —
+        # an open network surface here would let any peer corrupt
+        # destructive-op governance.  Refuse unless the operator opted in,
+        # and never mint anything beyond a plain user over the wire.
+        if not self.allow_register:
+            raise AuthorizationError(
+                "member registration is disabled on this server; start it "
+                "with allow_register=True (serve --allow-register) or "
+                "register members locally"
+            )
         member_id = _require_str(message.get("member_id"), "member_id")
         try:
             role = Role(_require_str(message.get("role"), "role"))
         except ValueError:
             raise ProtocolError(f"unknown role: {message.get('role')!r}") from None
+        if role is not Role.USER:
+            raise AuthorizationError(
+                f"remote registration is limited to role {Role.USER.value!r}; "
+                f"{role.value!r} members must be registered locally by the "
+                "operator"
+            )
         try:
             public_key = PublicKey.from_bytes(
                 _require_bytes(message.get("public_key"), "public_key")

@@ -22,6 +22,7 @@ from repro import ClientRequest, KeyPair, Ledger, LedgerConfig, Role, SimClock
 from repro.api import connect
 from repro.core.errors import (
     AuthenticationError,
+    AuthorizationError,
     JournalNotFoundError,
     VerificationFailure,
 )
@@ -281,6 +282,45 @@ class TestFailureModes:
             finally:
                 peer.close()
 
+    def test_oversized_response_settles_as_typed_error(self):
+        """A result too big for the server's frame cap must not orphan the
+        request: the server downgrades it to a small ProtocolError frame,
+        and the connection stays usable for later requests."""
+        ledger, keys = make_ledger()
+        with ServerThread(ledger, max_frame_bytes=2048) as served:
+            client = remote_client(served, "alice", keys)
+            try:
+                receipt = client.append(b"seed", ())
+                with pytest.raises(ProtocolError, match="response undeliverable"):
+                    client.get_proofs([receipt.jsn] * 200, anchored=False)
+                # The id was settled and the stream is intact.
+                assert client.ping() == ledger.size
+                assert client._remote._pending == {}
+            finally:
+                client.close()
+
+    def test_oversized_request_does_not_leak_pending(self):
+        """A request the client's own frame cap refuses to encode raises
+        synchronously AND drops its pending entry — no future leaks for
+        the life of the connection."""
+        ledger, keys = make_ledger()
+        with ServerThread(ledger) as served:
+            host, port = served.address
+            client = RemoteLedgerClient(
+                host,
+                port,
+                member_id="alice",
+                keypair=keys["alice"],
+                max_frame_bytes=1024,
+            )
+            try:
+                with pytest.raises(ProtocolError):
+                    client.append(b"x" * 64 * 1024, ())
+                assert client._remote._pending == {}
+                assert client.ping() == ledger.size
+            finally:
+                client.close()
+
     def test_drain_on_shutdown_settles_every_submitted_request(self):
         """close(drain=True): every pipelined append already on the wire is
         answered — a verified receipt or a typed refusal, never a hang."""
@@ -458,7 +498,7 @@ class TestRegistration:
     def test_register_then_append_as_new_member(self):
         ledger, keys = make_ledger()
         eve = KeyPair.generate(seed="net:eve")
-        with ServerThread(ledger) as served:
+        with ServerThread(ledger, allow_register=True) as served:
             client = remote_client(served, "alice", keys)
             try:
                 client.register("eve", "user", eve.public)
@@ -471,3 +511,34 @@ class TestRegistration:
                 assert receipt.verify(as_eve.lsp_public_key)
             finally:
                 as_eve.close()
+
+    def test_register_refused_by_default(self):
+        """The register op is governance: a server not started with
+        allow_register=True refuses it for any role, so an anonymous peer
+        cannot mint CA-certified members."""
+        ledger, keys = make_ledger()
+        eve = KeyPair.generate(seed="net:eve")
+        with ServerThread(ledger) as served:
+            client = remote_client(served, None, keys)
+            try:
+                with pytest.raises(AuthorizationError):
+                    client.register("eve", "user", eve.public)
+                assert "eve" not in ledger.registry.all_members()
+            finally:
+                client.close()
+
+    def test_register_privileged_roles_refused_even_when_allowed(self):
+        """allow_register=True only opens plain-user self-registration;
+        dba/regulator/lsp would enter destructive-op signer sets and can
+        never be minted over the wire."""
+        ledger, keys = make_ledger()
+        mallory = KeyPair.generate(seed="net:mallory")
+        with ServerThread(ledger, allow_register=True) as served:
+            client = remote_client(served, None, keys)
+            try:
+                for role in ("dba", "regulator", "lsp"):
+                    with pytest.raises(AuthorizationError):
+                        client.register(f"mallory-{role}", role, mallory.public)
+                    assert f"mallory-{role}" not in ledger.registry.all_members()
+            finally:
+                client.close()
