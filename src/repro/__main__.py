@@ -77,28 +77,39 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0 if audit.passed and report.dasein_complete else 1
 
 
-def _audit_workload(journals: int):
+def _audit_workload(journals: int, shards: int = 1):
     """Deterministic audit-target ledger: seeded keys, sim clock, direct TSA.
 
     Returns ``(session, tsa_keys)`` — a v2 session over a ledger with
     ``journals`` clue-tagged records, periodic time anchors, and committed
-    blocks, identical for a given ``journals`` on every run.
+    blocks, identical for a given ``journals`` on every run.  With
+    ``shards > 1`` the same workload lands on a hash-partitioned
+    :class:`~repro.shard.ShardedLedger` and the audit runs per shard.
     """
     from repro import KeyPair, Ledger, LedgerConfig, Role, SimClock, TimeStampAuthority
     from repro.api import LedgerSession
 
     clock = SimClock()
     tsa = TimeStampAuthority("audit-tsa", clock)
-    ledger = Ledger(
-        LedgerConfig(uri="ledger://audit", fractal_height=5, block_size=8),
-        clock=clock,
+    config = LedgerConfig(
+        uri="ledger://audit", fractal_height=5, block_size=8, shards=shards
     )
+    if shards > 1:
+        from repro.shard import ShardedLedger
+
+        ledger = ShardedLedger(config, clock=clock)
+    else:
+        ledger = Ledger(config, clock=clock)
     ledger.attach_tsa(tsa)
     user = KeyPair.generate(seed="audit-user")
     ledger.registry.register("audit-user", Role.USER, user.public)
     session = LedgerSession(ledger, client_id="audit-user", keypair=user)
     for index in range(journals):
-        session.append(f"audit record {index}".encode(), clue="AUDIT")
+        # Sharded runs spread the lineage over enough clues to hit every
+        # shard (routing hashes the first clue); plain runs keep the single
+        # "AUDIT" lineage the seeded workload has always used.
+        clue = "AUDIT" if shards == 1 else f"AUDIT-{index % (4 * shards)}"
+        session.append(f"audit record {index}".encode(), clue=clue)
         clock.advance(0.25)
         if index % 16 == 15:
             ledger.anchor_time()
@@ -109,7 +120,7 @@ def _audit_workload(journals: int):
 def _cmd_audit(args: argparse.Namespace) -> int:
     import json
 
-    session, tsa_keys = _audit_workload(args.journals)
+    session, tsa_keys = _audit_workload(args.journals, shards=args.shards)
     checkpoint = args.resume if args.resume is not None else args.checkpoint
     report = session.audit(
         tsa_keys=tsa_keys,
@@ -120,14 +131,19 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
-        for step in report.steps:
-            marker = "ok " if step.passed else "FAIL"
-            print(f"  [{marker}] {step.name}: {step.detail}")
+        shard_reports = getattr(report, "reports", None)
+        for shard, sub in (
+            enumerate(shard_reports) if shard_reports is not None else [(None, report)]
+        ):
+            prefix = "" if shard is None else f"shard-{shard} "
+            for step in sub.steps:
+                marker = "ok " if step.passed else "FAIL"
+                print(f"  [{marker}] {prefix}{step.name}: {step.detail}")
         print(
             f"audit passed={report.passed} "
             f"({report.journals_replayed} journals, {report.blocks_verified} blocks, "
             f"{report.time_journals_verified} time anchors, "
-            f"workers={args.workers})"
+            f"workers={args.workers}, shards={args.shards})"
         )
     return 0 if report.passed else 1
 
@@ -155,20 +171,16 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_compact(args: argparse.Namespace) -> int:
-    import json
-    from pathlib import Path
-
+def _compact_one(data_dir) -> dict | None:
+    """Compact one ledger directory; None when it holds no paged store."""
     from repro.core.errors import SnapshotError
     from repro.core.snapshot import load_snapshot, write_snapshot
     from repro.merkle.mpt import MPT
     from repro.storage.pagestore import PagedNodeStore
 
-    data_dir = Path(args.data_dir)
     nodes_dir = data_dir / "nodes"
     if not nodes_dir.is_dir():
-        print(f"no paged node store under {data_dir}", file=sys.stderr)
-        return 1
+        return None
     store = PagedNodeStore(nodes_dir)
     snapshot_path = data_dir / "snapshot.ckpt"
     try:
@@ -188,15 +200,41 @@ def _cmd_compact(args: argparse.Namespace) -> int:
         # entries (every still-indexed key survives).
         result = store.compact()
     store.close()
+    return result
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.shard import iter_shard_dirs
+
+    data_dir = Path(args.data_dir)
+    shard_dirs = list(iter_shard_dirs(data_dir))
+    # A sharded data_dir holds no store of its own — compact each shard.
+    targets = shard_dirs or [data_dir]
+    results = {}
+    for target in targets:
+        result = _compact_one(target)
+        if result is not None:
+            results[str(target)] = result
+    if not results:
+        print(f"no paged node store under {data_dir}", file=sys.stderr)
+        return 1
     if args.json:
-        print(json.dumps(result, indent=2, sort_keys=True))
+        if not shard_dirs:
+            # Unsharded: keep the original flat report shape.
+            print(json.dumps(results[str(data_dir)], indent=2, sort_keys=True))
+        else:
+            print(json.dumps(results, indent=2, sort_keys=True))
     else:
-        print(
-            f"compacted {data_dir}: pages {result['pages_before']} -> "
-            f"{result['pages_after']}, entries {result['entries_before']} -> "
-            f"{result['entries_after']}, bytes {result['bytes_before']} -> "
-            f"{result['bytes_after']}"
-        )
+        for name, result in results.items():
+            print(
+                f"compacted {name}: pages {result['pages_before']} -> "
+                f"{result['pages_after']}, entries {result['entries_before']} -> "
+                f"{result['entries_after']}, bytes {result['bytes_before']} -> "
+                f"{result['bytes_after']}"
+            )
     return 0
 
 
@@ -326,6 +364,11 @@ def _stats_workload(journals: int) -> dict:
         # so the snapshot carries the net.* families a deployment watches.
         _stats_net_leg(journals=min(journals, 8))
 
+        # Sharded leg: a small hash-partitioned deployment through its
+        # per-shard group-commit services, so the per-instance
+        # service.*{name=shard-k} families show up in the snapshot (§15).
+        _stats_shard_leg(journals=min(journals, 12))
+
         snapshot = scoped_registry.snapshot()
     snapshot["node_store"] = node_store_stats
     snapshot["kv_cache"] = kv_cache_stats
@@ -360,6 +403,37 @@ def _stats_net_leg(journals: int) -> None:
             client.close()
 
 
+def _stats_shard_leg(journals: int) -> None:
+    """Append/verify across a small sharded deployment (§15 families)."""
+    from repro import ClientRequest, KeyPair, LedgerConfig, Role
+    from repro.shard import ShardedLedger, ShardedLedgerService
+
+    ledger = ShardedLedger(
+        LedgerConfig(uri="ledger://stats-shard", fractal_height=3, block_size=4, shards=2)
+    )
+    user = KeyPair.generate(seed="stats-shard-user")
+    ledger.registry.register("stats-shard-user", Role.USER, user.public)
+    with ShardedLedgerService(ledger) as service:
+        futures = [
+            service.submit(
+                ClientRequest.build(
+                    "ledger://stats-shard", "stats-shard-user",
+                    f"shard record {i}".encode(), clues=(f"SHARD-{i}",),
+                    nonce=i.to_bytes(4, "big"), client_timestamp=ledger.clock.now(),
+                ).signed_by(user)
+            )
+            for i in range(journals)
+        ]
+        for future in futures:
+            future.result(timeout=30.0)
+    composite = ledger.composite_root()
+    for gsn in ledger.list_tx("SHARD-0"):
+        journal = ledger.get_journal(gsn)
+        if not ledger.get_proof(gsn).verify(journal.tx_hash(), composite):
+            raise RuntimeError("stats shard leg: cross-shard proof failed")
+    ledger.close()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -371,34 +445,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "uri": args.uri,
         "fractal_height": args.fractal_height,
         "block_size": args.block_size,
+        "shards": args.shards,
     }
     if args.data_dir:
         config_kwargs.update(node_store="paged", data_dir=args.data_dir)
-    ledger = Ledger(LedgerConfig(**config_kwargs))
+    if args.shards > 1:
+        from repro.shard import ShardedLedger, ShardedLedgerService
+
+        ledger = ShardedLedgerService(ShardedLedger(LedgerConfig(**config_kwargs)))
+        targets = [
+            (service, (ledger.ledger, index), 0 if args.port == 0 else args.port + index)
+            for index, service in enumerate(ledger.services)
+        ]
+        registry = ledger.ledger.registry
+    else:
+        ledger = Ledger(LedgerConfig(**config_kwargs))
+        targets = [(ledger, None, args.port)]
+        registry = ledger.registry
     if args.seed_demo:
         # Deterministic demo principal so `connect()` examples work out of
         # the box: seed "demo-user" → the same keypair on every run.
         demo = KeyPair.generate(seed="demo-user")
-        ledger.registry.register("demo-user", Role.USER, demo.public)
+        registry.register("demo-user", Role.USER, demo.public)
 
     async def run() -> None:
-        server = LedgerServer(
-            ledger,
-            host=args.host,
-            port=args.port,
-            allow_register=args.allow_register,
-        )
-        host, port = await server.start()
-        print(f"serving {ledger.config.uri} on ledger://{host}:{port}", flush=True)
-        lsp_key = ledger.registry.public_key(LSP_MEMBER_ID)
+        servers = []
+        for index, (target, shard_context, port) in enumerate(targets):
+            server = LedgerServer(
+                target,
+                host=args.host,
+                port=port,
+                allow_register=args.allow_register,
+                shard_context=shard_context,
+                close_service=False if shard_context is not None else None,
+            )
+            host, bound = await server.start()
+            label = "" if shard_context is None else f"shard {index}: "
+            print(f"{label}serving {args.uri} on ledger://{host}:{bound}", flush=True)
+            servers.append(server)
+        lsp_key = registry.public_key(LSP_MEMBER_ID)
         print(f"lsp public key: {lsp_key.to_bytes().hex()}", flush=True)
         try:
-            await server.serve_forever()
+            await asyncio.gather(*(server.serve_forever() for server in servers))
         except (KeyboardInterrupt, asyncio.CancelledError):
             pass
         finally:
             print("draining...", flush=True)
-            await server.close(drain=True)
+            for server in servers:
+                await server.close(drain=True)
 
     try:
         asyncio.run(run())
@@ -480,6 +574,11 @@ def main(argv: list[str] | None = None) -> int:
         "--resume", metavar="CHECKPOINT", default=None,
         help="resume from (and keep checkpointing to) CHECKPOINT",
     )
+    audit.add_argument(
+        "--shards", type=int, default=1,
+        help="hash-partition the workload over N shards and audit each in "
+        "parallel (default: 1)",
+    )
     audit.set_defaults(fn=_cmd_audit)
 
     bench = sub.add_parser("bench", help="reproduce the paper's tables/figures")
@@ -525,6 +624,11 @@ def main(argv: list[str] | None = None) -> int:
         "--allow-register", action="store_true",
         help="let remote peers self-register as role 'user' (off by default; "
         "privileged roles can never be registered over the wire)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="run N hash-partitioned shards under one composite root; shard "
+        "k listens on port+k (default: 1)",
     )
     serve.set_defaults(fn=_cmd_serve)
 

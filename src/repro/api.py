@@ -60,7 +60,8 @@ __all__ = [
     "scoped_ledger",
 ]
 
-_REGISTRY: dict[str, Ledger] = {}
+# Values are Ledger or repro.shard.ShardedLedger (same read/append surface).
+_REGISTRY: dict[str, Any] = {}
 _REGISTRY_LOCK = threading.Lock()
 
 
@@ -71,7 +72,9 @@ def create(lgid: str, *, exist_ok: bool = False, **kwargs: Any) -> Ledger:
     """The Create API: register a new ledger under ``lgid``.
 
     ``kwargs`` pass through to :class:`Ledger` (``config``, ``clock``,
-    ``registry``, ``lsp_keypair``, ``journal_stream``).  With
+    ``registry``, ``lsp_keypair``, ``journal_stream``).  A config with
+    ``shards > 1`` builds a :class:`~repro.shard.ShardedLedger` instead —
+    same registry entry, same session surface.  With
     ``exist_ok=True`` an already-registered ``lgid`` returns the existing
     ledger instead of raising (``kwargs`` must then be empty — silently
     ignoring a different config would be a worse footgun than the error).
@@ -92,7 +95,18 @@ def create(lgid: str, *, exist_ok: bool = False, **kwargs: Any) -> Ledger:
                 )
             return existing
         config = kwargs.pop("config", None) or LedgerConfig(uri=lgid)
-        ledger = Ledger(config=config, **kwargs)
+        if config.shards > 1:
+            if "journal_stream" in kwargs:
+                raise UsageError(
+                    "journal_stream= cannot apply to a sharded ledger: each "
+                    "shard owns its own stream (set config.data_dir for "
+                    "persistence instead)"
+                )
+            from .shard import ShardedLedger
+
+            ledger = ShardedLedger(config=config, **kwargs)
+        else:
+            ledger = Ledger(config=config, **kwargs)
         _REGISTRY[lgid] = ledger
         return ledger
 
@@ -215,12 +229,15 @@ def connect(
     coalescing knobs.
 
     Raises:
-        UsageError: unknown ``lgid``, ``service`` misuse, or remote options
-            passed for a local session.
+        UsageError: unknown ``lgid``, a malformed ``scheme://`` address,
+            ``service`` misuse, or remote options passed for a local session.
     """
+    # One lock acquisition resolves membership AND the ledger object: a
+    # check-then-get split would race a concurrent drop_ledger into a
+    # misleading "unknown ledger" after the membership check passed.
     with _REGISTRY_LOCK:
-        registered = lgid in _REGISTRY
-    if not registered:
+        ledger = _REGISTRY.get(lgid)
+    if ledger is None:
         address = _parse_remote_uri(lgid)
         if address is not None:
             if service is not None:
@@ -240,10 +257,20 @@ def connect(
                 expected_lsp_key=expected_lsp_key,
                 timeout=timeout,
             )
+        if "://" in lgid:
+            # Address-shaped but unusable (no port, bad port, wrong scheme)
+            # AND not a registered id: name the malformed URI instead of
+            # falling through to a misleading "unknown ledger".
+            raise UsageError(
+                f"malformed ledger uri {lgid!r}: not a registered ledger id, "
+                f"and not a usable remote address (remote connections need "
+                f"ledger://host:port with an explicit port)"
+            )
+        raise UsageError(f"unknown ledger: {lgid!r}")
     if expected_lsp_key is not None:
         raise UsageError("expected_lsp_key= applies to remote sessions only")
     return LedgerSession(
-        get_ledger(lgid),
+        ledger,
         lgid=lgid,
         client_id=client_id,
         keypair=keypair,
@@ -289,16 +316,21 @@ class LedgerSession:
         if service is None or isinstance(service, LedgerService):
             self.service = service
         elif service is True:
-            self.service = LedgerService(ledger)
+            self.service = _build_service(ledger, None)
             self._owns_service = True
         elif isinstance(service, ServiceConfig):
-            self.service = LedgerService(ledger, service)
+            self.service = _build_service(ledger, service)
             self._owns_service = True
         else:
-            raise UsageError(
-                "service must be a LedgerService, a ServiceConfig, True, or "
-                f"None — got {type(service).__name__}"
-            )
+            from .shard import ShardedLedgerService
+
+            if isinstance(service, ShardedLedgerService):
+                self.service = service
+            else:
+                raise UsageError(
+                    "service must be a LedgerService, a ShardedLedgerService, "
+                    f"a ServiceConfig, True, or None — got {type(service).__name__}"
+                )
 
     # ------------------------------------------------------------- appends
 
@@ -476,6 +508,18 @@ class LedgerSession:
             return self._verify_clue(key, txdata, rho, root, level)
         raise UsageError(f"unsupported verification target: {target}")
 
+    def _proof_for(self, journal: Journal) -> Any:
+        """Fetch the existence proof for a journal this session holds.
+
+        A sharded ledger routes by the journal's *content* (its stamped jsn
+        is shard-local, so indexing the facade with it would mis-route);
+        plain ledgers index by jsn as ever.
+        """
+        router = getattr(self.ledger, "proof_for_journal", None)
+        if router is not None:
+            return router(journal, anchored=False)
+        return self.ledger.get_proof(journal.jsn, anchored=False)
+
     def _verify_tx(
         self,
         txdata: list[Journal] | None,
@@ -491,7 +535,7 @@ class LedgerSession:
             proof = rho
             if proof is None:
                 try:
-                    proof = ledger.get_proof(journal.jsn, anchored=False)
+                    proof = self._proof_for(journal)
                 except (IndexError, KeyError):
                     return VerifyResult(
                         ok=False,
@@ -504,13 +548,18 @@ class LedgerSession:
             trusted = ledger.current_root()
             ok = ledger.verify_journal(journal, proof)
         else:
-            proof = rho if rho is not None else ledger.get_proof(journal.jsn, anchored=False)
+            proof = rho if rho is not None else self._proof_for(journal)
             trusted = root if root is not None else (
                 ledger.latest_receipt.ledger_root if ledger.latest_receipt else None
             )
             if trusted is None:
                 raise UsageError("client-level TX verification needs a trusted root")
-            ok = FamAccumulator.verify_full(journal.tx_hash(), proof, trusted)
+            if isinstance(proof, FamProof):
+                ok = FamAccumulator.verify_full(journal.tx_hash(), proof, trusted)
+            else:
+                # ShardProof: folds the per-shard chain through the shard→root
+                # link, so ``trusted`` must be the deployment's composite root.
+                ok = bool(proof.verify(journal.tx_hash(), trusted))
         return VerifyResult(
             ok=ok,
             target=VerifyTarget.TX.value,
@@ -572,14 +621,21 @@ class LedgerSession:
                 receipt, no explicit ``trusted_root``).
             JournalNotFoundError: no journal exists at ``jsn``.
         """
-        view = self.ledger.export_view()
+        ledger = self.ledger
+        if hasattr(ledger, "locate"):
+            # Sharded: Dasein evidence (receipt, anchors, view) is all
+            # shard-local, so resolve the gsn to its owning shard and run
+            # the three-factor check there.
+            shard_index, jsn = ledger.locate(jsn)
+            ledger = ledger.shards[shard_index]
+        view = ledger.export_view()
         try:
             verifier = DaseinVerifier(view, tsa_keys=tsa_keys, trusted_root=trusted_root)
         except ValueError as exc:
             raise UsageError(str(exc)) from None
-        proof = self.ledger.get_proof(jsn, anchored=False)
+        proof = ledger.get_proof(jsn, anchored=False)
         if receipt is None:
-            receipt = self.ledger.receipt_for(jsn)
+            receipt = ledger.receipt_for(jsn)
         report = verifier.verify_dasein(jsn, proof, receipt)
         return VerifyResult.from_dasein(
             report, proof=proof, trusted_root=verifier.trusted_root, level="client"
@@ -620,6 +676,19 @@ class LedgerSession:
         """
         if resume and checkpoint is None:
             raise UsageError("audit(resume=True) needs a checkpoint= store or path")
+        if hasattr(self.ledger, "export_views"):
+            # Sharded: per-shard audits run in parallel, folded into one
+            # ShardedAuditReport (truthy iff every shard passed).
+            return self.ledger.audit(
+                tsa_keys=tsa_keys,
+                workers=workers,
+                checkpoint=checkpoint,
+                resume=resume,
+                temporal_range=temporal_range,
+                verify_client_signatures=verify_client_signatures,
+                early_terminate=early_terminate,
+                **kwargs,
+            )
         from .audit import dasein_audit
 
         view = self.ledger.export_view()
@@ -651,6 +720,17 @@ class LedgerSession:
     def __repr__(self) -> str:
         mode = "service" if self.service is not None else "direct"
         return f"<LedgerSession {self.lgid} {mode} client_id={self.client_id!r}>"
+
+
+def _build_service(ledger: Any, config: Any):
+    """The group-commit front end matching the ledger's shape."""
+    if isinstance(ledger, Ledger):
+        return LedgerService(ledger, config)
+    from .shard import ShardedLedger, ShardedLedgerService
+
+    if isinstance(ledger, ShardedLedger):
+        return ShardedLedgerService(ledger, config)
+    raise UsageError(f"cannot build a service over {type(ledger).__name__}")
 
 
 def _coerce(enum_cls: type, value: Any):

@@ -103,6 +103,12 @@ class LedgerConfig:
     #: explicit ``journal_stream`` is passed, journals land on a durable
     #: :class:`~repro.storage.stream.FileStream` in this directory.
     data_dir: str | None = None
+    #: Hash-partition appends across this many per-shard ledgers under one
+    #: composite root (DESIGN.md §15).  ``1`` is a plain single ledger; for
+    #: ``shards > 1`` build the deployment through
+    #: :class:`repro.shard.ShardedLedger` (or ``repro.api.create``, which
+    #: routes there) — the :class:`Ledger` kernel itself stays single-shard.
+    shards: int = 1
 
 
 @dataclass(frozen=True)
@@ -192,12 +198,30 @@ class Ledger:
         node_store: KVStore | None = None,
     ) -> None:
         self.config = config or LedgerConfig()
+        if self.config.shards != 1:
+            raise UsageError(
+                f"the Ledger kernel is single-shard; build a "
+                f"LedgerConfig(shards={self.config.shards}) deployment through "
+                f"repro.shard.ShardedLedger (or repro.api.create)"
+            )
         if self.config.observability:
             obs.enable()
         self.clock = clock or SimClock()
         self.registry = registry or MemberRegistry()
         self._lsp_keypair = lsp_keypair or KeyPair.generate(seed=f"lsp:{self.config.uri}")
-        self.registry.register(LSP_MEMBER_ID, Role.LSP, self._lsp_keypair.public)
+        # N in-process ledgers (e.g. the shards of one deployment) may share
+        # one MemberRegistry and one LSP identity; re-registering the same
+        # key is a no-op, a *different* key under the reserved id is refused.
+        if LSP_MEMBER_ID in self.registry.all_members():
+            registered = self.registry.public_key(LSP_MEMBER_ID)
+            if registered.to_bytes() != self._lsp_keypair.public.to_bytes():
+                raise UsageError(
+                    "the shared registry already certifies a different LSP "
+                    "key; ledgers sharing a registry must share the LSP "
+                    "keypair (pass lsp_keypair=...)"
+                )
+        else:
+            self.registry.register(LSP_MEMBER_ID, Role.LSP, self._lsp_keypair.public)
 
         data_dir = Path(self.config.data_dir) if self.config.data_dir else None
         if data_dir is not None:

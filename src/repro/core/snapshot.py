@@ -109,6 +109,7 @@ def write_config_file(path: str | os.PathLike[str], config) -> None:
         "observability": config.observability,
         "node_store": config.node_store,
         "cache_pages": config.cache_pages,
+        "shards": config.shards,
     }
     _commit_file(Path(path), encode(fields))
 
@@ -133,4 +134,5 @@ def load_config_file(path: str | os.PathLike[str], data_dir: str | None = None):
         node_store=str(fields["node_store"]),
         cache_pages=fields["cache_pages"],
         data_dir=data_dir,
+        shards=fields.get("shards", 1),  # configs written before sharding
     )

@@ -344,18 +344,29 @@ class FamAccumulator:
         (merged leaf 0 = previous root) up to the live epoch, and compares
         with ``trusted_root``.  Never raises.
         """
+        return FamAccumulator.fold_full(leaf_digest, proof) == trusted_root
+
+    @staticmethod
+    def fold_full(leaf_digest: Digest, proof: FamProof) -> Digest | None:
+        """The live commitment a full-chain proof *implies*, or None.
+
+        The fold half of :meth:`verify_full`, exposed so composite proofs
+        (e.g. a sharded deployment's shard→root link) can recover the fam
+        root this proof speaks for and chain it into a further inclusion
+        check.  Returns None on any malformed step; never raises.
+        """
         try:
             current = proof.epoch_proof.computed_root(leaf_digest)
         except (ValueError, IndexError):
-            return False
+            return None
         for link in proof.link_proofs:
             if link.leaf_index != 0:
-                return False
+                return None
             try:
                 current = link.computed_root(current)
             except (ValueError, IndexError):
-                return False
-        return current == trusted_root
+                return None
+        return current
 
     def verify_with_anchors(
         self,

@@ -500,6 +500,20 @@ class AsyncRemoteLedger:
         result = await self._call("epoch_consistency", epoch=epoch, old_size=old_size)
         return ConsistencyProof.from_bytes(bytes(result["proof"]))
 
+    async def shard_info(self) -> dict:
+        """This server's place in its deployment's shard map (DESIGN.md §15).
+
+        Unsharded servers answer with a one-leaf map (``num_shards == 1``).
+        """
+        result = await self._call("shard_info")
+        return {
+            "shard_index": int(result["shard_index"]),
+            "num_shards": int(result["num_shards"]),
+            "shard_root": bytes(result["shard_root"]),
+            "composite_root": bytes(result["composite_root"]),
+            "link": MembershipProof.from_bytes(bytes(result["link"])),
+        }
+
     async def stats(self) -> dict:
         return await self._call("stats")
 
@@ -788,6 +802,53 @@ class RemoteLedgerClient:
             return proof.epoch_proof.computed_root(journal.tx_hash()) == anchor
         except (ValueError, IndexError):
             return False
+
+    def shard_info(self) -> dict:
+        """Raw shard-map claim from the server; see :meth:`verify_shard_link`."""
+        return self._wait(self._remote.shard_info())
+
+    def verify_shard_link(self, *, max_attempts: int = 4) -> dict:
+        """Verify this shard's membership in the deployment's composite root.
+
+        Checks that the shard root the server links into the composite root
+        is exactly the live fam root this client has verified append-only
+        through :meth:`sync_anchors` — so the link inherits the anchor
+        store's tamper evidence — and that the inclusion link folds it to
+        the claimed composite root at the claimed shard index.  Returns the
+        :meth:`shard_info` dict on success.
+
+        The composite root itself is the server's claim: pin it across the
+        deployment's listeners (a consistent deployment reports one value
+        per shard-map snapshot) or against out-of-band publication if
+        non-equivocation matters (DESIGN.md §15 trust model).
+
+        Raises:
+            VerificationFailure: link inconsistent, or the shard kept
+                advancing past this client for ``max_attempts`` rounds.
+        """
+        for _ in range(max_attempts):
+            info = self.shard_info()
+            link: MembershipProof = info["link"]
+            if (
+                link.leaf_index != info["shard_index"]
+                or link.tree_size != info["num_shards"]
+                or not link.verify(info["shard_root"], info["composite_root"])
+            ):
+                raise VerificationFailure(
+                    "shard link does not place this shard's root in the "
+                    "claimed composite root"
+                )
+            if info["shard_root"] == self.state.live_root:
+                return info
+            # The shard committed between our last sync and the snapshot;
+            # catch the anchor store up (verified) and re-snapshot.
+            self.sync_anchors()
+            if info["shard_root"] == self.state.live_root:
+                return info
+        raise VerificationFailure(
+            f"shard root kept advancing past this client for {max_attempts} "
+            "rounds; deployment too hot to pin, retry later"
+        )
 
     def verify_clue(self, clue: str) -> bool:
         """Client-side N-lineage verification of an entire clue lineage.

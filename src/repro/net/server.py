@@ -122,6 +122,7 @@ class LedgerServer:
         submit_timeout_s: float = 30.0,
         workers: int = 8,
         allow_register: bool = False,
+        shard_context: tuple[Any, int] | None = None,
     ) -> None:
         if isinstance(target, LedgerService):
             if service_config is not None:
@@ -142,6 +143,10 @@ class LedgerServer:
         self.max_inflight = max_inflight
         self.submit_timeout_s = submit_timeout_s
         self.allow_register = allow_register
+        #: ``(ShardedLedger, shard_index)`` when this server fronts one shard
+        #: of a sharded deployment — enables the ``shard_info`` op to link
+        #: the served shard's root into the deployment's composite root.
+        self.shard_context = shard_context
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[_Connection] = set()
         self._conn_counter = 0
@@ -170,6 +175,7 @@ class LedgerServer:
             "live_consistency": self._op_live_consistency,
             "epoch_consistency": self._op_epoch_consistency,
             "verify_journal": self._op_verify_journal,
+            "shard_info": self._op_shard_info,
             "stats": self._op_stats,
         }
 
@@ -539,6 +545,47 @@ class LedgerServer:
         except (EncodingError, KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"undecodable journal: {exc}") from None
         return {"ok": bool(await self._run(self.ledger.verify_journal, journal))}
+
+    async def _op_shard_info(self, message: dict) -> dict:
+        """This shard's place in its deployment (DESIGN.md §15).
+
+        Returns the shard→root inclusion link against a composite root built
+        from one atomic snapshot of all shard roots, so the triple
+        (shard_root, composite_root, link) is internally consistent even
+        while other shards keep committing.  An unsharded server reports a
+        one-leaf shard map, so clients handle both cases uniformly.
+        """
+        if self.shard_context is None:
+
+            def solo():
+                from ..merkle.shrubs import ShrubsAccumulator
+
+                accumulator = ShrubsAccumulator()
+                root = self.ledger.current_root()
+                accumulator.append_leaf(root)
+                return {
+                    "shard_index": 0,
+                    "num_shards": 1,
+                    "shard_root": root,
+                    "composite_root": accumulator.root(),
+                    "link": accumulator.prove(0).to_bytes(),
+                }
+
+            return await self._run(solo)
+        sharded, shard_index = self.shard_context
+
+        def build():
+            roots = sharded.shard_roots()
+            link = sharded.shard_link(shard_index, roots)
+            return {
+                "shard_index": shard_index,
+                "num_shards": sharded.num_shards,
+                "shard_root": roots[shard_index],
+                "composite_root": link.computed_root(roots[shard_index]),
+                "link": link.to_bytes(),
+            }
+
+        return await self._run(build)
 
     async def _op_stats(self, message: dict) -> dict:
         stats = self.service.stats()

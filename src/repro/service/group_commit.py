@@ -118,11 +118,39 @@ class LedgerService:
 
     Usable as a context manager: ``with LedgerService(ledger) as svc: ...``
     drains and closes on exit.
+
+    ``name`` labels this instance's metrics: a named service emits
+    ``service.queue.depth{name=<name>}`` (and likewise for every other
+    ``service.*`` family) so N concurrent services — e.g. one writer loop
+    per ledger shard — never clobber each other's gauges and histograms in
+    the process-wide registry.  An unnamed service keeps the bare family
+    names for backward compatibility.
     """
 
-    def __init__(self, ledger: Ledger, config: ServiceConfig | None = None) -> None:
+    def __init__(
+        self,
+        ledger: Ledger,
+        config: ServiceConfig | None = None,
+        *,
+        name: str | None = None,
+    ) -> None:
         self.ledger = ledger
         self.config = config or ServiceConfig()
+        self.name = name
+        label = "" if name is None else f"{{name={name}}}"
+        self._metric = {
+            base: f"service.{base}{label}"
+            for base in (
+                "queue.depth",
+                "overloaded",
+                "batch.wait_us",
+                "batch.size",
+                "commit",
+                "batch.salvage",
+                "rejected",
+                "append.wait_timeout",
+            )
+        }
         self._queue: deque[_Pending] = deque()
         self._lock = threading.Lock()
         self._has_work = threading.Condition(self._lock)
@@ -136,7 +164,8 @@ class LedgerService:
         self._salvaged_batches = 0
         self._writer = threading.Thread(
             target=self._writer_loop,
-            name=f"ledger-service:{ledger.config.uri}",
+            name=f"ledger-service:{ledger.config.uri}"
+            + (f"#{name}" if name is not None else ""),
             daemon=True,
         )
         self._writer.start()
@@ -175,14 +204,14 @@ class LedgerService:
                 else:
                     remaining = deadline - time.perf_counter()
                     if remaining <= 0 or not self._has_room.wait(remaining):
-                        obs.inc("service.overloaded")
+                        obs.inc(self._metric["overloaded"])
                         raise ServiceOverloadedError(
                             f"admission queue full ({self.config.max_queue}) "
                             f"for {timeout}s"
                         )
             self._queue.append(pending)
             self._submitted += 1
-            obs.set_gauge("service.queue.depth", len(self._queue))
+            obs.set_gauge(self._metric["queue.depth"], len(self._queue))
             self._has_work.notify()
         return pending.future
 
@@ -227,7 +256,7 @@ class LedgerService:
                 else:
                     remaining = deadline - time.perf_counter()
                     if remaining <= 0 or not self._has_room.wait(remaining):
-                        obs.inc("service.overloaded")
+                        obs.inc(self._metric["overloaded"])
                         raise ServiceOverloadedError(
                             f"no room for a batch of {len(requests)} "
                             f"(queue limit {self.config.max_queue}) within {timeout}s"
@@ -235,7 +264,7 @@ class LedgerService:
             pendings = [_Pending(request) for request in requests]
             self._queue.extend(pendings)
             self._submitted += len(pendings)
-            obs.set_gauge("service.queue.depth", len(self._queue))
+            obs.set_gauge(self._metric["queue.depth"], len(self._queue))
             self._has_work.notify()
         return [pending.future for pending in pendings]
 
@@ -253,7 +282,7 @@ class LedgerService:
         try:
             return future.result(timeout)
         except _FutureTimeout:
-            obs.inc("service.append.wait_timeout")
+            obs.inc(self._metric["append.wait_timeout"])
             raise ServiceTimeout(f"no receipt within {timeout}s (request may still commit)") from None
 
     # ---------------------------------------------------------- writer loop
@@ -291,7 +320,7 @@ class LedgerService:
                 if remaining <= 0:
                     break
                 self._has_work.wait(remaining)
-            obs.set_gauge("service.queue.depth", len(self._queue))
+            obs.set_gauge(self._metric["queue.depth"], len(self._queue))
             self._has_room.notify(len(batch))
         return batch
 
@@ -299,10 +328,10 @@ class LedgerService:
         if obs.is_enabled():
             now = time.perf_counter()
             for pending in batch:
-                obs.observe("service.batch.wait_us", (now - pending.enqueued_at) * 1e6)
-            obs.observe("service.batch.size", len(batch))
+                obs.observe(self._metric["batch.wait_us"], (now - pending.enqueued_at) * 1e6)
+            obs.observe(self._metric["batch.size"], len(batch))
         try:
-            with obs.span("service.commit") as span:
+            with obs.span(self._metric["commit"]) as span:
                 span.add("journals", len(batch))
                 receipts = self.ledger.append_batch([p.request for p in batch])
         except LedgerError:
@@ -322,7 +351,7 @@ class LedgerService:
         re-run the survivors as one batch — still amortised, minus the bad
         apples.
         """
-        obs.inc("service.batch.salvage")
+        obs.inc(self._metric["batch.salvage"])
         with self._lock:
             self._salvaged_batches += 1
         survivors: list[_Pending] = []
@@ -330,7 +359,7 @@ class LedgerService:
             try:
                 self.ledger.admit(pending.request)
             except LedgerError as exc:
-                obs.inc("service.rejected")
+                obs.inc(self._metric["rejected"])
                 with self._lock:
                     self._rejected += 1
                 pending.future.set_exception(exc)
@@ -339,7 +368,7 @@ class LedgerService:
         if not survivors:
             return
         try:
-            with obs.span("service.commit") as span:
+            with obs.span(self._metric["commit"]) as span:
                 span.add("journals", len(survivors))
                 receipts = self.ledger.append_batch([p.request for p in survivors])
         except BaseException as exc:
@@ -389,7 +418,7 @@ class LedgerService:
                     pending.future.set_exception(
                         ServiceClosedError("service closed before this request committed")
                     )
-            obs.set_gauge("service.queue.depth", len(self._queue))
+            obs.set_gauge(self._metric["queue.depth"], len(self._queue))
             self._has_work.notify_all()
             self._has_room.notify_all()
         self._writer.join(timeout)

@@ -1,0 +1,38 @@
+"""Hash-partitioned multi-shard deployments under one trusted root.
+
+A :class:`ShardedLedger` runs N independent :class:`~repro.core.ledger.Ledger`
+instances (own journal stream, own writer loop, own ``data_dir`` subdirectory)
+and folds their live fam roots into one composite root via the same shrubs
+accumulator the T-Ledger layering uses — so verifiers trust a single digest
+for the whole deployment.  See DESIGN.md §15.
+
+- :class:`ShardedLedger` — the facade: routing, proofs, audit, lifecycle.
+- :class:`ShardedLedgerService` — one group-commit pipeline per shard.
+- :class:`ShardedServerThread` — one network listener per shard.
+- :class:`ShardProof` / :class:`ShardClueProof` — per-shard proof composed
+  with the shard→root inclusion link.
+"""
+
+from .serving import ShardedServerThread
+from .service import ShardedLedgerService
+from .sharded import (
+    SHARD_DIR_FORMAT,
+    ShardClueProof,
+    ShardProof,
+    ShardedAuditReport,
+    ShardedLedger,
+    iter_shard_dirs,
+    shard_of_key,
+)
+
+__all__ = [
+    "SHARD_DIR_FORMAT",
+    "ShardClueProof",
+    "ShardProof",
+    "ShardedAuditReport",
+    "ShardedLedger",
+    "ShardedLedgerService",
+    "ShardedServerThread",
+    "iter_shard_dirs",
+    "shard_of_key",
+]

@@ -1,0 +1,133 @@
+"""Serve a sharded deployment: one listener per shard, one trust root.
+
+:class:`ShardedServerThread` hosts N :class:`~repro.net.server.ServerThread`
+instances — shard ``k`` listens on ``port + k`` (or an ephemeral port each
+when ``port=0``) and fronts that shard's :class:`~repro.service.LedgerService`
+from a shared :class:`~repro.shard.service.ShardedLedgerService`.
+
+Each listener speaks the ordinary single-ledger protocol, so the existing
+:class:`~repro.net.client.RemoteLedgerClient` appends to a shard, tracks its
+anchors, and verifies its receipts and proofs *unchanged*.  The one addition
+is the ``shard_info`` op (every server answers it): the shard's live root,
+the deployment's composite root, and the Merkle link between them — so a
+client holding proofs from several shards can fold them all up to the single
+composite root (DESIGN.md §15).
+
+Routing lives client-side for remote deployments: callers pick a shard with
+:meth:`ShardedServerThread.address_for` (the same public hash partition the
+in-process facade uses), or just pin one shard per tenant.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.errors import UsageError
+from ..net.server import ServerThread
+from ..service import ServiceConfig
+from .service import ShardedLedgerService
+from .sharded import ShardedLedger, shard_of_key
+
+__all__ = ["ShardedServerThread"]
+
+
+class ShardedServerThread:
+    """N per-shard :class:`ServerThread` listeners over one sharded ledger.
+
+    Pass a :class:`ShardedLedger` (a :class:`ShardedLedgerService` is built
+    and owned — closed with the servers) or an existing
+    :class:`ShardedLedgerService` (shared; caller keeps ownership).
+    """
+
+    def __init__(
+        self,
+        target: ShardedLedger | ShardedLedgerService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        service_config: ServiceConfig | None = None,
+        **kwargs: Any,
+    ) -> None:
+        if isinstance(target, ShardedLedgerService):
+            if service_config is not None:
+                raise UsageError("service_config only applies when passing a ShardedLedger")
+            self.service = target
+            self._owns_service = False
+        elif isinstance(target, ShardedLedger):
+            self.service = ShardedLedgerService(target, service_config)
+            self._owns_service = True
+        else:
+            raise UsageError(
+                "serve a ShardedLedger or a ShardedLedgerService, "
+                f"not {type(target).__name__}"
+            )
+        self.ledger = self.service.ledger
+        self.host = host
+        self.servers: list[ServerThread] = []
+        try:
+            for index, shard_service in enumerate(self.service.services):
+                self.servers.append(
+                    ServerThread(
+                        shard_service,
+                        host,
+                        0 if port == 0 else port + index,
+                        close_service=False,
+                        shard_context=(self.ledger, index),
+                        **kwargs,
+                    )
+                )
+        except BaseException:
+            for server in self.servers:
+                server.kill()
+            if self._owns_service:
+                self.service.close(drain=False)
+            raise
+
+    @property
+    def num_shards(self) -> int:
+        return self.ledger.num_shards
+
+    @property
+    def addresses(self) -> list[tuple[str, int]]:
+        """``(host, port)`` per shard, by shard index."""
+        return [server.address for server in self.servers]
+
+    def address_for(self, key: str) -> tuple[str, int]:
+        """The listener that owns ``key`` under the public routing contract."""
+        return self.servers[shard_of_key(key, self.num_shards)].address
+
+    def uris(self) -> list[str]:
+        """``ledger://host:port`` per shard — feed to :func:`repro.api.connect`."""
+        return [f"ledger://{host}:{port}" for host, port in self.addresses]
+
+    def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Close every listener (then the owned service); first error re-raised."""
+        errors: list[Exception] = []
+        for server in self.servers:
+            try:
+                server.close(drain=drain, timeout=timeout)
+            except Exception as exc:
+                errors.append(exc)
+        if self._owns_service and not self.service.closed:
+            try:
+                self.service.close(drain=drain)
+            except Exception as exc:
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+
+    def kill(self, timeout: float = 30.0) -> None:
+        """Abrupt shutdown of every listener — simulated deployment crash."""
+        self.close(drain=False, timeout=timeout)
+
+    def __enter__(self) -> "ShardedServerThread":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedServerThread {self.ledger.config.uri} "
+            f"shards={self.num_shards} {self.addresses}>"
+        )

@@ -144,3 +144,55 @@ def MemberRegistry_rebuild(registry):
 def test_compact_rejects_missing_store(tmp_path, capsys):
     assert main(["compact", str(tmp_path / "nope")]) == 1
     assert "no paged node store" in capsys.readouterr().err
+
+
+def test_audit_sharded(capsys):
+    assert main(["audit", "--journals", "24", "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "shard-0" in out and "shard-1" in out
+    assert "passed=True" in out and "shards=2" in out
+
+
+def test_audit_sharded_json(capsys):
+    import json
+
+    assert main(
+        ["audit", "--journals", "24", "--shards", "2", "--json"]
+    ) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["passed"] is True
+    assert report["num_shards"] == 2
+    assert len(report["shards"]) == 2
+
+
+def test_compact_sharded_data_dir(tmp_path, capsys):
+    """A sharded data_dir holds per-shard stores; compact reports each."""
+    import json
+
+    from repro.core import ClientRequest, LedgerConfig
+    from repro.crypto import KeyPair, Role
+    from repro.shard import ShardedLedger
+
+    user = KeyPair.generate(seed="cli-shard-user")
+    ledger = ShardedLedger(
+        LedgerConfig(
+            uri="ledger://cli-sharded", fractal_height=3, block_size=4,
+            shards=2, node_store="paged", data_dir=str(tmp_path),
+        )
+    )
+    ledger.registry.register("user", Role.USER, user.public)
+    for i in range(16):
+        ledger.append(
+            ClientRequest.build(
+                "ledger://cli-sharded", "user", b"cli-%04d" % i,
+                clues=(f"C{i}",), nonce=i.to_bytes(4, "big"),
+                client_timestamp=1.0 + i,
+            ).signed_by(user)
+        )
+    ledger.close()
+    assert main(["compact", str(tmp_path), "--json"]) == 0
+    result = json.loads(capsys.readouterr().out)
+    assert len(result) == 2
+    for name, report in result.items():
+        assert "shard-" in name
+        assert report["pages_after"] <= report["pages_before"]
