@@ -7,6 +7,9 @@ Commands:
   audit over it (optionally parallel, resumable, JSON output);
 * ``bench``  — reproduce the paper's tables and figures (see ``repro.bench``);
 * ``attack`` — run the §III-B timestamp-attack scenarios and print windows;
+* ``witness`` — run the §16 transparency attack scenarios (forking server,
+  censoring server, honest control) against live TCP servers and report
+  which produced offline-verifiable evidence;
 * ``table1`` — print the Table-I comparison matrix;
 * ``stats``  — run an instrumented workload and print the observability
   snapshot (DESIGN.md §10): per-phase spans, cache hit rates, storage I/O;
@@ -162,6 +165,55 @@ def _cmd_attack(_args: argparse.Namespace) -> int:
 
     print(fig5.render(fig5.run()))
     return 0
+
+
+def _cmd_witness(args: argparse.Namespace) -> int:
+    """Run the §16 transparency attack scenarios against live TCP servers.
+
+    Exit status is the number of scenarios whose outcome deviates from the
+    expected one (forks and censorship detected, honest server clean), so
+    the command doubles as a self-check in CI.
+    """
+    import json
+    import tempfile
+    from dataclasses import asdict
+    from pathlib import Path
+
+    from repro.transparency.attacks import (
+        run_censorship,
+        run_fork_equivocation,
+        run_honest_server,
+    )
+
+    scenarios = [
+        ("fork", run_fork_equivocation, True),
+        ("censorship", run_censorship, True),
+        ("honest", run_honest_server, False),
+    ]
+    failures = 0
+    results = []
+    with tempfile.TemporaryDirectory(prefix="repro-witness-") as tmp:
+        for name, runner, expect_detected in scenarios:
+            result = runner(Path(tmp) / name)
+            ok = (
+                result.detected == expect_detected
+                and result.evidence_verified
+            )
+            failures += 0 if ok else 1
+            results.append((result, ok))
+    if args.json:
+        print(json.dumps([asdict(r) for r, _ in results], indent=2))
+        return failures
+    for result, ok in results:
+        verdict = "as expected" if ok else "UNEXPECTED"
+        print(f"[{result.scenario}] detected={result.detected} ({verdict})")
+        if result.evidence_kinds:
+            print(f"  evidence: {', '.join(result.evidence_kinds)} "
+                  f"(offline-verified: {result.evidence_verified})")
+        if result.refutation_succeeded is not None:
+            print(f"  refutation succeeded: {result.refutation_succeeded}")
+        print(f"  {result.detail}")
+    return failures
 
 
 def _cmd_table1(_args: argparse.Namespace) -> int:
@@ -369,6 +421,11 @@ def _stats_workload(journals: int) -> dict:
         # service.*{name=shard-k} families show up in the snapshot (§15).
         _stats_shard_leg(journals=min(journals, 12))
 
+        # Transparency leg: acked appends, epoch-close head emission, and
+        # a witness cross-audit round, so the transparency.* families a
+        # deployment alarms on are all present (§16).
+        _stats_transparency_leg(journals=min(journals, 12))
+
         snapshot = scoped_registry.snapshot()
     snapshot["node_store"] = node_store_stats
     snapshot["kv_cache"] = kv_cache_stats
@@ -432,6 +489,36 @@ def _stats_shard_leg(journals: int) -> None:
         if not ledger.get_proof(gsn).verify(journal.tx_hash(), composite):
             raise RuntimeError("stats shard leg: cross-shard proof failed")
     ledger.close()
+
+
+def _stats_transparency_leg(journals: int) -> None:
+    """Acked appends + STH gossip + witness audit (§16 families)."""
+    from repro import KeyPair, Ledger, LedgerConfig, Role, SimClock
+    from repro.api import LedgerSession
+    from repro.transparency import Witness
+
+    ledger = Ledger(
+        LedgerConfig(uri="ledger://stats-transparency", fractal_height=2),
+        clock=SimClock(),
+    )
+    user = KeyPair.generate(seed="stats-transparency-user")
+    ledger.registry.register("stats-transparency-user", Role.USER, user.public)
+    witness = Witness(ledger.lsp_public_key)
+    with LedgerSession(
+        ledger,
+        lgid=ledger.config.uri,
+        client_id="stats-transparency-user",
+        keypair=user,
+    ) as session:
+        receipt, ack = session.append_acked(b"acked record", clue="TRANSPARENCY")
+        if not ack.verify(ledger.lsp_public_key):
+            raise RuntimeError("stats transparency leg: ack failed to verify")
+        witness.audit(session)
+        for i in range(journals):
+            session.append(f"transparency record {i}".encode(), clue="TRANSPARENCY")
+        report = witness.audit(session)
+        if not report.clean:
+            raise RuntimeError("stats transparency leg: honest audit not clean")
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -590,6 +677,13 @@ def main(argv: list[str] | None = None) -> int:
         fn=_cmd_attack
     )
     sub.add_parser("table1", help="print the Table-I matrix").set_defaults(fn=_cmd_table1)
+
+    witness = sub.add_parser(
+        "witness",
+        help="run the §16 non-equivocation scenarios (fork, censorship, honest)",
+    )
+    witness.add_argument("--json", action="store_true", help="print results as JSON")
+    witness.set_defaults(fn=_cmd_witness)
 
     stats = sub.add_parser(
         "stats", help="instrumented workload + observability snapshot"

@@ -45,12 +45,20 @@ from .core.verification import (
 from .crypto.keys import KeyPair, PublicKey
 from .merkle.fam import FamAccumulator, FamProof
 from .service import LedgerService
+from .session import SessionHelpers, VerifyingSession
+from .transparency.censorship import SubmissionAck
+from .transparency.sth import (
+    ConsistencyAssertion,
+    ConsistencyBundle,
+    SignedTreeHead,
+)
 
 __all__ = [
     "AuditReport",
     "VerifyLevel",
     "VerifyTarget",
     "VerifyResult",
+    "VerifyingSession",
     "LedgerSession",
     "connect",
     "create",
@@ -207,8 +215,8 @@ def connect(
     keypair: KeyPair | None = None,
     service: LedgerService | ServiceConfigLike = None,
     expected_lsp_key: Any = None,
-    timeout: float = 30.0,
-) -> "LedgerSession | Any":
+    timeout: float | None = None,
+) -> "VerifyingSession":
     """Open a session handle on a registered ledger — or a remote one.
 
     A ``lgid`` naming a registered ledger yields a local
@@ -228,9 +236,17 @@ def connect(
     :class:`~repro.service.ServiceConfig` for an owned service with those
     coalescing knobs.
 
+    Kwarg symmetry: both transports accept the same parameter list, and
+    each rejects what it cannot honour with a typed :class:`UsageError`
+    naming the transport — ``service=`` is local-only (the remote server
+    runs its own group-commit service), ``expected_lsp_key=`` and
+    ``timeout=`` are remote-only (local calls traverse no socket and the
+    LSP key is the in-process ledger's own).
+
     Raises:
         UsageError: unknown ``lgid``, a malformed ``scheme://`` address,
-            ``service`` misuse, or remote options passed for a local session.
+            ``service`` misuse, or a kwarg the resolved transport does not
+            support.
     """
     # One lock acquisition resolves membership AND the ledger object: a
     # check-then-get split would race a concurrent drop_ledger into a
@@ -242,8 +258,9 @@ def connect(
         if address is not None:
             if service is not None:
                 raise UsageError(
-                    "service= applies to local sessions only; the remote "
-                    "server runs its own group-commit service"
+                    f"service= is not supported by the remote transport "
+                    f"({lgid!r}): the remote server runs its own "
+                    f"group-commit service"
                 )
             from .net.client import RemoteLedgerSession
 
@@ -255,7 +272,7 @@ def connect(
                 client_id=client_id,
                 keypair=keypair,
                 expected_lsp_key=expected_lsp_key,
-                timeout=timeout,
+                timeout=timeout if timeout is not None else 30.0,
             )
         if "://" in lgid:
             # Address-shaped but unusable (no port, bad port, wrong scheme)
@@ -268,7 +285,17 @@ def connect(
             )
         raise UsageError(f"unknown ledger: {lgid!r}")
     if expected_lsp_key is not None:
-        raise UsageError("expected_lsp_key= applies to remote sessions only")
+        raise UsageError(
+            f"expected_lsp_key= is not supported by the local transport "
+            f"({lgid!r}): an in-process ledger's LSP key needs no "
+            f"out-of-band pinning"
+        )
+    if timeout is not None:
+        raise UsageError(
+            f"timeout= is not supported by the local transport ({lgid!r}): "
+            f"local calls traverse no socket (per-call timeout= on "
+            f"service-backed appends still applies)"
+        )
     return LedgerSession(
         ledger,
         lgid=lgid,
@@ -278,7 +305,7 @@ def connect(
     )
 
 
-class LedgerSession:
+class LedgerSession(SessionHelpers):
     """A handle binding one ledger (plus optional service and identity).
 
     Where the v1 facade re-resolved ``lgid`` strings and re-asked for
@@ -296,6 +323,8 @@ class LedgerSession:
     mutate the ledger and need external coordination, service-backed
     appends (``service=...``) are safe from any thread.
     """
+
+    transport = "local"
 
     def __init__(
         self,
@@ -391,10 +420,8 @@ class LedgerSession:
         if request is None:
             if payload is None:
                 raise UsageError("append() needs a payload or a pre-signed request")
-            if clue is not None and clues is not None:
-                raise UsageError("pass clue= or clues=, not both")
+            all_clues = self._normalize_clues(clue, clues)
             resolved_id, resolved_key = self._resolve_identity(client_id, keypair)
-            all_clues = clues if clues is not None else ((clue,) if clue else ())
             request = self._build_request(resolved_id, resolved_key, payload, all_clues)
         elif payload is not None:
             raise UsageError("pass payload= or request=, not both")
@@ -446,6 +473,53 @@ class LedgerSession:
             return [future.result(timeout) for future in futures]
         return self.ledger.append_batch(requests, max_workers=max_workers)
 
+    def append_acked(
+        self,
+        payload: bytes | None = None,
+        *,
+        clue: str | None = None,
+        clues: tuple[str, ...] | None = None,
+        client_id: str | None = None,
+        keypair: KeyPair | None = None,
+        request: ClientRequest | None = None,
+        deadline_epochs: int | None = None,
+        timeout: float | None = None,
+    ) -> tuple[Receipt, SubmissionAck]:
+        """Append with a censorship-accountable admission ack (§16).
+
+        The LSP signs a :class:`~repro.transparency.SubmissionAck` pinning
+        the request hash to the tree coordinates *at admission*, before the
+        append commits.  If the transaction later never appears, the ack
+        plus any subsequent signed tree head past ``deadline_epochs`` is
+        offline-verifiable :class:`~repro.transparency.CensorshipEvidence`.
+
+        Returns ``(receipt, ack)``; arguments mirror :meth:`append` plus
+        ``deadline_epochs`` (default :data:`~repro.core.ledger.Ledger`'s
+        ``DEFAULT_ACK_DEADLINE_EPOCHS``).
+
+        Raises:
+            UsageError: as :meth:`append`, or ``deadline_epochs < 1``.
+        """
+        if request is None:
+            if payload is None:
+                raise UsageError(
+                    "append_acked() needs a payload or a pre-signed request"
+                )
+            all_clues = self._normalize_clues(clue, clues)
+            resolved_id, resolved_key = self._resolve_identity(client_id, keypair)
+            request = self._build_request(resolved_id, resolved_key, payload, all_clues)
+        elif payload is not None:
+            raise UsageError("pass payload= or request=, not both")
+        if deadline_epochs is None:
+            ack = self.ledger.issue_ack(request)
+        else:
+            ack = self.ledger.issue_ack(request, deadline_epochs=deadline_epochs)
+        if self.service is not None:
+            receipt = self.service.append(request, timeout=timeout)
+        else:
+            receipt = self.ledger.append(request)
+        return receipt, ack
+
     # --------------------------------------------------------------- reads
 
     def list_tx(self, clue: str) -> list[Journal]:
@@ -469,6 +543,27 @@ class LedgerSession:
         substantially cheaper than looping over :meth:`get_proof`.
         """
         return self.ledger.get_proofs(jsns, anchored=anchored)
+
+    # --------------------------------------------------------- transparency
+
+    def get_sth(self) -> SignedTreeHead:
+        """The current LSP-signed tree head (composite on sharded ledgers)."""
+        return self.ledger.get_sth()
+
+    def get_sth_range(self, start: int, end: int) -> list[SignedTreeHead]:
+        """Persisted epoch-close tree heads for epochs ``start..end``."""
+        return self.ledger.get_sth_range(start, end)
+
+    def get_consistency(
+        self, old: SignedTreeHead, new: SignedTreeHead
+    ) -> tuple[ConsistencyBundle | None, ConsistencyAssertion | None]:
+        """Consistency proof + signed assertion connecting two tree heads.
+
+        Raises:
+            UsageError: composite heads, mismatched shards, or heads this
+                ledger cannot connect (e.g. an equivocating pair).
+        """
+        return self.ledger.get_consistency(old, new)
 
     # ------------------------------------------------------------ verifying
 
@@ -710,12 +805,6 @@ class LedgerSession:
         """Release session resources: drains+closes an owned service only."""
         if self._owns_service and self.service is not None:
             self.service.close()
-
-    def __enter__(self) -> "LedgerSession":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
 
     def __repr__(self) -> str:
         mode = "service" if self.service is not None else "direct"

@@ -5,29 +5,29 @@ clue-aware Verify signature::
 
     Verify(lgid, CLUE, *{key, txdata, rho, root}, level)
 
-This module used to implement that surface directly; it is now a thin shim
-over the v2 session API (:mod:`repro.api`), kept so pseudocode ports keep
-running.  Every free function re-resolves its ``lgid`` string per call and
-emits a :class:`DeprecationWarning` pointing at the session equivalent —
-new code should ``connect()`` once and use the returned
-:class:`~repro.api.LedgerSession`.
+This module used to implement that surface directly, then spent one
+release as a warning shim over the v2 session API (:mod:`repro.api`).
+That sunset window is over: every free function here is now a *tombstone*
+that raises :class:`~repro.core.errors.UsageError` naming its v2
+replacement.  The enum re-exports (:class:`VerifyTarget`,
+:class:`VerifyLevel`, :class:`VerifyResult`) remain importable and
+non-deprecated — their home is :mod:`repro.core.verification`, and v1-era
+``from repro.core.api import VerifyTarget`` imports keep working.
 
-Both facades share one process-wide registry, so v1 and v2 calls can be
-mixed freely during a migration.  Behaviour changes from the original v1:
+Migrating is mechanical: ``connect()`` (or :func:`repro.api.scoped_ledger`)
+once per ledger, then call the same-named session method::
 
-* argument mistakes raise :class:`~repro.core.errors.UsageError` (still a
-  :class:`LedgerError`) instead of the bare base class;
-* :func:`drop_ledger` on an unknown ``lgid`` now raises ``UsageError``,
-  symmetric with :func:`create` on a duplicate (the old silent no-op hid
-  teardown typos) — pass ``missing_ok=True`` for idempotent cleanup;
-* :func:`verify` returns a :class:`~repro.core.verification.VerifyResult`
-  rather than a bool; it is truthy-compatible (``assert verify(...)``
-  behaves as before) and additionally carries the proof and trusted root.
+    # v1 (now raises)                 # v2
+    create(lgid)                      repro.api.create(lgid)
+    append_tx(lgid, cid, b"...")      session.append(b"...")
+    list_tx(lgid, "CLUE")             session.list_tx("CLUE")
+    get_proof(lgid, jsn)              session.get_proof(jsn)
+    verify(lgid, target, ...)         session.verify(target, ...)
+    drop_ledger(lgid)                 repro.api.drop_ledger(lgid)
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Any
 
 from ..crypto.keys import KeyPair
@@ -39,7 +39,7 @@ from .receipt import Receipt
 
 # The enums now live in core.verification (their non-deprecated home);
 # re-imported here so v1-era ``from repro.core.api import VerifyTarget``
-# keeps working without a warning (it is the *functions* that deprecate).
+# keeps working unchanged (it is the *functions* that were removed).
 from .verification import VerifyLevel, VerifyResult, VerifyTarget
 
 __all__ = [
@@ -56,57 +56,51 @@ __all__ = [
 ]
 
 
-def _v2():
-    from .. import api
-
-    return api
-
-
 def _deprecated(name: str, replacement: str) -> None:
-    warnings.warn(
-        f"repro.core.api.{name} is deprecated; use {replacement} "
-        f"(repro.api, the v2 session API)",
-        DeprecationWarning,
-        stacklevel=3,
+    """The v1 facade's sunset is complete: calling any shim is an error.
+
+    The message carries the mechanical migration (connect once, call the
+    session method) so a failing pseudocode port fixes itself from the
+    traceback alone.
+    """
+    raise UsageError(
+        f"repro.core.api.{name} was removed; use {replacement} "
+        f"(repro.api, the v2 session API). Migration: "
+        f"session = repro.api.connect(lgid), then call the session method "
+        f"— see the repro.core.api module docstring for the full mapping."
     )
 
 
 def create(lgid: str, **kwargs: Any) -> Ledger:
     """The Create API: register a new ledger under ``lgid``.
 
-    Deprecated shim for :func:`repro.api.create`.
+    Removed — use :func:`repro.api.create`.
 
     Raises:
-        UsageError: ``lgid`` is already registered.
+        UsageError: always (the v1 facade is sunset).
     """
     _deprecated("create", "repro.api.create")
-    return _v2().create(lgid, **kwargs)
 
 
 def get_ledger(lgid: str) -> Ledger:
-    """Resolve a registered ledger (shim for :func:`repro.api.get_ledger`).
+    """Resolve a registered ledger — removed, use :func:`repro.api.get_ledger`.
 
     Raises:
-        UsageError: no ledger is registered under ``lgid``.
+        UsageError: always (the v1 facade is sunset).
     """
     _deprecated("get_ledger", "repro.api.get_ledger")
-    return _v2().get_ledger(lgid)
 
 
 def drop_ledger(lgid: str, *, missing_ok: bool = False) -> None:
     """Remove a ledger from the facade registry (testing hygiene).
 
-    Deprecated shim for :func:`repro.api.drop_ledger`.  Unlike the original
-    v1, an unknown ``lgid`` now raises (symmetric with :func:`create`);
-    pass ``missing_ok=True`` — or use :func:`repro.api.scoped_ledger` —
-    for idempotent teardown.
+    Removed — use :func:`repro.api.drop_ledger` (or
+    :func:`repro.api.scoped_ledger` for self-cleaning test blocks).
 
     Raises:
-        UsageError: no ledger is registered under ``lgid`` (and not
-            ``missing_ok``).
+        UsageError: always (the v1 facade is sunset).
     """
     _deprecated("drop_ledger", "repro.api.drop_ledger or scoped_ledger")
-    _v2().drop_ledger(lgid, missing_ok=missing_ok)
 
 
 def append_tx(
@@ -119,20 +113,12 @@ def append_tx(
 ) -> Receipt:
     """The AppendTx API: ``AppendTx(lg_id, payload, 'DCI001')`` (§IV-A).
 
-    Deprecated shim for :meth:`repro.api.LedgerSession.append`.  Either pass
-    a pre-signed ``request`` or a ``keypair`` to sign locally.
+    Removed — use :meth:`repro.api.LedgerSession.append`.
 
     Raises:
-        UsageError: unknown ``lgid``, or neither ``request`` nor ``keypair``.
-        AuthenticationError: the ledger rejected the request.
+        UsageError: always (the v1 facade is sunset).
     """
     _deprecated("append_tx", "LedgerSession.append")
-    session = _v2().connect(lgid, client_id=client_id, keypair=keypair)
-    if request is not None:
-        return session.append(request=request)
-    if keypair is None:
-        raise UsageError("need a signed request or a keypair to sign with")
-    return session.append(payload, clue=clue)
 
 
 def append_tx_batch(
@@ -145,45 +131,32 @@ def append_tx_batch(
 ) -> list[Receipt]:
     """Batched AppendTx: admit many transactions through one amortised pass.
 
-    Deprecated shim for :meth:`repro.api.LedgerSession.append_batch`.
-    Either pass pre-signed ``requests`` or ``items`` as ``(payload, clue)``
-    pairs plus a ``keypair`` to sign locally.  Admission is atomic — one bad
-    signature rejects the whole batch with the ledger untouched.
+    Removed — use :meth:`repro.api.LedgerSession.append_batch`.
 
     Raises:
-        UsageError: unknown ``lgid``, or neither ``requests`` nor ``keypair``.
-        AuthenticationError: a request was rejected (whole batch fails).
+        UsageError: always (the v1 facade is sunset).
     """
     _deprecated("append_tx_batch", "LedgerSession.append_batch")
-    session = _v2().connect(lgid, client_id=client_id, keypair=keypair)
-    if requests is not None:
-        return session.append_batch(requests=requests, max_workers=max_workers)
-    if keypair is None:
-        raise UsageError("need signed requests or a keypair to sign with")
-    return session.append_batch(items, max_workers=max_workers)
 
 
 def list_tx(lgid: str, clue: str) -> list[Journal]:
     """The ListTx API: all retrievable journals carrying ``clue``.
 
-    Deprecated shim for :meth:`repro.api.LedgerSession.list_tx`.
+    Removed — use :meth:`repro.api.LedgerSession.list_tx`.
 
     Raises:
-        UsageError: unknown ``lgid``.
+        UsageError: always (the v1 facade is sunset).
     """
     _deprecated("list_tx", "LedgerSession.list_tx")
-    return _v2().connect(lgid).list_tx(clue)
 
 
 def get_proof(lgid: str, jsn: int, anchored: bool = True) -> FamProof:
-    """The GetProof API (shim for :meth:`repro.api.LedgerSession.get_proof`).
+    """The GetProof API — removed, use :meth:`repro.api.LedgerSession.get_proof`.
 
     Raises:
-        UsageError: unknown ``lgid``.
-        JournalNotFoundError: no journal exists at ``jsn``.
+        UsageError: always (the v1 facade is sunset).
     """
     _deprecated("get_proof", "LedgerSession.get_proof")
-    return _v2().connect(lgid).get_proof(jsn, anchored=anchored)
 
 
 def verify(
@@ -198,17 +171,9 @@ def verify(
 ) -> VerifyResult:
     """The Verify API (§IV-C): ``Verify(lgid, CLUE, {key, txdata, rho, root}, level)``.
 
-    Deprecated shim for :meth:`repro.api.LedgerSession.verify`.  Returns a
-    :class:`VerifyResult` — truthy iff the check passed, and additionally
-    carrying the proof object and trusted root (a failed check is a falsy
-    result, not an exception).
+    Removed — use :meth:`repro.api.LedgerSession.verify`.
 
     Raises:
-        UsageError: unknown ``lgid``, bad target, wrong ``txdata`` shape,
-            missing ``key``, or a client-level TX check without a trusted
-            root.
+        UsageError: always (the v1 facade is sunset).
     """
     _deprecated("verify", "LedgerSession.verify")
-    return _v2().connect(lgid).verify(
-        target, key=key, txdata=txdata, rho=rho, root=root, level=level
-    )

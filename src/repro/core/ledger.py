@@ -40,6 +40,14 @@ from ..storage.stream import FileStream, MemoryStream, RecordErasedError, Stream
 from ..timeauth.clock import Clock, SimClock
 from ..timeauth.tledger import TimeEvidence, TimeLedger
 from ..timeauth.tsa import TimeStampAuthority, TimeStampToken, TSAPool
+from ..transparency.censorship import SubmissionAck
+from ..transparency.sth import (
+    SOLO_SHARD,
+    ConsistencyAssertion,
+    ConsistencyBundle,
+    SignedTreeHead,
+    SthStore,
+)
 from .blocks import Block
 from .cluesl import ClueSkipList
 from .errors import (
@@ -77,6 +85,11 @@ CONFIG_FILE = "ledger.cfg"
 JOURNAL_FILE = "journal.stream"
 SNAPSHOT_FILE = "snapshot.ckpt"
 NODES_DIR = "nodes"
+STH_FILE = "sth.log"
+
+#: How many epoch closes a :class:`SubmissionAck` grants the LSP before an
+#: acked-but-absent request becomes provable censorship (DESIGN.md §16).
+DEFAULT_ACK_DEADLINE_EPOCHS = 2
 
 
 @dataclass(frozen=True)
@@ -271,6 +284,13 @@ class Ledger:
         self._anchor_cache: AnchorStore = AnchorStore()
         self._anchor_cache_epochs = 0  # completed epochs already seeded
 
+        #: Stamped by ShardedLedger so per-shard heads are distinguishable
+        #: (shards share the deployment uri and LSP key).
+        self.sth_shard_index = SOLO_SHARD
+        self._sth_store = SthStore((data_dir / STH_FILE) if data_dir else None)
+        self._sth_cache: dict[int, SignedTreeHead] = {}
+        self._sth_epochs = self._fam.num_epochs
+
         self._append_genesis()
 
     # ------------------------------------------------------------- creation
@@ -354,6 +374,13 @@ class Ledger:
         ledger._receipts = {}
         ledger._anchor_cache = AnchorStore()
         ledger._anchor_cache_epochs = 0
+        recover_dir = Path(config.data_dir) if config.data_dir else None
+        ledger.sth_shard_index = SOLO_SHARD
+        ledger._sth_store = SthStore(
+            (recover_dir / STH_FILE) if recover_dir else None
+        )
+        ledger._sth_cache = {}
+        ledger._sth_epochs = 1
 
         # Pass 1: collect mutation records from intact system journals, so
         # erased slots' digests can be sourced during the replay.
@@ -412,6 +439,9 @@ class Ledger:
                 ledger._seal_recovered_block(jsn + 1)
         ledger._pending_start = (len(journal_stream) // config.block_size) * config.block_size
         ledger.commit_block()
+        # Replay appended straight onto the fam, bypassing _commit's STH
+        # emission; re-arm the epoch watermark at the recovered position.
+        ledger._sth_epochs = ledger._fam.num_epochs
 
         # Re-issue a current receipt so clients/audits have a fresh pi_s.
         last = ledger._fam.size - 1
@@ -627,6 +657,7 @@ class Ledger:
             )
         for clue, digests in pending_clues.items():
             self._cmtree.add_many(clue, digests)
+        self._emit_epoch_heads()
         # pi_s issuance: every receipt's payload is frozen above, so the LSP
         # signatures batch into one shared-inversion pass.
         receipts = Receipt.sign_batch(unsigned, self._lsp_keypair)
@@ -676,6 +707,7 @@ class Ledger:
                     f"{offset}, expected jsn {jsn}"
                 )
             self._fam.append(tx_hash)
+            self._emit_epoch_heads()
             for clue in journal.clues:
                 self._cmtree.add(clue, tx_hash)
                 self._cluesl.insert(clue, jsn)
@@ -892,6 +924,144 @@ class Ledger:
         if len(digests) != self._cmtree.entry_count(clue):
             return False
         return self._cmtree.verify_clue_server(clue, digests)
+
+    # --------------------------------------------- transparency (DESIGN §16)
+
+    @property
+    def lsp_public_key(self):
+        """The LSP's public key — the trust anchor every head verifies against."""
+        return self._lsp_keypair.public
+
+    def _make_sth(
+        self, epoch: int, tree_size: int, live_size: int, root: Digest
+    ) -> SignedTreeHead:
+        return SignedTreeHead(
+            ledger_uri=self.config.uri,
+            epoch=epoch,
+            tree_size=tree_size,
+            live_size=live_size,
+            root=root,
+            timestamp=self.clock.now(),
+            fractal_height=self.config.fractal_height,
+            shard_index=self.sth_shard_index,
+        ).signed_by(self._lsp_keypair)
+
+    def _emit_epoch_heads(self) -> None:
+        """Mint and store one head per epoch roll since the last commit.
+
+        Each stored head pins the moment its epoch became live: one merged
+        leaf (Rule 1), zero journals of its own.  ``tree_size`` at that
+        instant is determined by the fractal geometry — epoch 0 holds
+        ``capacity`` journals, every later epoch ``capacity - 1`` (leaf 0 is
+        the merged root, not a journal).
+        """
+        capacity = self._fam.epoch_capacity
+        while self._sth_epochs < self._fam.num_epochs:
+            epoch = self._sth_epochs
+            head = self._make_sth(
+                epoch=epoch,
+                tree_size=capacity + (epoch - 1) * (capacity - 1),
+                live_size=1,
+                root=self._fam.head_root(epoch, 1),
+            )
+            self._sth_store.append(head)
+            obs.inc("transparency.sth.emitted")
+            self._sth_epochs = epoch + 1
+
+    def get_sth(self) -> SignedTreeHead:
+        """A fresh LSP-signed tree head for the current fam state."""
+        tree_size = self._fam.size
+        root = self._fam.current_root()
+        cached = self._sth_cache.get(tree_size)
+        if (
+            cached is not None
+            and cached.root == root
+            and cached.shard_index == self.sth_shard_index
+        ):
+            return cached
+        epoch = self._fam.num_epochs - 1
+        head = self._make_sth(
+            epoch=epoch,
+            tree_size=tree_size,
+            live_size=self._fam.live_size(epoch),
+            root=root,
+        )
+        self._sth_cache.clear()
+        self._sth_cache[tree_size] = head
+        obs.inc("transparency.sth.served")
+        return head
+
+    def get_sth_range(self, start: int, end: int) -> list[SignedTreeHead]:
+        """Stored epoch-close heads with ``start <= epoch < end``."""
+        if start < 0 or end < start:
+            raise UsageError(f"invalid STH epoch range [{start}, {end})")
+        return self._sth_store.range(start, end)
+
+    def get_consistency(
+        self, old: SignedTreeHead, new: SignedTreeHead
+    ) -> tuple[ConsistencyBundle, ConsistencyAssertion]:
+        """Prove ``new`` append-only-extends ``old``, and sign the claim.
+
+        The bundle is built from this ledger's own accumulator; the
+        assertion signs this ledger's *own* roots at the requested
+        coordinates (echoing the heads' claimed tree sizes).  An honest
+        server's assertion therefore always agrees with its signed heads; a
+        forked server asked to connect a head from the other fork signs a
+        contradiction — offline-verifiable equivocation evidence.
+        """
+        with obs.span("ledger.get_consistency"):
+            if old.is_composite or new.is_composite:
+                raise UsageError(
+                    "composite heads carry no epoch tree; request per-shard "
+                    "consistency instead"
+                )
+            fam = self._fam
+            try:
+                bundle = ConsistencyBundle.build(
+                    fam, old.epoch, old.live_size, new.epoch, new.live_size
+                )
+                assertion = ConsistencyAssertion(
+                    ledger_uri=self.config.uri,
+                    shard_index=self.sth_shard_index,
+                    fractal_height=self.config.fractal_height,
+                    old_epoch=old.epoch,
+                    old_tree_size=old.tree_size,
+                    old_live_size=old.live_size,
+                    old_root=fam.head_root(old.epoch, old.live_size),
+                    new_epoch=new.epoch,
+                    new_tree_size=new.tree_size,
+                    new_live_size=new.live_size,
+                    new_root=fam.head_root(new.epoch, new.live_size),
+                    timestamp=self.clock.now(),
+                ).signed_by(self._lsp_keypair)
+            except (ValueError, IndexError) as exc:
+                raise UsageError(f"cannot connect heads: {exc}") from exc
+            obs.inc("transparency.consistency.served")
+            return bundle, assertion
+
+    def issue_ack(
+        self,
+        request: ClientRequest,
+        deadline_epochs: int = DEFAULT_ACK_DEADLINE_EPOCHS,
+    ) -> SubmissionAck:
+        """Sign the LSP's promise to include ``request`` within the deadline."""
+        if deadline_epochs < 1:
+            raise UsageError("ack deadline must be at least one epoch")
+        if request.ledger_uri != self.config.uri:
+            raise UsageError(
+                f"request addressed to {request.ledger_uri!r}, not this "
+                f"ledger ({self.config.uri!r})"
+            )
+        obs.inc("transparency.acks.issued")
+        return SubmissionAck(
+            ledger_uri=self.config.uri,
+            request_hash=request.request_hash(),
+            epoch=self._fam.num_epochs - 1,
+            tree_size=self._fam.size,
+            deadline_epochs=deadline_epochs,
+            timestamp=self.clock.now(),
+            shard_index=self.sth_shard_index,
+        ).signed_by(self._lsp_keypair)
 
     # -------------------------------------------------------- time anchoring
 
@@ -1502,11 +1672,18 @@ class Ledger:
         ledger._receipts = {}
         ledger._anchor_cache = AnchorStore()
         ledger._anchor_cache_epochs = 0
+        ledger.sth_shard_index = SOLO_SHARD
+        ledger._sth_store = SthStore(Path(config.data_dir) / STH_FILE)
+        ledger._sth_cache = {}
+        ledger._sth_epochs = ledger._fam.num_epochs
 
         if ledger._fam.size != jsn_count:
             raise SnapshotError("snapshot fam state disagrees with its jsn count")
         replayed = ledger._replay_delta(jsn_count)
         obs.observe("ledger.open.delta_journals", replayed)
+        # Delta replay appended straight onto the fam, bypassing _commit's
+        # STH emission; re-arm the watermark at the reopened position.
+        ledger._sth_epochs = ledger._fam.num_epochs
 
         last = ledger._fam.size - 1
         receipt = Receipt(

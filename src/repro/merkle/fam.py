@@ -414,6 +414,48 @@ class FamAccumulator:
             raise KeyError(f"epoch {epoch_index} was erased by purge")
         return self._epochs[epoch_index].prove(0, at_size=self.epoch_capacity)
 
+    def live_size(self, epoch_index: int | None = None) -> int:
+        """Leaf count of one epoch's tree, merged leaf included.
+
+        Defaults to the live epoch.  This is the size the signed-tree-head /
+        consistency machinery speaks in — distinct from :attr:`size`, which
+        counts journals across all epochs.
+        """
+        if epoch_index is None:
+            epoch_index = len(self._epochs) - 1
+        if not 0 <= epoch_index < len(self._epochs):
+            raise IndexError(f"epoch {epoch_index} out of range")
+        return self._epochs[epoch_index].size
+
+    def head_root(self, epoch_index: int, live_size: int | None = None) -> Digest:
+        """Bagged root of epoch ``epoch_index``'s tree at ``live_size`` leaves.
+
+        With ``live_size=None`` this is the epoch's current root (for the
+        live epoch, the global commitment).  Historical sizes work because
+        Shrubs interior nodes are immutable — this is how the server signs
+        consistency assertions about past heads.
+        """
+        if self.is_epoch_erased(epoch_index):
+            raise KeyError(f"epoch {epoch_index} was erased by purge")
+        return self._epochs[epoch_index].root(at_size=live_size)
+
+    def prove_head_link(
+        self, epoch_index: int, live_size: int | None = None
+    ) -> MembershipProof:
+        """Merged-leaf proof of leaf 0 against an arbitrary head of an epoch.
+
+        The generalisation of :meth:`prove_epoch_link` that consistency
+        bundles need for their final step: epoch ``epoch_index - 1``'s root
+        sits at leaf 0 of epoch ``epoch_index``'s tree *as of* ``live_size``
+        leaves (default: the tree's current size), which may be any head the
+        LSP ever signed — not just the sealed capacity.
+        """
+        if epoch_index < 1:
+            raise ValueError("epoch 0 has no merged leaf")
+        if self.is_epoch_erased(epoch_index):
+            raise KeyError(f"epoch {epoch_index} was erased by purge")
+        return self._epochs[epoch_index].prove(0, at_size=live_size)
+
     def prove_live_consistency(self, old_live_size: int):
         """Consistency proof for the live epoch from ``old_live_size`` leaves.
 

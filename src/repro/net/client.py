@@ -48,6 +48,7 @@ from ..core.errors import (
 )
 from ..core.journal import ClientRequest, Journal
 from ..core.receipt import Receipt
+from ..core.verification import VerifyLevel, VerifyResult, VerifyTarget
 from ..crypto.hashing import Digest, sha256
 from ..crypto.keys import KeyPair, PublicKey, verify_batch
 from ..merkle.cmtree import ClueProof
@@ -56,6 +57,13 @@ from ..merkle.fam import AnchorStore, FamProof
 from ..merkle.proofs import MembershipProof
 from ..merkle.shrubs import FrontierAccumulator
 from ..service import ServiceClosedError, ServiceOverloadedError, ServiceTimeout
+from ..session import SessionHelpers
+from ..transparency.censorship import SubmissionAck
+from ..transparency.sth import (
+    ConsistencyAssertion,
+    ConsistencyBundle,
+    SignedTreeHead,
+)
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -401,6 +409,43 @@ class AsyncRemoteLedger:
         receipt = Receipt.from_bytes(bytes(result["receipt"]))
         return await self._checker.check(receipt, request) if verify else receipt
 
+    async def append_acked(
+        self,
+        request: ClientRequest,
+        *,
+        deadline_epochs: int | None = None,
+        verify: bool = True,
+    ) -> tuple[Receipt, SubmissionAck]:
+        """Append with a censorship-accountable admission ack (DESIGN.md §16).
+
+        The server issues the :class:`SubmissionAck` *before* submitting, so
+        its tree coordinates pin the state at admission.  Both the receipt
+        and the ack are verified locally: LSP signature, exact request-hash
+        echo, and ledger-uri match — an ack for somebody else's request
+        convicts nobody.
+        """
+        fields: dict[str, Any] = {"request": request.to_bytes(), "want_ack": True}
+        if deadline_epochs is not None:
+            fields["ack_deadline"] = int(deadline_epochs)
+        result = await self._call("append", **fields)
+        receipt = Receipt.from_bytes(bytes(result["receipt"]))
+        blob = bytes(result.get("ack") or b"")
+        if not blob:
+            raise VerificationFailure("server omitted the requested submission ack")
+        ack = SubmissionAck.from_bytes(blob)
+        if verify:
+            receipt = await self._checker.check(receipt, request)
+            self._check_ack(ack, request)
+        return receipt, ack
+
+    def _check_ack(self, ack: SubmissionAck, request: ClientRequest) -> None:
+        if self.lsp_public_key is None or not ack.verify(self.lsp_public_key):
+            raise VerificationFailure("submission ack failed LSP signature check")
+        if ack.request_hash != request.request_hash():
+            raise VerificationFailure("submission ack echoes a different request")
+        if ack.ledger_uri != self.ledger_uri:
+            raise VerificationFailure("submission ack speaks for a different ledger")
+
     async def submit(self, request: ClientRequest) -> Receipt:
         """Pipelined append: same-tick submits coalesce into one
         ``append_batch`` frame (see :class:`_SubmitCoalescer`); the receipt
@@ -514,6 +559,55 @@ class AsyncRemoteLedger:
             "link": MembershipProof.from_bytes(bytes(result["link"])),
         }
 
+    # ------------------------------------------------------- transparency
+
+    def _check_sth(self, head: SignedTreeHead) -> SignedTreeHead:
+        """Every tree head off the wire is a claim until its LSP signature
+        verifies against the pinned key and it speaks for this stream."""
+        if self.lsp_public_key is None or not head.verify(self.lsp_public_key):
+            raise VerificationFailure("tree head failed LSP signature check")
+        if head.ledger_uri != self.ledger_uri:
+            raise VerificationFailure("tree head speaks for a different ledger")
+        return head
+
+    async def get_sth(self, *, composite: bool = False) -> SignedTreeHead:
+        """The server's current signed tree head, signature-checked locally.
+
+        ``composite=True`` asks the sharded deployment behind the server for
+        its composite head; refused (UsageError) on solo servers.
+        """
+        result = await self._call("get_sth", composite=bool(composite))
+        return self._check_sth(SignedTreeHead.from_bytes(bytes(result["sth"])))
+
+    async def get_sth_range(self, start: int, end: int) -> list[SignedTreeHead]:
+        result = await self._call("get_sth_range", start=int(start), end=int(end))
+        return [
+            self._check_sth(SignedTreeHead.from_bytes(bytes(blob)))
+            for blob in result["sths"]
+        ]
+
+    async def get_consistency(
+        self, old: SignedTreeHead, new: SignedTreeHead
+    ) -> tuple[ConsistencyBundle | None, ConsistencyAssertion]:
+        """Consistency bundle + signed assertion connecting two tree heads.
+
+        The assertion's LSP signature is checked here; whether its roots
+        *agree* with the heads is the witness's judgement call
+        (:meth:`repro.transparency.Witness.observe_assertion`) — a
+        contradiction is evidence, not a transport error.
+        """
+        result = await self._call(
+            "get_consistency", old=old.to_bytes(), new=new.to_bytes()
+        )
+        blob = bytes(result["bundle"])
+        bundle = ConsistencyBundle.from_bytes(blob) if blob else None
+        assertion = ConsistencyAssertion.from_bytes(bytes(result["assertion"]))
+        if self.lsp_public_key is None or not assertion.verify(self.lsp_public_key):
+            raise VerificationFailure(
+                "consistency assertion failed LSP signature check"
+            )
+        return bundle, assertion
+
     async def stats(self) -> dict:
         return await self._call("stats")
 
@@ -608,10 +702,20 @@ class RemoteLedgerClient:
 
     # ------------------------------------------------------------ appends
 
-    def _build_request(self, payload: bytes, clues: tuple[str, ...]) -> ClientRequest:
-        if self.member_id is None or self.keypair is None:
+    def _build_request(
+        self,
+        payload: bytes,
+        clues: tuple[str, ...],
+        *,
+        member_id: str | None = None,
+        keypair: KeyPair | None = None,
+    ) -> ClientRequest:
+        member_id = member_id if member_id is not None else self.member_id
+        keypair = keypair if keypair is not None else self.keypair
+        if member_id is None or keypair is None:
             raise UsageError(
-                "no signing identity: construct the client with member_id and keypair"
+                "no signing identity: construct the client with member_id and "
+                "keypair, or pass them per call"
             )
         with self._nonce_lock:
             self._nonce += 1
@@ -620,12 +724,12 @@ class RemoteLedgerClient:
 
         return ClientRequest.build(
             self.ledger_uri,
-            self.member_id,
+            member_id,
             payload,
             clues=tuple(clues),
             nonce=nonce.to_bytes(8, "big"),
             client_timestamp=_time.time(),
-        ).signed_by(self.keypair)
+        ).signed_by(keypair)
 
     def append(
         self,
@@ -634,15 +738,44 @@ class RemoteLedgerClient:
         *,
         request: ClientRequest | None = None,
         timeout: float | None = None,
+        member_id: str | None = None,
+        keypair: KeyPair | None = None,
     ) -> Receipt:
         """Sign locally, submit remotely, verify the receipt locally."""
         if (payload is None) == (request is None):
             raise UsageError("append() takes exactly one of payload or request=")
         if request is None:
-            request = self._build_request(payload, clues)
+            request = self._build_request(
+                payload, clues, member_id=member_id, keypair=keypair
+            )
         receipt = self._wait(self._remote.append(request), timeout)
         self.state.receipts[receipt.jsn] = receipt
         return receipt
+
+    def append_acked(
+        self,
+        payload: bytes | None = None,
+        clues: tuple[str, ...] = (),
+        *,
+        request: ClientRequest | None = None,
+        deadline_epochs: int | None = None,
+        timeout: float | None = None,
+        member_id: str | None = None,
+        keypair: KeyPair | None = None,
+    ) -> tuple[Receipt, SubmissionAck]:
+        """Append plus a locally-verified admission ack (DESIGN.md §16)."""
+        if (payload is None) == (request is None):
+            raise UsageError("append_acked() takes exactly one of payload or request=")
+        if request is None:
+            request = self._build_request(
+                payload, clues, member_id=member_id, keypair=keypair
+            )
+        receipt, ack = self._wait(
+            self._remote.append_acked(request, deadline_epochs=deadline_epochs),
+            timeout,
+        )
+        self.state.receipts[receipt.jsn] = receipt
+        return receipt, ack
 
     def append_batch(
         self,
@@ -650,11 +783,18 @@ class RemoteLedgerClient:
         *,
         requests: list[ClientRequest] | None = None,
         timeout: float | None = None,
+        member_id: str | None = None,
+        keypair: KeyPair | None = None,
     ) -> list[Receipt]:
         if (items is None) == (requests is None):
             raise UsageError("append_batch() takes exactly one of items or requests=")
         if requests is None:
-            requests = [self._build_request(payload, clues) for payload, clues in items]
+            requests = [
+                self._build_request(
+                    payload, clues, member_id=member_id, keypair=keypair
+                )
+                for payload, clues in items
+            ]
         receipts = self._wait(self._remote.append_batch(requests), timeout)
         for receipt in receipts:
             self.state.receipts[receipt.jsn] = receipt
@@ -868,17 +1008,57 @@ class RemoteLedgerClient:
         digests = {i: journal.tx_hash() for i, journal in enumerate(journals)}
         return proof.verify(digests, claimed_state_root)
 
+    def prove_clue(self, clue: str) -> tuple[ClueProof, Digest]:
+        """The clue proof plus the server's *claimed* CM-Tree1 root."""
+        return self._wait(self._remote.prove_clue(clue))
 
-class RemoteLedgerSession:
+    def verify_journal_remote(self, journal: Journal) -> bool:
+        """Ask the *server* to verify (advisory only — it could lie)."""
+        return self._wait(self._remote.verify_journal_remote(journal))
+
+    # ------------------------------------------------------- transparency
+
+    def get_sth(self, *, composite: bool = False) -> SignedTreeHead:
+        """The server's current tree head, LSP-signature-checked locally."""
+        return self._wait(self._remote.get_sth(composite=composite))
+
+    def get_sth_range(self, start: int, end: int) -> list[SignedTreeHead]:
+        return self._wait(self._remote.get_sth_range(start, end))
+
+    def get_consistency(
+        self, old: SignedTreeHead, new: SignedTreeHead
+    ) -> tuple[ConsistencyBundle | None, ConsistencyAssertion]:
+        return self._wait(self._remote.get_consistency(old, new))
+
+
+def _coerce_enum(enum_cls: type, value: Any):
+    """Accept the enum member itself or its string value ("tx", "server")."""
+    if isinstance(value, enum_cls):
+        return value
+    try:
+        return enum_cls(value)
+    except ValueError:
+        raise UsageError(
+            f"{enum_cls.__name__} expected one of "
+            f"{[member.value for member in enum_cls]}, got {value!r}"
+        ) from None
+
+
+class RemoteLedgerSession(SessionHelpers):
     """The v2-session face of a remote connection.
 
     ``repro.api.connect("ledger://host:port")`` returns one of these; it
-    mirrors the :class:`~repro.api.LedgerSession` surface (append /
-    append_batch / list_tx / get_proof / get_proofs / close / context
-    manager) so callers move between local and remote backends without
-    code changes.  Verification happens in the underlying
-    :class:`RemoteLedgerClient` — receipts and proofs arrive pre-checked.
+    implements :class:`~repro.session.VerifyingSession` with signatures
+    identical to :class:`~repro.api.LedgerSession`, so callers move between
+    local and remote backends without code changes.  Kwargs this transport
+    cannot honour are rejected with a typed
+    :class:`~repro.core.errors.UsageError` naming the transport, never
+    silently swallowed.  Verification happens in the underlying
+    :class:`RemoteLedgerClient` — receipts, acks, and tree heads arrive
+    pre-checked against the pinned LSP key.
     """
+
+    transport = "remote"
 
     def __init__(
         self,
@@ -909,31 +1089,73 @@ class RemoteLedgerSession:
         *,
         clue: str | None = None,
         clues: tuple[str, ...] | None = None,
+        client_id: str | None = None,
+        keypair: KeyPair | None = None,
         request: ClientRequest | None = None,
         timeout: float | None = None,
-        **_ignored: Any,
     ) -> Receipt:
-        if clue is not None and clues is not None:
-            raise UsageError("pass clue= or clues=, not both")
-        all_clues = clues if clues is not None else ((clue,) if clue else ())
+        all_clues = self._normalize_clues(clue, clues)
         return self.client.append(
-            payload, tuple(all_clues), request=request, timeout=timeout
+            payload,
+            tuple(all_clues),
+            request=request,
+            timeout=timeout,
+            member_id=client_id,
+            keypair=keypair,
         )
 
     def append_batch(
         self,
         items: list[tuple[bytes, str | None]] | None = None,
         *,
+        client_id: str | None = None,
+        keypair: KeyPair | None = None,
         requests: list[ClientRequest] | None = None,
+        max_workers: int | None = None,
         timeout: float | None = None,
-        **_ignored: Any,
     ) -> list[Receipt]:
+        if max_workers is not None:
+            self._reject_kwarg(
+                "max_workers",
+                "the server's group-commit service owns batching; "
+                "max_workers only tunes the local direct-append path",
+            )
         pairs = None
         if items is not None:
             pairs = [
                 (payload, (clue,) if clue else ()) for payload, clue in items
             ]
-        return self.client.append_batch(pairs, requests=requests, timeout=timeout)
+        return self.client.append_batch(
+            pairs,
+            requests=requests,
+            timeout=timeout,
+            member_id=client_id,
+            keypair=keypair,
+        )
+
+    def append_acked(
+        self,
+        payload: bytes | None = None,
+        *,
+        clue: str | None = None,
+        clues: tuple[str, ...] | None = None,
+        client_id: str | None = None,
+        keypair: KeyPair | None = None,
+        request: ClientRequest | None = None,
+        deadline_epochs: int | None = None,
+        timeout: float | None = None,
+    ) -> tuple[Receipt, SubmissionAck]:
+        """Append plus a locally-verified admission ack (DESIGN.md §16)."""
+        all_clues = self._normalize_clues(clue, clues)
+        return self.client.append_acked(
+            payload,
+            tuple(all_clues),
+            request=request,
+            deadline_epochs=deadline_epochs,
+            timeout=timeout,
+            member_id=client_id,
+            keypair=keypair,
+        )
 
     def list_tx(self, clue: str) -> list[Journal]:
         return [self.client.get_journal(jsn) for jsn in self.client.list_tx(clue)]
@@ -944,23 +1166,148 @@ class RemoteLedgerSession:
     def get_proofs(self, jsns: list[int], anchored: bool = True) -> list[FamProof]:
         return self.client.get_proofs(jsns, anchored)
 
+    # --------------------------------------------------------- transparency
+
+    def get_sth(self) -> SignedTreeHead:
+        """The server's current signed tree head, signature-checked locally."""
+        return self.client.get_sth()
+
+    def get_sth_range(self, start: int, end: int) -> list[SignedTreeHead]:
+        """Persisted epoch-close tree heads for epochs ``start..end``."""
+        return self.client.get_sth_range(start, end)
+
+    def get_consistency(
+        self, old: SignedTreeHead, new: SignedTreeHead
+    ) -> tuple[ConsistencyBundle | None, ConsistencyAssertion]:
+        """Consistency proof + signed assertion connecting two tree heads."""
+        return self.client.get_consistency(old, new)
+
+    # ------------------------------------------------------------ verifying
+
     def sync_anchors(self) -> int:
         return self.client.sync_anchors()
 
-    def verify_journal(self, journal: Journal) -> bool:
-        return self.client.verify_journal(journal)
+    def verify(
+        self,
+        target: VerifyTarget | str,
+        *,
+        key: str | None = None,
+        txdata: list[Journal] | None = None,
+        rho: Any = None,
+        root: bytes | None = None,
+        level: VerifyLevel | str = VerifyLevel.SERVER,
+    ) -> VerifyResult:
+        """The Verify API over the wire, returning structured evidence.
 
-    def verify_clue(self, clue: str) -> bool:
-        return self.client.verify_clue(clue)
+        Same surface as :meth:`LedgerSession.verify`, remote semantics:
+
+        * ``target=TX, level=SERVER`` — the *server* runs the check
+          (advisory: it attests its own ledger);
+        * ``target=TX, level=CLIENT`` — anchors are synced and the proof is
+          folded locally against this client's own anchor store;
+        * ``target=CLUE`` — the lineage proof is folded locally; ``root``
+          pins the caller's trusted CM-Tree1 datum, else the server's
+          claimed state root is used (and reported in the result).
+        """
+        target = _coerce_enum(VerifyTarget, target)
+        level = _coerce_enum(VerifyLevel, level)
+        if target is VerifyTarget.TX:
+            return self._verify_tx(txdata, rho, root, level)
+        if target is VerifyTarget.CLUE:
+            return self._verify_clue(key, txdata, rho, root, level)
+        raise UsageError(f"unsupported verification target: {target}")
+
+    def _verify_tx(
+        self,
+        txdata: list[Journal] | None,
+        rho: Any,
+        root: bytes | None,
+        level: VerifyLevel,
+    ) -> VerifyResult:
+        if not txdata or len(txdata) != 1:
+            raise UsageError("TX verification takes exactly one journal in txdata")
+        journal = txdata[0]
+        if level is VerifyLevel.SERVER:
+            ok = self.client.verify_journal_remote(journal)
+            return VerifyResult(
+                ok=ok,
+                target=VerifyTarget.TX.value,
+                level=level.value,
+                what=ok,
+                jsn=journal.jsn,
+                detail="server-side check (advisory: the server attests "
+                "its own ledger)",
+            )
+        self.client.sync_anchors()
+        ok = self.client.verify_journal(journal)
+        trusted = root if root is not None else self.client.state.live_root
+        return VerifyResult(
+            ok=ok,
+            target=VerifyTarget.TX.value,
+            level=level.value,
+            what=ok,
+            trusted_root=trusted,
+            jsn=journal.jsn,
+            detail="folded locally against this client's anchor store",
+        )
+
+    def _verify_clue(
+        self,
+        key: str | None,
+        txdata: list[Journal] | None,
+        rho: Any,
+        root: bytes | None,
+        level: VerifyLevel,
+    ) -> VerifyResult:
+        if key is None or txdata is None:
+            raise UsageError("CLUE verification needs key and txdata")
+        digests = {i: journal.tx_hash() for i, journal in enumerate(txdata)}
+        if rho is not None:
+            proof, claimed = rho, None
+        else:
+            proof, claimed = self.client.prove_clue(key)
+        trusted = root if root is not None else claimed
+        if trusted is None:
+            raise UsageError(
+                "CLUE verification with a pre-fetched rho needs a trusted root="
+            )
+        ok = proof.verify(digests, trusted)
+        return VerifyResult(
+            ok=ok,
+            target=VerifyTarget.CLUE.value,
+            level=level.value,
+            what=ok,
+            proof=proof,
+            trusted_root=trusted,
+            detail=f"clue {key!r} over {len(txdata)} journals",
+        )
+
+    def verify_journal(self, journal: Journal) -> VerifyResult:
+        """O(delta) existence verification against this client's anchors."""
+        ok = self.client.verify_journal(journal)
+        return VerifyResult(
+            ok=ok,
+            target=VerifyTarget.TX.value,
+            level=VerifyLevel.CLIENT.value,
+            what=ok,
+            trusted_root=self.client.state.live_root,
+            jsn=journal.jsn,
+            detail="anchored fam fold",
+        )
+
+    def verify_clue(self, clue: str) -> VerifyResult:
+        """Client-side N-lineage verification of an entire clue lineage."""
+        ok = self.client.verify_clue(clue)
+        return VerifyResult(
+            ok=ok,
+            target=VerifyTarget.CLUE.value,
+            level=VerifyLevel.CLIENT.value,
+            what=ok,
+            detail=f"clue {clue!r} lineage against the server's claimed root",
+        )
 
     def close(self) -> None:
         self.client.close()
-
-    def __enter__(self) -> "RemoteLedgerSession":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
 
     def __repr__(self) -> str:
         return f"<RemoteLedgerSession {self.lgid} client_id={self.client_id!r}>"

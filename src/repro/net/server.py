@@ -176,6 +176,9 @@ class LedgerServer:
             "epoch_consistency": self._op_epoch_consistency,
             "verify_journal": self._op_verify_journal,
             "shard_info": self._op_shard_info,
+            "get_sth": self._op_get_sth,
+            "get_sth_range": self._op_get_sth_range,
+            "get_consistency": self._op_get_consistency,
             "stats": self._op_stats,
         }
 
@@ -394,9 +397,25 @@ class LedgerServer:
 
     async def _op_append(self, message: dict) -> dict:
         request = self._decode_request(message.get("request"))
+        ack = None
+        if message.get("want_ack"):
+            # The ack must pin the tree coordinates *at admission* — issue it
+            # before the submit so a censoring server cannot dodge the
+            # deadline by acking late.
+            deadline = message.get("ack_deadline")
+            if deadline is None:
+                ack = await self._run(self.ledger.issue_ack, request)
+            else:
+                deadline = _require_int(deadline, "ack_deadline")
+                ack = await self._run(
+                    lambda: self.ledger.issue_ack(request, deadline_epochs=deadline)
+                )
         future = await self._submit(request)
         receipt = await asyncio.wrap_future(future)
-        return {"receipt": receipt.to_bytes()}
+        response = {"receipt": receipt.to_bytes()}
+        if ack is not None:
+            response["ack"] = ack.to_bytes()
+        return response
 
     async def _op_append_batch(self, message: dict) -> dict:
         blobs = message.get("requests")
@@ -587,6 +606,52 @@ class LedgerServer:
 
         return await self._run(build)
 
+    async def _op_get_sth(self, message: dict) -> dict:
+        """The current signed tree head (DESIGN.md §16).
+
+        ``composite=True`` asks the sharded deployment behind this server
+        for its composite head (per-shard heads folded through the shard
+        map); it is refused on a server that fronts no sharded deployment
+        rather than silently downgraded to a shard-local head.
+        """
+        if message.get("composite"):
+            if self.shard_context is None:
+                raise UsageError(
+                    "composite tree heads need a sharded deployment behind "
+                    "this server; this server fronts a solo ledger"
+                )
+            sharded, _shard_index = self.shard_context
+            head = await self._run(sharded.get_sth)
+        else:
+            head = await self._run(self.ledger.get_sth)
+        return {"sth": head.to_bytes()}
+
+    async def _op_get_sth_range(self, message: dict) -> dict:
+        start = _require_int(message.get("start"), "start")
+        end = _require_int(message.get("end"), "end")
+        heads = await self._run(lambda: self.ledger.get_sth_range(start, end))
+        return {"sths": [head.to_bytes() for head in heads]}
+
+    async def _op_get_consistency(self, message: dict) -> dict:
+        from ..transparency.sth import SignedTreeHead
+
+        def decode(field: str) -> SignedTreeHead:
+            try:
+                return SignedTreeHead.from_bytes(
+                    _require_bytes(message.get(field), field)
+                )
+            except (EncodingError, KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError(f"undecodable tree head '{field}': {exc}") from None
+
+        old, new = decode("old"), decode("new")
+        bundle, assertion = await self._run(
+            lambda: self.ledger.get_consistency(old, new)
+        )
+        return {
+            "bundle": bundle.to_bytes() if bundle is not None else b"",
+            "assertion": assertion.to_bytes(),
+        }
+
     async def _op_stats(self, message: dict) -> dict:
         stats = self.service.stats()
         stats["ledger_size"] = self.ledger.size
@@ -632,12 +697,14 @@ class ServerThread:
         target: Ledger | LedgerService,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        server_cls: type[LedgerServer] = LedgerServer,
         **kwargs: Any,
     ) -> None:
         self._loop = asyncio.new_event_loop()
         self._started = threading.Event()
         self._startup_error: BaseException | None = None
-        self.server = LedgerServer(target, host, port, **kwargs)
+        self.server = server_cls(target, host, port, **kwargs)
         self._thread = threading.Thread(
             target=self._run, name="ledger-server", daemon=True
         )

@@ -1,0 +1,164 @@
+"""The unified session protocol: one verifying surface, any transport.
+
+:class:`VerifyingSession` is the structural type both session classes
+satisfy — :class:`repro.api.LedgerSession` (in-process, optionally
+service-backed) and :class:`repro.net.client.RemoteLedgerSession` (TCP,
+client-side verification).  Code written against the protocol — the
+transparency :class:`~repro.transparency.witness.Witness`, the CLI, tests —
+runs over either transport with zero branches::
+
+    def cross_audit(session: VerifyingSession) -> WitnessReport:
+        head = session.get_sth()            # works local AND remote
+        ...
+
+``repro.api.connect()`` returns a :class:`VerifyingSession` for both
+registered ``lgid``\\ s and ``ledger://host:port`` addresses, and
+``isinstance(session, VerifyingSession)`` holds at runtime for both.
+
+The contract the protocol pins down (DESIGN.md §11/§16):
+
+* identical method *signatures* on every transport — kwargs a transport
+  cannot honour are rejected with a typed
+  :class:`~repro.core.errors.UsageError` naming the transport, never
+  silently swallowed;
+* every ``verify``-family method returns a structured
+  :class:`~repro.core.verification.VerifyResult` (truthy-compatible with
+  the old bools);
+* the transparency surface (``get_sth`` / ``get_sth_range`` /
+  ``get_consistency`` / ``append_acked``) is part of the session, so
+  non-equivocation auditing needs no side channel.
+
+:class:`SessionHelpers` is the shared ABC-style mixin: context management
+and argument normalisation live here once instead of per transport.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+from .core.errors import UsageError
+
+if TYPE_CHECKING:
+    from .core.journal import ClientRequest, Journal
+    from .core.receipt import Receipt
+    from .core.verification import VerifyResult
+    from .crypto.keys import KeyPair
+    from .transparency.censorship import SubmissionAck
+    from .transparency.sth import (
+        ConsistencyAssertion,
+        ConsistencyBundle,
+        SignedTreeHead,
+    )
+
+__all__ = ["VerifyingSession", "SessionHelpers"]
+
+
+@runtime_checkable
+class VerifyingSession(Protocol):
+    """Structural type of a verifying ledger session, local or remote.
+
+    ``runtime_checkable`` checks member *presence* only; the signature
+    contract is enforced by the conformance tests (identical parameter
+    lists on both implementations, per-transport typed rejection of
+    unsupported kwargs).
+    """
+
+    def append(
+        self,
+        payload: bytes | None = None,
+        *,
+        clue: str | None = None,
+        clues: tuple[str, ...] | None = None,
+        client_id: str | None = None,
+        keypair: "KeyPair | None" = None,
+        request: "ClientRequest | None" = None,
+        timeout: float | None = None,
+    ) -> "Receipt": ...
+
+    def append_batch(
+        self,
+        items: list[tuple[bytes, str | None]] | None = None,
+        *,
+        client_id: str | None = None,
+        keypair: "KeyPair | None" = None,
+        requests: "list[ClientRequest] | None" = None,
+        max_workers: int | None = None,
+        timeout: float | None = None,
+    ) -> "list[Receipt]": ...
+
+    def append_acked(
+        self,
+        payload: bytes | None = None,
+        *,
+        clue: str | None = None,
+        clues: tuple[str, ...] | None = None,
+        client_id: str | None = None,
+        keypair: "KeyPair | None" = None,
+        request: "ClientRequest | None" = None,
+        deadline_epochs: int | None = None,
+        timeout: float | None = None,
+    ) -> "tuple[Receipt, SubmissionAck]": ...
+
+    def list_tx(self, clue: str) -> "list[Journal]": ...
+
+    def get_proof(self, jsn: int, anchored: bool = True) -> Any: ...
+
+    def get_proofs(self, jsns: list[int], anchored: bool = True) -> list[Any]: ...
+
+    def get_sth(self) -> "SignedTreeHead": ...
+
+    def get_sth_range(self, start: int, end: int) -> "list[SignedTreeHead]": ...
+
+    def get_consistency(
+        self, old: "SignedTreeHead", new: "SignedTreeHead"
+    ) -> "tuple[ConsistencyBundle | None, ConsistencyAssertion | None]": ...
+
+    def verify(
+        self,
+        target: Any,
+        *,
+        key: str | None = None,
+        txdata: "list[Journal] | None" = None,
+        rho: Any = None,
+        root: bytes | None = None,
+        level: Any = "server",
+    ) -> "VerifyResult": ...
+
+    def close(self) -> None: ...
+
+
+class SessionHelpers:
+    """Shared behaviour for :class:`VerifyingSession` implementations.
+
+    Context management and argument normalisation are transport-independent;
+    both session classes inherit them from here so the protocol surface
+    cannot drift apart by accident.
+    """
+
+    #: Implementations override with their transport name, used in the
+    #: typed errors that reject unsupported kwargs.
+    transport = "session"
+
+    def close(self) -> None:  # pragma: no cover - overridden by transports
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @staticmethod
+    def _normalize_clues(
+        clue: str | None, clues: tuple[str, ...] | None
+    ) -> tuple[str, ...]:
+        if clue is not None and clues is not None:
+            raise UsageError("pass clue= or clues=, not both")
+        return tuple(clues) if clues is not None else ((clue,) if clue else ())
+
+    def _reject_kwarg(self, name: str, why: str) -> None:
+        """Typed rejection of a kwarg this transport cannot honour."""
+        raise UsageError(
+            f"{name}= is not supported by the {self.transport} transport "
+            f"({getattr(self, 'lgid', '?')!r}): {why}"
+        )

@@ -61,6 +61,7 @@ from ..merkle.fam import FamAccumulator, FamProof
 from ..merkle.proofs import MembershipProof
 from ..merkle.shrubs import ShrubsAccumulator
 from ..timeauth.clock import Clock, SimClock
+from ..transparency.sth import COMPOSITE_EPOCH, SOLO_SHARD, SignedTreeHead
 
 __all__ = [
     "ShardProof",
@@ -261,15 +262,18 @@ class ShardedLedger:
                 if shard_dir is not None:
                     Path(shard_dir).mkdir(parents=True, exist_ok=True)
                 stream = stream_factory(index, shard_dir)
-            self._shards.append(
-                Ledger(
-                    config=shard_config,
-                    clock=self.clock,
-                    registry=self.registry,
-                    lsp_keypair=self._lsp_keypair,
-                    journal_stream=stream,
-                )
+            shard = Ledger(
+                config=shard_config,
+                clock=self.clock,
+                registry=self.registry,
+                lsp_keypair=self._lsp_keypair,
+                journal_stream=stream,
             )
+            # Shards share the deployment uri and LSP key; the stamped index
+            # is what keeps sibling shards' signed tree heads from reading
+            # as forks of one stream (DESIGN.md §16).
+            shard.sth_shard_index = index
+            self._shards.append(shard)
 
     @classmethod
     def open(
@@ -298,16 +302,17 @@ class ShardedLedger:
         sharded.clock = clock or SimClock()
         sharded.registry = registry
         sharded._lsp_keypair = lsp_keypair
-        sharded._shards = [
-            Ledger.open(
+        sharded._shards = []
+        for index in range(config.shards):
+            shard = Ledger.open(
                 str(base / SHARD_DIR_FORMAT.format(index)),
                 registry,
                 lsp_keypair,
                 clock=sharded.clock,
                 force_rebuild=force_rebuild,
             )
-            for index in range(config.shards)
-        ]
+            shard.sth_shard_index = index
+            sharded._shards.append(shard)
         return sharded
 
     # -------------------------------------------------------------- routing
@@ -539,6 +544,88 @@ class ShardedLedger:
     def verify_clue(self, clue: str, journals: list[Journal]) -> bool:
         """Server-side lineage check on the clue's routing shard."""
         return self._shards[self.shard_of_key(clue)].verify_clue(clue, journals)
+
+    # --------------------------------------------- transparency (DESIGN §16)
+
+    @property
+    def lsp_public_key(self):
+        return self._lsp_keypair.public
+
+    def get_sth(self) -> SignedTreeHead:
+        """The deployment's signed *composite* head.
+
+        Commits the shard map built from the per-shard heads it embeds, so
+        any holder can re-fold the composite root
+        (:meth:`SignedTreeHead.composite_consistent`) and cross-check each
+        embedded entry against independently gossiped per-shard heads.
+        """
+        heads = [shard.get_sth() for shard in self._shards]
+        shard_heads = tuple(
+            (index, head.epoch, head.tree_size, head.live_size, head.root)
+            for index, head in enumerate(heads)
+        )
+        # The composite root folds the embedded heads' own roots — one
+        # atomic claim, internally consistent even while shards commit.
+        composite = _shard_map([head.root for head in heads]).root()
+        return SignedTreeHead(
+            ledger_uri=self.config.uri,
+            epoch=COMPOSITE_EPOCH,
+            tree_size=sum(head.tree_size for head in heads),
+            live_size=self.num_shards,
+            root=composite,
+            timestamp=self.clock.now(),
+            fractal_height=self.config.fractal_height,
+            shard_index=SOLO_SHARD,
+            shard_heads=shard_heads,
+        ).signed_by(self._lsp_keypair)
+
+    def get_sth_shard(self, shard_index: int) -> SignedTreeHead:
+        """A fresh per-shard head (its ``shard_index`` names the stream)."""
+        if not 0 <= shard_index < self.num_shards:
+            raise UsageError(
+                f"shard {shard_index} out of range 0..{self.num_shards - 1}"
+            )
+        return self._shards[shard_index].get_sth()
+
+    def get_sth_range(self, start: int, end: int) -> list[SignedTreeHead]:
+        """Stored epoch-close heads across all shards, ordered by
+        ``(epoch, shard_index)``."""
+        heads: list[SignedTreeHead] = []
+        for shard in self._shards:
+            heads.extend(shard.get_sth_range(start, end))
+        heads.sort(key=lambda head: (head.epoch, head.shard_index))
+        return heads
+
+    def get_consistency(self, old: SignedTreeHead, new: SignedTreeHead):
+        """Route a per-shard consistency request to the shard it names.
+
+        Composite heads carry no epoch tree — their append-only story is
+        the conjunction of their embedded per-shard streams, each provable
+        here by shard index.
+        """
+        if old.is_composite or new.is_composite:
+            raise UsageError(
+                "composite heads have no epoch tree; request consistency "
+                "per shard (the composite head embeds each shard's "
+                "coordinates)"
+            )
+        if old.shard_index != new.shard_index:
+            raise UsageError(
+                f"heads name different shards ({old.shard_index} vs "
+                f"{new.shard_index}); consistency is per stream"
+            )
+        if not 0 <= old.shard_index < self.num_shards:
+            raise UsageError(
+                f"shard {old.shard_index} out of range 0..{self.num_shards - 1}"
+            )
+        return self._shards[old.shard_index].get_consistency(old, new)
+
+    def issue_ack(self, request: ClientRequest, deadline_epochs: int | None = None):
+        """Sign a submission ack on the shard the request routes to."""
+        shard = self._shards[self.shard_of_request(request)]
+        if deadline_epochs is None:
+            return shard.issue_ack(request)
+        return shard.issue_ack(request, deadline_epochs)
 
     # ------------------------------------------------------- time anchoring
 

@@ -1,0 +1,201 @@
+"""Censorship evidence: acked-but-absent becomes provable (DESIGN.md §16).
+
+Equivocation detection (``sth.py``) catches a server that *rewrites*
+history, but not one that silently *drops* a valid request — from the
+outside, a dropped request is indistinguishable from one never sent.
+AQUAREUM's fix (PAPERS.md): the server signs a :class:`SubmissionAck` at
+admission time, binding itself to include the request within a deadline.
+An ack plus any later signed tree head past the deadline is a
+:class:`CensorshipEvidence` bundle that verifies offline; the server's only
+way out is :func:`refute_censorship` — an inclusion proof folding the acked
+request into a signed head.
+
+Evidence here is *conditional* in a way equivocation evidence is not: it
+proves "the server promised and, as of head H, had not demonstrated
+inclusion".  The refutation closes the loop — a judge holding evidence asks
+the server to refute; silence convicts operationally, a valid refutation
+acquits cryptographically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from ..crypto.ecdsa import Signature
+from ..crypto.hashing import Digest, sha256
+from ..crypto.keys import KeyPair, PublicKey
+from ..encoding import decode, encode
+from ..merkle.fam import FamAccumulator, FamProof
+from .sth import SOLO_SHARD, SignedTreeHead
+
+if TYPE_CHECKING:
+    from ..core.journal import Journal
+
+__all__ = [
+    "SubmissionAck",
+    "CensorshipEvidence",
+    "refute_censorship",
+]
+
+
+@dataclass(frozen=True)
+class SubmissionAck:
+    """The LSP's signed promise to include an admitted request.
+
+    ``epoch``/``tree_size`` pin the fam state at admission; the promise is
+    "this request will be included (and provable) before epoch
+    ``epoch + deadline_epochs`` closes".  ``request_hash`` is the client
+    request's own hash — the same digest a committed journal carries — so
+    inclusion is checkable without trusting the server's jsn assignment.
+    """
+
+    ledger_uri: str
+    request_hash: Digest
+    epoch: int
+    tree_size: int
+    deadline_epochs: int
+    timestamp: float
+    shard_index: int = SOLO_SHARD
+    lsp_signature: Signature | None = None
+
+    def signing_payload(self) -> bytes:
+        return encode(
+            {
+                "scheme": "repro.ack.v1",
+                "ledger_uri": self.ledger_uri,
+                "request_hash": self.request_hash,
+                "epoch": self.epoch,
+                "tree_size": self.tree_size,
+                "deadline_epochs": self.deadline_epochs,
+                "timestamp": self.timestamp,
+                "shard_index": self.shard_index,
+            }
+        )
+
+    def signed_by(self, lsp_keypair: KeyPair) -> "SubmissionAck":
+        return replace(
+            self, lsp_signature=lsp_keypair.sign(sha256(self.signing_payload()))
+        )
+
+    def verify(self, lsp_public_key: PublicKey) -> bool:
+        """Check the LSP's signature.  Never raises."""
+        if self.lsp_signature is None:
+            return False
+        return lsp_public_key.verify(
+            sha256(self.signing_payload()), self.lsp_signature
+        )
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            {
+                "ledger_uri": self.ledger_uri,
+                "request_hash": self.request_hash,
+                "epoch": self.epoch,
+                "tree_size": self.tree_size,
+                "deadline_epochs": self.deadline_epochs,
+                "timestamp": self.timestamp,
+                "shard_index": self.shard_index,
+                "lsp_signature": (
+                    self.lsp_signature.to_bytes() if self.lsp_signature else b""
+                ),
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SubmissionAck":
+        obj = decode(data)
+        signature_bytes = bytes(obj["lsp_signature"])
+        return cls(
+            ledger_uri=obj["ledger_uri"],
+            request_hash=bytes(obj["request_hash"]),
+            epoch=obj["epoch"],
+            tree_size=obj["tree_size"],
+            deadline_epochs=obj["deadline_epochs"],
+            timestamp=obj["timestamp"],
+            shard_index=obj["shard_index"],
+            lsp_signature=(
+                Signature.from_bytes(signature_bytes) if signature_bytes else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CensorshipEvidence:
+    """A signed ack whose deadline passed, witnessed by a signed head.
+
+    ``sth`` must speak for the same stream as the ack and sit at or past
+    the promised deadline epoch.  The bundle does not (cannot) prove the
+    request is absent — absence is unfalsifiable from outside — it proves
+    the server owes an inclusion proof and lets :func:`refute_censorship`
+    settle the matter either way.
+    """
+
+    ack: SubmissionAck
+    sth: SignedTreeHead
+
+    def verify(self, lsp_public_key: PublicKey) -> bool:
+        """Offline check: both signatures, one stream, deadline expired."""
+        try:
+            return self._verify(lsp_public_key)
+        except (KeyError, ValueError, IndexError, TypeError):
+            return False
+
+    def _verify(self, lsp_public_key: PublicKey) -> bool:
+        if self.ack.deadline_epochs < 1:
+            return False
+        if not self.ack.verify(lsp_public_key):
+            return False
+        if not self.sth.verify(lsp_public_key):
+            return False
+        if self.sth.is_composite:
+            return False
+        if self.ack.ledger_uri != self.sth.ledger_uri:
+            return False
+        if self.ack.shard_index != self.sth.shard_index:
+            return False
+        return self.sth.epoch >= self.ack.epoch + self.ack.deadline_epochs
+
+    def to_bytes(self) -> bytes:
+        return encode({"ack": self.ack.to_bytes(), "sth": self.sth.to_bytes()})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CensorshipEvidence":
+        obj = decode(data)
+        return cls(
+            ack=SubmissionAck.from_bytes(bytes(obj["ack"])),
+            sth=SignedTreeHead.from_bytes(bytes(obj["sth"])),
+        )
+
+
+def refute_censorship(
+    evidence: CensorshipEvidence,
+    journal: "Journal",
+    proof: FamProof,
+    head: SignedTreeHead | None = None,
+    lsp_public_key: PublicKey | None = None,
+) -> bool:
+    """The server's exoneration: fold the acked request into a signed head.
+
+    ``journal`` must carry the ack's ``request_hash`` and ``proof`` must be
+    a full-chain (non-anchored) fam proof folding the journal to ``head``'s
+    root.  ``head`` defaults to the evidence's own head; passing a fresher
+    signed head (with ``lsp_public_key`` so its signature can be checked) is
+    how the server refutes after including the request late.  Never raises.
+    """
+    try:
+        if head is None:
+            head = evidence.sth
+        elif lsp_public_key is None or not head.verify(lsp_public_key):
+            return False
+        if head.is_composite:
+            return False
+        if head.ledger_uri != evidence.ack.ledger_uri:
+            return False
+        if head.shard_index != evidence.ack.shard_index:
+            return False
+        if journal.request_hash != evidence.ack.request_hash:
+            return False
+        return FamAccumulator.fold_full(journal.tx_hash(), proof) == head.root
+    except (KeyError, ValueError, IndexError, TypeError, AttributeError):
+        return False

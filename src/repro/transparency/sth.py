@@ -1,0 +1,664 @@
+"""Signed tree heads and non-equivocation evidence (DESIGN.md §16).
+
+The paper's LSP is still trusted in one important way: nothing stops it from
+showing client A one chain and client B another ("forking" / equivocation).
+The defence, borrowed from certificate-transparency-style systems (GlassDB,
+AQUAREUM — see PAPERS.md), is to make the server *commit* to one chain in a
+form third parties can compare:
+
+* a :class:`SignedTreeHead` (STH) binds the LSP key to the exact fam state
+  ``(epoch, tree_size, live_size, root)`` at a moment in time — one is
+  emitted automatically at every epoch close and any client can demand a
+  fresh one;
+* a :class:`ConsistencyBundle` proves head B append-only-extends head A
+  across fam epoch rolls (seal proof + merged-leaf links), so two honest
+  heads are always connectable;
+* a :class:`ConsistencyAssertion` is the LSP's *signed claim* that two
+  head coordinates carry specific roots — refusing to prove a signed claim
+  is suspicious, but signing a claim that contradicts a signed head is
+  **evidence**;
+* :class:`EquivocationEvidence` packages the conflicting signed statements
+  into a bundle that :func:`verify_equivocation` checks *offline*: no
+  ledger instance, no network — just the LSP public key.
+
+Everything here depends only on crypto/encoding/merkle, so evidence
+verifies in a process that has never imported the ledger kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..crypto.ecdsa import Signature
+from ..crypto.hashing import Digest, sha256
+from ..crypto.keys import KeyPair, PublicKey
+from ..encoding import decode, encode
+from ..merkle.consistency import ConsistencyProof
+from ..merkle.fam import FamAccumulator
+from ..merkle.proofs import MembershipProof
+from ..merkle.shrubs import ShrubsAccumulator
+
+__all__ = [
+    "SignedTreeHead",
+    "ConsistencyBundle",
+    "ConsistencyAssertion",
+    "EquivocationEvidence",
+    "SthStore",
+    "verify_equivocation",
+]
+
+#: ``shard_index`` of a non-sharded ledger's heads.
+SOLO_SHARD = -1
+#: ``epoch`` marker for a sharded deployment's composite head (a composite
+#: head commits the shard map, not a fam tree, so it has no epoch).
+COMPOSITE_EPOCH = -1
+
+
+@dataclass(frozen=True)
+class SignedTreeHead:
+    """The LSP's signed commitment to one exact fam state.
+
+    ``tree_size`` counts journals (fam jsns); ``live_size`` counts leaves of
+    the live epoch tree *including* the merged leaf, which is what the
+    consistency machinery operates on.  ``shard_index`` distinguishes the
+    per-shard streams of one sharded deployment — shards share the
+    deployment URI and LSP key, so without it two sibling shards at equal
+    coordinates would read as a fork.
+
+    A sharded deployment's *composite* head carries ``epoch == -1``,
+    ``live_size == number of shards``, the composite (shard-map) root, and
+    the per-shard head tuples in ``shard_heads`` so the composite root can
+    be re-folded by anyone (:meth:`composite_consistent`).
+    """
+
+    ledger_uri: str
+    epoch: int
+    tree_size: int
+    live_size: int
+    root: Digest
+    timestamp: float
+    fractal_height: int
+    shard_index: int = SOLO_SHARD
+    #: Composite heads only: (shard_index, epoch, tree_size, live_size, root)
+    #: per shard, in shard order.
+    shard_heads: tuple[tuple[int, int, int, int, Digest], ...] = ()
+    lsp_signature: Signature | None = None
+
+    # ------------------------------------------------------------- identity
+
+    @property
+    def is_composite(self) -> bool:
+        return self.epoch == COMPOSITE_EPOCH
+
+    @property
+    def coords(self) -> tuple[int, int, int]:
+        """The comparable position of this head: (epoch, tree_size, live_size)."""
+        return (self.epoch, self.tree_size, self.live_size)
+
+    def same_stream(self, other: "SignedTreeHead") -> bool:
+        """True when both heads speak for the same append-only stream."""
+        return (
+            self.ledger_uri == other.ledger_uri
+            and self.shard_index == other.shard_index
+            and self.fractal_height == other.fractal_height
+        )
+
+    def composite_consistent(self) -> bool:
+        """Re-fold ``shard_heads`` and compare with ``root`` (composite only).
+
+        The shard map is a plain Shrubs accumulator over the per-shard roots
+        in shard order, so anyone holding this head can recompute the
+        composite root with no ledger instance.
+        """
+        if not self.is_composite:
+            return False
+        shard_map = ShrubsAccumulator()
+        shard_map.extend([bytes(root) for *_coords, root in self.shard_heads])
+        return shard_map.root() == self.root
+
+    # -------------------------------------------------------------- signing
+
+    def signing_payload(self) -> bytes:
+        return encode(
+            {
+                "scheme": "repro.sth.v1",
+                "ledger_uri": self.ledger_uri,
+                "epoch": self.epoch,
+                "tree_size": self.tree_size,
+                "live_size": self.live_size,
+                "root": self.root,
+                "timestamp": self.timestamp,
+                "fractal_height": self.fractal_height,
+                "shard_index": self.shard_index,
+                "shard_heads": [list(entry) for entry in self.shard_heads],
+            }
+        )
+
+    def signed_by(self, lsp_keypair: KeyPair) -> "SignedTreeHead":
+        return replace(
+            self, lsp_signature=lsp_keypair.sign(sha256(self.signing_payload()))
+        )
+
+    def verify(self, lsp_public_key: PublicKey) -> bool:
+        """Check the LSP's signature.  Never raises."""
+        if self.lsp_signature is None:
+            return False
+        return lsp_public_key.verify(
+            sha256(self.signing_payload()), self.lsp_signature
+        )
+
+    # ------------------------------------------------------------ wire form
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            {
+                "ledger_uri": self.ledger_uri,
+                "epoch": self.epoch,
+                "tree_size": self.tree_size,
+                "live_size": self.live_size,
+                "root": self.root,
+                "timestamp": self.timestamp,
+                "fractal_height": self.fractal_height,
+                "shard_index": self.shard_index,
+                "shard_heads": [list(entry) for entry in self.shard_heads],
+                "lsp_signature": (
+                    self.lsp_signature.to_bytes() if self.lsp_signature else b""
+                ),
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SignedTreeHead":
+        obj = decode(data)
+        signature_bytes = bytes(obj["lsp_signature"])
+        return cls(
+            ledger_uri=obj["ledger_uri"],
+            epoch=obj["epoch"],
+            tree_size=obj["tree_size"],
+            live_size=obj["live_size"],
+            root=bytes(obj["root"]),
+            timestamp=obj["timestamp"],
+            fractal_height=obj["fractal_height"],
+            shard_index=obj["shard_index"],
+            shard_heads=tuple(
+                (int(s), int(e), int(t), int(l), bytes(r))
+                for s, e, t, l, r in obj["shard_heads"]
+            ),
+            lsp_signature=(
+                Signature.from_bytes(signature_bytes) if signature_bytes else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ConsistencyBundle:
+    """Append-only link between two signed tree heads across epoch rolls.
+
+    Within one epoch a plain :class:`ConsistencyProof` suffices (``live``).
+    Across epochs the bundle chains: ``seal`` proves the old head's epoch
+    grew append-only from the head's live size to full capacity (yielding
+    ``sealed_root``, the only *claimed* intermediate — the verify needs both
+    endpoint roots), then each ``links`` entry is the Rule-1 merged-leaf
+    proof whose folded root *derives* the next epoch root, and
+    ``final_link`` folds the last derived root into the new head's live
+    tree.  Intermediate epoch roots are therefore computed, not trusted.
+    """
+
+    old_epoch: int
+    old_live_size: int
+    new_epoch: int
+    new_live_size: int
+    live: ConsistencyProof | None = None
+    seal: ConsistencyProof | None = None
+    sealed_root: Digest | None = None
+    links: tuple[MembershipProof, ...] = ()
+    final_link: MembershipProof | None = None
+
+    @classmethod
+    def build(
+        cls,
+        fam: FamAccumulator,
+        old_epoch: int,
+        old_live_size: int,
+        new_epoch: int | None = None,
+        new_live_size: int | None = None,
+    ) -> "ConsistencyBundle":
+        """Build the bundle from the server's accumulator.
+
+        ``new_epoch``/``new_live_size`` default to the live head.  Both
+        endpoints may be historical — Shrubs interior nodes are immutable,
+        so any past head is still provable.
+        """
+        if new_epoch is None:
+            new_epoch = fam.num_epochs - 1
+        if new_live_size is None:
+            new_live_size = fam.live_size(new_epoch)
+        if not 0 <= old_epoch <= new_epoch < fam.num_epochs:
+            raise ValueError(
+                f"epoch pair ({old_epoch}, {new_epoch}) out of range "
+                f"[0, {fam.num_epochs})"
+            )
+        if old_epoch == new_epoch:
+            if not 0 < old_live_size <= new_live_size:
+                raise ValueError(
+                    f"need 0 < old_live_size <= new_live_size, got "
+                    f"({old_live_size}, {new_live_size})"
+                )
+            if old_live_size == new_live_size:
+                return cls(old_epoch, old_live_size, new_epoch, new_live_size)
+            return cls(
+                old_epoch,
+                old_live_size,
+                new_epoch,
+                new_live_size,
+                live=fam.prove_epoch_consistency(
+                    old_epoch, old_live_size, new_live_size
+                ),
+            )
+        capacity = fam.epoch_capacity
+        seal = fam.prove_epoch_consistency(old_epoch, old_live_size, capacity)
+        links = tuple(
+            fam.prove_epoch_link(k) for k in range(old_epoch + 1, new_epoch)
+        )
+        return cls(
+            old_epoch,
+            old_live_size,
+            new_epoch,
+            new_live_size,
+            seal=seal,
+            sealed_root=fam.epoch_root(old_epoch),
+            links=links,
+            final_link=fam.prove_head_link(new_epoch, new_live_size),
+        )
+
+    def verify(self, old: SignedTreeHead, new: SignedTreeHead) -> bool:
+        """Check that ``new`` append-only-extends ``old``.  Never raises.
+
+        Checks structure only — callers validate the heads' signatures and
+        stream identity separately (the :class:`Witness` does both).
+        """
+        try:
+            return self._verify(old, new)
+        except (KeyError, ValueError, IndexError, TypeError):
+            return False
+
+    def _verify(self, old: SignedTreeHead, new: SignedTreeHead) -> bool:
+        if not old.same_stream(new):
+            return False
+        if old.is_composite or new.is_composite:
+            return False  # composite heads have no epoch tree to connect
+        if (old.epoch, old.live_size) != (self.old_epoch, self.old_live_size):
+            return False
+        if (new.epoch, new.live_size) != (self.new_epoch, self.new_live_size):
+            return False
+        if (old.epoch, old.live_size) > (new.epoch, new.live_size):
+            return False
+        if old.tree_size > new.tree_size:
+            return False
+        if old.epoch == new.epoch:
+            if old.live_size == new.live_size:
+                return old.tree_size == new.tree_size and old.root == new.root
+            if self.live is None:
+                return False
+            if (self.live.old_size, self.live.new_size) != (
+                old.live_size,
+                new.live_size,
+            ):
+                return False
+            return self.live.verify(old.root, new.root)
+        # Cross-epoch: seal the old epoch, fold merged-leaf links forward.
+        capacity = 1 << old.fractal_height
+        if self.seal is None or self.sealed_root is None:
+            return False
+        if (self.seal.old_size, self.seal.new_size) != (old.live_size, capacity):
+            return False
+        if not self.seal.verify(old.root, self.sealed_root):
+            return False
+        if len(self.links) != new.epoch - old.epoch - 1:
+            return False
+        current = self.sealed_root
+        for link in self.links:
+            if link.leaf_index != 0 or link.tree_size != capacity:
+                return False
+            current = link.computed_root(current)
+        if self.final_link is None:
+            return False
+        if self.final_link.leaf_index != 0:
+            return False
+        if self.final_link.tree_size != new.live_size:
+            return False
+        return self.final_link.computed_root(current) == new.root
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            {
+                "old_epoch": self.old_epoch,
+                "old_live_size": self.old_live_size,
+                "new_epoch": self.new_epoch,
+                "new_live_size": self.new_live_size,
+                "live": self.live.to_bytes() if self.live else b"",
+                "seal": self.seal.to_bytes() if self.seal else b"",
+                "sealed_root": self.sealed_root if self.sealed_root else b"",
+                "links": [link.to_bytes() for link in self.links],
+                "final_link": self.final_link.to_bytes() if self.final_link else b"",
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ConsistencyBundle":
+        obj = decode(data)
+        live = bytes(obj["live"])
+        seal = bytes(obj["seal"])
+        sealed_root = bytes(obj["sealed_root"])
+        final_link = bytes(obj["final_link"])
+        return cls(
+            old_epoch=obj["old_epoch"],
+            old_live_size=obj["old_live_size"],
+            new_epoch=obj["new_epoch"],
+            new_live_size=obj["new_live_size"],
+            live=ConsistencyProof.from_bytes(live) if live else None,
+            seal=ConsistencyProof.from_bytes(seal) if seal else None,
+            sealed_root=sealed_root if sealed_root else None,
+            links=tuple(
+                MembershipProof.from_bytes(bytes(blob)) for blob in obj["links"]
+            ),
+            final_link=(
+                MembershipProof.from_bytes(final_link) if final_link else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ConsistencyAssertion:
+    """The LSP's *signed claim* that two head coordinates carry these roots.
+
+    Append-only extension to a given size does not determine a unique root,
+    so "the server's proof failed" is an alarm, not evidence — a broken
+    proof proves nothing about who lied.  An assertion closes that gap: the
+    server signs the endpoint roots it claims to connect, and a signed
+    assertion whose endpoint contradicts a signed head at the same
+    coordinates *is* offline-verifiable equivocation (see
+    :class:`EquivocationEvidence`).
+    """
+
+    ledger_uri: str
+    shard_index: int
+    fractal_height: int
+    old_epoch: int
+    old_tree_size: int
+    old_live_size: int
+    old_root: Digest
+    new_epoch: int
+    new_tree_size: int
+    new_live_size: int
+    new_root: Digest
+    timestamp: float
+    lsp_signature: Signature | None = None
+
+    def same_stream(self, head: SignedTreeHead) -> bool:
+        return (
+            self.ledger_uri == head.ledger_uri
+            and self.shard_index == head.shard_index
+            and self.fractal_height == head.fractal_height
+        )
+
+    def matches_old(self, head: SignedTreeHead) -> bool:
+        """True when ``head`` sits at this assertion's old coordinates."""
+        return self.same_stream(head) and head.coords == (
+            self.old_epoch,
+            self.old_tree_size,
+            self.old_live_size,
+        )
+
+    def matches_new(self, head: SignedTreeHead) -> bool:
+        return self.same_stream(head) and head.coords == (
+            self.new_epoch,
+            self.new_tree_size,
+            self.new_live_size,
+        )
+
+    def signing_payload(self) -> bytes:
+        return encode(
+            {
+                "scheme": "repro.sth-consistency.v1",
+                "ledger_uri": self.ledger_uri,
+                "shard_index": self.shard_index,
+                "fractal_height": self.fractal_height,
+                "old_epoch": self.old_epoch,
+                "old_tree_size": self.old_tree_size,
+                "old_live_size": self.old_live_size,
+                "old_root": self.old_root,
+                "new_epoch": self.new_epoch,
+                "new_tree_size": self.new_tree_size,
+                "new_live_size": self.new_live_size,
+                "new_root": self.new_root,
+                "timestamp": self.timestamp,
+            }
+        )
+
+    def signed_by(self, lsp_keypair: KeyPair) -> "ConsistencyAssertion":
+        return replace(
+            self, lsp_signature=lsp_keypair.sign(sha256(self.signing_payload()))
+        )
+
+    def verify(self, lsp_public_key: PublicKey) -> bool:
+        """Check the LSP's signature.  Never raises."""
+        if self.lsp_signature is None:
+            return False
+        return lsp_public_key.verify(
+            sha256(self.signing_payload()), self.lsp_signature
+        )
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            {
+                "ledger_uri": self.ledger_uri,
+                "shard_index": self.shard_index,
+                "fractal_height": self.fractal_height,
+                "old_epoch": self.old_epoch,
+                "old_tree_size": self.old_tree_size,
+                "old_live_size": self.old_live_size,
+                "old_root": self.old_root,
+                "new_epoch": self.new_epoch,
+                "new_tree_size": self.new_tree_size,
+                "new_live_size": self.new_live_size,
+                "new_root": self.new_root,
+                "timestamp": self.timestamp,
+                "lsp_signature": (
+                    self.lsp_signature.to_bytes() if self.lsp_signature else b""
+                ),
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ConsistencyAssertion":
+        obj = decode(data)
+        signature_bytes = bytes(obj["lsp_signature"])
+        return cls(
+            ledger_uri=obj["ledger_uri"],
+            shard_index=obj["shard_index"],
+            fractal_height=obj["fractal_height"],
+            old_epoch=obj["old_epoch"],
+            old_tree_size=obj["old_tree_size"],
+            old_live_size=obj["old_live_size"],
+            old_root=bytes(obj["old_root"]),
+            new_epoch=obj["new_epoch"],
+            new_tree_size=obj["new_tree_size"],
+            new_live_size=obj["new_live_size"],
+            new_root=bytes(obj["new_root"]),
+            timestamp=obj["timestamp"],
+            lsp_signature=(
+                Signature.from_bytes(signature_bytes) if signature_bytes else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class EquivocationEvidence:
+    """Two conflicting LSP-signed statements — the server forked its ledger.
+
+    Kinds:
+
+    * ``"fork-heads"`` — two signed heads at equal coordinates with
+      different roots (the classic CT fork proof);
+    * ``"fork-assertion"`` — a signed consistency assertion whose endpoint
+      contradicts a signed head at the same coordinates;
+    * ``"composite-mismatch"`` — a signed composite head whose embedded
+      shard heads do not re-fold to its own composite root;
+    * ``"fork-composite"`` — a signed per-shard head conflicting with the
+      same shard's entry inside a signed composite head.
+
+    Every kind verifies *offline* against only the LSP public key.
+    """
+
+    kind: str
+    first: SignedTreeHead
+    second: SignedTreeHead | None = None
+    assertion: ConsistencyAssertion | None = None
+    detail: str = ""
+
+    def verify(self, lsp_public_key: PublicKey) -> bool:
+        """Standalone check — no ledger, no network.  Never raises."""
+        try:
+            return self._verify(lsp_public_key)
+        except (KeyError, ValueError, IndexError, TypeError):
+            return False
+
+    def _verify(self, lsp_public_key: PublicKey) -> bool:
+        if not self.first.verify(lsp_public_key):
+            return False
+        if self.kind == "fork-heads":
+            if self.second is None or not self.second.verify(lsp_public_key):
+                return False
+            return (
+                self.first.same_stream(self.second)
+                and self.first.coords == self.second.coords
+                and self.first.root != self.second.root
+            )
+        if self.kind == "fork-assertion":
+            if self.assertion is None or not self.assertion.verify(lsp_public_key):
+                return False
+            assertion = self.assertion
+            head = self.first
+            if assertion.matches_old(head) and assertion.old_root != head.root:
+                return True
+            if assertion.matches_new(head) and assertion.new_root != head.root:
+                return True
+            return False
+        if self.kind == "composite-mismatch":
+            return self.first.is_composite and not self.first.composite_consistent()
+        if self.kind == "fork-composite":
+            if self.second is None or not self.second.verify(lsp_public_key):
+                return False
+            shard_head, composite = self.first, self.second
+            if not composite.is_composite or shard_head.is_composite:
+                return False
+            if composite.ledger_uri != shard_head.ledger_uri:
+                return False
+            if composite.fractal_height != shard_head.fractal_height:
+                return False
+            for shard, epoch, tree_size, live_size, root in composite.shard_heads:
+                if shard != shard_head.shard_index:
+                    continue
+                if (epoch, tree_size, live_size) == shard_head.coords:
+                    return bytes(root) != shard_head.root
+            return False
+        return False
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            {
+                "kind": self.kind,
+                "first": self.first.to_bytes(),
+                "second": self.second.to_bytes() if self.second else b"",
+                "assertion": self.assertion.to_bytes() if self.assertion else b"",
+                "detail": self.detail,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EquivocationEvidence":
+        obj = decode(data)
+        second = bytes(obj["second"])
+        assertion = bytes(obj["assertion"])
+        return cls(
+            kind=obj["kind"],
+            first=SignedTreeHead.from_bytes(bytes(obj["first"])),
+            second=SignedTreeHead.from_bytes(second) if second else None,
+            assertion=(
+                ConsistencyAssertion.from_bytes(assertion) if assertion else None
+            ),
+            detail=obj["detail"],
+        )
+
+
+def verify_equivocation(
+    evidence: EquivocationEvidence, lsp_public_key: PublicKey
+) -> bool:
+    """Offline verdict on an evidence bundle: True = the LSP equivocated.
+
+    The standalone entry point the gossip/audit tooling hands to third
+    parties: it touches only the evidence bytes and the LSP public key.
+    """
+    return evidence.verify(lsp_public_key)
+
+
+class SthStore:
+    """Append-only log of epoch-close heads, optionally file-backed.
+
+    The on-disk form is a flat sequence of ``4-byte big-endian length +
+    head bytes`` records; loading tolerates a torn tail (a crash mid-append
+    drops at most the in-flight record, mirroring the journal stream's
+    rollback discipline).
+    """
+
+    def __init__(self, path=None) -> None:
+        from pathlib import Path
+
+        self._path = Path(path) if path is not None else None
+        self._heads: list[SignedTreeHead] = []
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        data = self._path.read_bytes()
+        offset = 0
+        while offset + 4 <= len(data):
+            length = int.from_bytes(data[offset : offset + 4], "big")
+            if offset + 4 + length > len(data):
+                break  # torn tail: drop the partial record
+            try:
+                self._heads.append(
+                    SignedTreeHead.from_bytes(data[offset + 4 : offset + 4 + length])
+                )
+            except (KeyError, ValueError, TypeError):
+                break  # corrupt record poisons the suffix, keep the prefix
+            offset += 4 + length
+
+    def append(self, head: SignedTreeHead) -> None:
+        self._heads.append(head)
+        if self._path is not None:
+            blob = head.to_bytes()
+            with open(self._path, "ab") as fh:
+                fh.write(len(blob).to_bytes(4, "big") + blob)
+                fh.flush()
+
+    def heads(self) -> list[SignedTreeHead]:
+        return list(self._heads)
+
+    def latest(self) -> SignedTreeHead | None:
+        return self._heads[-1] if self._heads else None
+
+    def for_epoch(self, epoch: int) -> SignedTreeHead | None:
+        """The epoch-close head minted when ``epoch`` became the live epoch."""
+        for head in reversed(self._heads):
+            if head.epoch == epoch:
+                return head
+        return None
+
+    def range(self, start: int, end: int) -> list[SignedTreeHead]:
+        """Stored heads with ``start <= epoch < end``, in emission order."""
+        return [head for head in self._heads if start <= head.epoch < end]
+
+    def __len__(self) -> int:
+        return len(self._heads)

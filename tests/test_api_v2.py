@@ -8,6 +8,7 @@ import pytest
 
 import repro.api as api
 from repro.core import VerifyResult
+from repro.core.verification import VerifyTarget
 from repro.core.errors import LedgerError, UsageError
 from repro.crypto import KeyPair, Role
 from repro.service import LedgerService, ServiceConfig
@@ -250,113 +251,65 @@ class TestVerifyResult:
 
 
 # ------------------------------------------------------------- v1 shims
+# ------------------------------------------------------- v1 tombstones
 
 
-class TestDeprecatedFacade:
-    @pytest.fixture(autouse=True)
-    def hygiene(self):
-        yield
-        api.drop_ledger(URI, missing_ok=True)
+class TestSunsetFacade:
+    """The v1 facade finished its deprecation window: every function is a
+    tombstone raising UsageError with the mechanical migration hint."""
 
-    def test_every_shim_warns_and_delegates(self):
+    SHIM_CALLS = [
+        ("create", lambda v1: v1.create(URI)),
+        ("get_ledger", lambda v1: v1.get_ledger(URI)),
+        ("drop_ledger", lambda v1: v1.drop_ledger(URI)),
+        ("append_tx", lambda v1: v1.append_tx(URI, "u", b"doc", clue="D")),
+        ("append_tx_batch", lambda v1: v1.append_tx_batch(URI, "u", [(b"a", None)])),
+        ("list_tx", lambda v1: v1.list_tx(URI, "D")),
+        ("get_proof", lambda v1: v1.get_proof(URI, 0)),
+        ("verify", lambda v1: v1.verify(URI, VerifyTarget.TX, txdata=[])),
+    ]
+
+    def test_every_shim_raises_with_migration_hint(self):
         from repro.core import api as v1
 
-        keypair = KeyPair.generate(seed="v1:user")
-        with pytest.warns(DeprecationWarning):
-            ledger = v1.create(URI)
-        ledger.registry.register("u", Role.USER, keypair.public)
-        assert api.get_ledger(URI) is ledger  # one shared registry
-        with pytest.warns(DeprecationWarning):
-            assert v1.get_ledger(URI) is ledger
-        with pytest.warns(DeprecationWarning):
-            receipt = v1.append_tx(URI, "u", b"doc", clue="D", keypair=keypair)
-        with pytest.warns(DeprecationWarning):
-            journals = v1.list_tx(URI, "D")
-        assert [j.jsn for j in journals] == [receipt.jsn]
-        with pytest.warns(DeprecationWarning):
-            proof = v1.get_proof(URI, receipt.jsn, anchored=False)
-        with pytest.warns(DeprecationWarning):
-            result = v1.verify(
-                URI,
-                v1.VerifyTarget.TX,
-                txdata=journals,
-                rho=proof,
-                level=v1.VerifyLevel.CLIENT,
-            )
-        assert isinstance(result, VerifyResult) and result
-        with pytest.warns(DeprecationWarning):
-            v1.drop_ledger(URI)
+        for name, call in self.SHIM_CALLS:
+            with pytest.raises(UsageError) as excinfo:
+                call(v1)
+            message = str(excinfo.value)
+            assert f"repro.core.api.{name} was removed" in message
+            assert "repro.api" in message  # names the v2 home
+            assert "connect" in message  # ...and the mechanical migration
+
+    def test_shims_raise_before_touching_the_registry(self):
+        """A tombstone must not create, resolve, or drop anything."""
+        from repro.core import api as v1
+
+        with pytest.raises(UsageError):
+            v1.create(URI)
         assert URI not in api.list_ledgers()
-
-    def test_shim_argument_mistakes_raise_usage_error(self):
-        from repro.core import api as v1
-
         api.create(URI)
-        with pytest.warns(DeprecationWarning):
+        try:
             with pytest.raises(UsageError):
-                v1.append_tx(URI, "u", b"x")  # no keypair, no request
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(UsageError):
-                v1.append_tx_batch(URI, "u")  # neither items nor requests
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(UsageError):
-                v1.drop_ledger("ledger://not-there")
+                v1.drop_ledger(URI)
+            assert URI in api.list_ledgers()  # v1 can no longer drop it
+        finally:
+            api.drop_ledger(URI)
 
-    def test_each_shim_call_warns_exactly_once(self):
-        """One shim call -> one DeprecationWarning, even though every shim
-        delegates into the v2 session API internally."""
+    def test_enum_reexports_stay_importable_and_silent(self):
+        """Only the functions were removed: the v1-era enum import path
+        still works, warning-free."""
         import warnings
 
-        from repro.core import api as v1
-
-        keypair = KeyPair.generate(seed="v1:once")
-
-        def deprecations(caught):
-            return [w for w in caught if issubclass(w.category, DeprecationWarning)]
-
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            ledger = v1.create(URI)
-        assert len(deprecations(caught)) == 1
-        ledger.registry.register("u", Role.USER, keypair.public)
+            from repro.core.api import VerifyLevel as L
+            from repro.core.api import VerifyResult as R
+            from repro.core.api import VerifyTarget as T
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            receipt = v1.append_tx(URI, "u", b"doc", clue="D", keypair=keypair)
-        assert len(deprecations(caught)) == 1
+            assert T.TX.value == "tx" and T.CLUE.value == "clue"
+            assert L.SERVER.value == "server" and L.CLIENT.value == "client"
+            assert R is VerifyResult
+        assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        from repro.core.verification import VerifyTarget as home
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            v1.list_tx(URI, "D")
-            v1.get_proof(URI, receipt.jsn, anchored=False)
-        assert len(deprecations(caught)) == 2  # one per call, none extra
-
-        # Importing the enums is NOT deprecated — only the functions are.
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            assert v1.VerifyTarget.TX.value == "tx"
-            assert v1.VerifyLevel.CLIENT.value == "client"
-        assert len(deprecations(caught)) == 0
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            v1.drop_ledger(URI)
-        assert len(deprecations(caught)) == 1
-
-    def test_verify_bool_compat(self):
-        """Old call sites doing `assert verify(...)`/`if not verify(...)` hold."""
-        from repro.core import api as v1
-
-        keypair = KeyPair.generate(seed="v1:bool")
-        api.create(URI)
-        api.connect(URI).ledger.registry.register("u", Role.USER, keypair.public)
-        with pytest.warns(DeprecationWarning):
-            v1.append_tx(URI, "u", b"a", clue="K", keypair=keypair)
-        with pytest.warns(DeprecationWarning):
-            journals = v1.list_tx(URI, "K")
-        with pytest.warns(DeprecationWarning):
-            ok = v1.verify(URI, v1.VerifyTarget.CLUE, key="K", txdata=journals)
-        assert ok  # truthy VerifyResult
-        with pytest.warns(DeprecationWarning):
-            bad = v1.verify(URI, v1.VerifyTarget.CLUE, key="K", txdata=[])
-        assert not bad  # falsy, not an exception
+        assert T is home  # same object, not a copy
