@@ -1,0 +1,151 @@
+"""Export-bundle benchmark: build, standalone verify, and rebuild cost.
+
+Standalone script (same conventions as ``bench_proof_read.py``)::
+
+    PYTHONPATH=src python benchmarks/bench_export.py [--quick] [--out FILE]
+
+One section, ``export``, over a seeded TSA-anchored deployment:
+
+* ``build_us_per_journal`` — ``export_bundle()`` wall time amortised over
+  the journals carried (proof generation dominates: one full-chain fam
+  proof per journal plus the STH/consistency chain).
+* ``verify_us_per_journal`` — the standalone verifier over the decoded
+  bundle (``verify_bundle``, TSA keys supplied so all three Dasein
+  factors run).  This is the auditor's cost — no ledger, no service, no
+  network — and the ``verify_speedup`` ratio pins it against rebuilding.
+* ``decode_us_per_journal`` — ``ExportBundle.from_bytes`` including the
+  crc32c integrity sweep; the floor cost of *opening* a bundle at all.
+* ``rebuild_us_per_journal`` — ``rebuild_from_bundle()``: full journal
+  replay through ``Ledger.recover`` plus every cross-check.  Note the
+  inversion: rebuild *beats* standalone verification per journal,
+  because recovery trusts the retained digests it re-derives and batches
+  its crypto, while the standalone verifier pays one ECDSA verify per
+  journal signature plus one full-chain proof fold — the price of
+  trusting nothing.  ``rebuild_vs_verify`` records the ratio
+  (informational; the CI gate compares each timing against the
+  committed baseline via ``compare_bench --metric export.*``).
+* ``bundle_bytes_per_journal`` — container size amortised per journal.
+
+Every timed phase is checked before it is trusted: the bundle must
+verify ``ok``, the rebuild must report zero divergences, and the rebuilt
+root must equal the source's.  ``--quick`` shrinks the workload for CI
+smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import LedgerSession  # noqa: E402
+from repro.core import Ledger, LedgerConfig  # noqa: E402
+from repro.crypto import KeyPair, Role  # noqa: E402
+from repro.export.bundle import ExportBundle, export_bundle  # noqa: E402
+from repro.export.rebuild import rebuild_from_bundle  # noqa: E402
+from repro.export.verifier import verify_bundle  # noqa: E402
+from repro.timeauth import SimClock, TimeStampAuthority  # noqa: E402
+
+URI = "ledger://bench-export"
+
+
+def build_deployment(journals: int):
+    clock = SimClock()
+    tsa = TimeStampAuthority("bench-tsa", clock)
+    ledger = Ledger(
+        LedgerConfig(uri=URI, fractal_height=4, block_size=16), clock=clock
+    )
+    ledger.attach_tsa(tsa)
+    user = KeyPair.generate(seed="bench-export-user")
+    ledger.registry.register("user", Role.USER, user.public)
+    session = LedgerSession(ledger, client_id="user", keypair=user)
+    for index in range(journals):
+        session.append(b"export bench record %06d" % index, clues=(f"B-{index % 8}",))
+        clock.advance(0.05)
+        if index % 32 == 31:
+            ledger.anchor_time()
+    ledger.anchor_time()
+    ledger.commit_block()
+    return ledger, {"bench-tsa": tsa.public_key}
+
+
+def bench_export(journals: int, rounds: int) -> dict:
+    ledger, tsa_keys = build_deployment(journals)
+    carried = ledger.size  # journals + time anchors
+
+    build_times, decode_times, verify_times, rebuild_times = [], [], [], []
+    blob = b""
+    for _ in range(rounds):
+        start = time.perf_counter()
+        bundle = export_bundle(ledger, clues=("B-0", "B-3"))
+        build_times.append(time.perf_counter() - start)
+        blob = bundle.to_bytes()
+
+        start = time.perf_counter()
+        decoded = ExportBundle.from_bytes(blob)
+        decode_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        result = verify_bundle(decoded, tsa_keys=tsa_keys)
+        verify_times.append(time.perf_counter() - start)
+        if not result.ok:
+            raise SystemExit(f"bundle failed verification: {result.detail}")
+
+        start = time.perf_counter()
+        rebuilt, report = rebuild_from_bundle(decoded)
+        rebuild_times.append(time.perf_counter() - start)
+        if not report.ok:
+            raise SystemExit(f"rebuild diverged: {report.divergences}")
+        if rebuilt.current_root() != ledger.current_root():
+            raise SystemExit("rebuilt root does not match the source")
+
+    scale = 1e6 / carried
+    verify_us = min(verify_times) * scale
+    rebuild_us = min(rebuild_times) * scale
+    return {
+        "journals": carried,
+        "rounds": rounds,
+        "bundle_bytes": len(blob),
+        "bundle_bytes_per_journal": round(len(blob) / carried, 1),
+        "build_us_per_journal": round(min(build_times) * scale, 2),
+        "decode_us_per_journal": round(min(decode_times) * scale, 2),
+        "verify_us_per_journal": round(verify_us, 2),
+        "rebuild_us_per_journal": round(rebuild_us, 2),
+        "rebuild_vs_verify": round(rebuild_us / verify_us, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke scale")
+    parser.add_argument("--journals", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    journals = args.journals or (128 if args.quick else 512)
+    rounds = args.rounds or (2 if args.quick else 3)
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "quick": bool(args.quick),
+        },
+        "export": bench_export(journals, rounds),
+    }
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out:
+        args.out.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

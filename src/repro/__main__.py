@@ -16,13 +16,27 @@ Commands:
 * ``compact`` — rewrite a persistent ledger's paged node store down to its
   live node set (DESIGN.md §13) and refresh the snapshot's page manifest;
 * ``serve``  — expose a ledger over TCP (DESIGN.md §14): the asyncio frame
-  server fronting the group-commit service, for remote verifying clients.
+  server fronting the group-commit service, for remote verifying clients;
+* ``export`` — write an offline export bundle (DESIGN.md §17) from a
+  persistent ledger or a seeded demo deployment;
+* ``verify-bundle`` — standalone what/when/who + STH verification of a
+  bundle file, no ledger kernel imported;
+* ``rebuild`` — reconstruct a full deployment from a bundle or a raw
+  journal stream and cross-check every root, anchor, and tree head.
+
+Subcommands register declaratively in :data:`_SUBCOMMANDS`: shared options
+(``--json``, ``--journals``, ``--shards``, ``--data-dir``) are installed
+from one place, and every command's :class:`~repro.core.errors.LedgerError`
+failures are formatted uniformly (typed name + message on stderr, exit 2)
+instead of per-command try/except blocks.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
+from typing import Any, Callable
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -633,108 +647,449 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+# ------------------------------------------------- export / verify / rebuild
+
+
+def _export_workload(journals: int, shards: int, data_dir: str | None = None):
+    """Deterministic export-demo deployment (persistent when ``data_dir``).
+
+    Same discipline as :func:`_audit_workload`: seeded keys, sim clock,
+    periodic TSA anchors, committed blocks — identical bytes for a given
+    ``(journals, shards)`` on every run, which is what makes the CLI
+    self-check (export → verify-bundle → rebuild) meaningful in CI.
+    """
+    from repro import KeyPair, Ledger, LedgerConfig, Role, SimClock, TimeStampAuthority
+    from repro.api import LedgerSession
+
+    clock = SimClock()
+    tsa = TimeStampAuthority("export-tsa", clock)
+    config_kwargs: dict = {
+        "uri": "ledger://export-demo",
+        "fractal_height": 4,
+        "block_size": 8,
+        "shards": shards,
+    }
+    if data_dir:
+        config_kwargs.update(node_store="paged", data_dir=data_dir)
+    config = LedgerConfig(**config_kwargs)
+    if shards > 1:
+        from repro.shard import ShardedLedger
+
+        ledger = ShardedLedger(config, clock=clock)
+    else:
+        ledger = Ledger(config, clock=clock)
+    ledger.attach_tsa(tsa)
+    user = KeyPair.generate(seed="export-user")
+    ledger.registry.register("export-user", Role.USER, user.public)
+    with LedgerSession(ledger, client_id="export-user", keypair=user) as session:
+        for index in range(journals):
+            clue = "EXPORT" if shards == 1 else f"EXPORT-{index % (4 * shards)}"
+            session.append(f"export record {index}".encode(), clue=clue)
+            clock.advance(0.25)
+            if index % 8 == 7:
+                ledger.anchor_time()
+    ledger.commit_block()
+    return ledger
+
+
+def _open_persistent(data_dir: str):
+    """Reopen a persistent deployment with deployment-deterministic keys.
+
+    The default LSP keypair is the ``lsp:<uri>`` seed every default
+    deployment uses; a ledger created with an explicit operator keypair
+    cannot be reopened by the CLI (the append path would mis-sign) and
+    refuses with a typed error from the kernel.
+    """
+    from pathlib import Path
+
+    from repro.core.ledger import CONFIG_FILE, Ledger
+    from repro.core.snapshot import load_config_file
+    from repro.crypto.keys import KeyPair
+    from repro.core.members import MemberRegistry
+
+    base = Path(data_dir)
+    config = load_config_file(base / CONFIG_FILE, data_dir=str(base))
+    lsp_keypair = KeyPair.generate(seed=f"lsp:{config.uri}")
+    registry = MemberRegistry()
+    if config.shards > 1:
+        from repro.shard import ShardedLedger
+
+        return ShardedLedger.open(str(base), registry, lsp_keypair)
+    return Ledger.open(str(base), registry, lsp_keypair)
+
+
+def _close_quietly(ledger: Any) -> None:
+    """Release a CLI-opened ledger without mutating its source directory."""
+    import contextlib
+
+    with contextlib.suppress(Exception):
+        ledger.close(checkpoint=False)
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.export.bundle import export_bundle
+
+    if args.data_dir and not args.demo:
+        ledger = _open_persistent(args.data_dir)
+    else:
+        ledger = _export_workload(args.journals, args.shards, data_dir=args.data_dir)
+    try:
+        bundle = export_bundle(ledger, clues=tuple(args.clue or ()), path=args.out)
+    finally:
+        _close_quietly(ledger)
+    size = Path(args.out).stat().st_size
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "path": args.out,
+                    "bytes": size,
+                    "ledger_uri": bundle.ledger_uri,
+                    "journals": bundle.journal_count,
+                    "shards": bundle.num_shards,
+                    "clues": sorted(args.clue or ()),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"exported {bundle.ledger_uri}: {bundle.journal_count} journals "
+            f"across {bundle.num_shards} shard(s) -> {args.out} ({size} bytes)"
+        )
+    return 0
+
+
+def _cmd_verify_bundle(args: argparse.Namespace) -> int:
+    import json
+
+    # Deliberately only the standalone slice: repro.export.verifier never
+    # imports the ledger kernel, the service layer, or the network stack.
+    from repro.export.bundle import ExportBundle
+    from repro.export.verifier import verify_bundle
+
+    bundle = ExportBundle.read(args.bundle)
+    result = verify_bundle(bundle)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": result.ok,
+                    "what": result.what,
+                    "when": result.when,
+                    "who": result.who,
+                    "target": result.target,
+                    "level": result.level,
+                    "detail": result.detail,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"bundle {args.bundle}: ok={result.ok} what={result.what} "
+            f"when={result.when} who={result.who}"
+        )
+        if result.detail:
+            print(f"  {result.detail}")
+    return 0 if result.ok else 1
+
+
+def _cmd_rebuild(args: argparse.Namespace) -> int:
+    import json
+
+    if (args.bundle is None) == (args.data_dir is None):
+        print(
+            "rebuild: pass exactly one of --bundle or --data-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if args.bundle is not None:
+        from repro.export.bundle import ExportBundle
+        from repro.export.rebuild import rebuild_from_bundle
+
+        ledger, report = rebuild_from_bundle(ExportBundle.read(args.bundle))
+    else:
+        from repro.export.rebuild import rebuild_from_stream
+
+        ledger, report = rebuild_from_stream(args.data_dir)
+    _close_quietly(ledger)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": report.ok,
+                    "source": report.source,
+                    "ledger_uri": report.ledger_uri,
+                    "num_shards": report.num_shards,
+                    "journals": report.journals,
+                    "checks": list(report.checks),
+                    "divergences": [
+                        {
+                            "kind": d.kind,
+                            "shard_index": d.shard_index,
+                            "coordinate": d.coordinate,
+                            "detail": d.detail,
+                        }
+                        for d in report.divergences
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"rebuilt {report.ledger_uri} from {report.source}: ok={report.ok} "
+            f"({report.journals} journals, {report.num_shards} shard(s), "
+            f"checks: {', '.join(report.checks)})"
+        )
+        for divergence in report.divergences:
+            print(
+                f"  DIVERGED [{divergence.kind}] shard {divergence.shard_index} "
+                f"{divergence.coordinate}: {divergence.detail}"
+            )
+    return 0 if report.ok else 1
+
+
+# ----------------------------------------------------- subcommand registry
+
+#: An installer takes the subcommand's parser and adds arguments to it.
+_Installer = Callable[[argparse.ArgumentParser], None]
+
+
+def _opt_json(help: str = "print machine-readable JSON") -> _Installer:
+    def install(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--json", action="store_true", help=help)
+
+    return install
+
+
+def _opt_journals(default: int) -> _Installer:
+    def install(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--journals", type=int, default=default,
+            help=f"workload size (default: {default})",
+        )
+
+    return install
+
+
+def _opt_shards(help: str) -> _Installer:
+    def install(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--shards", type=int, default=1, help=help)
+
+    return install
+
+
+def _opt_data_dir(help: str, *, positional: bool = False) -> _Installer:
+    def install(parser: argparse.ArgumentParser) -> None:
+        if positional:
+            parser.add_argument("data_dir", help=help)
+        else:
+            parser.add_argument("--data-dir", default=None, help=help)
+
+    return install
+
+
+def _args_audit(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="parallel signature workers (0 = sequential engine)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="write resumable checkpoints to PATH while auditing",
+    )
+    parser.add_argument(
+        "--resume", metavar="CHECKPOINT", default=None,
+        help="resume from (and keep checkpointing to) CHECKPOINT",
+    )
+
+
+def _args_bench(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("experiments", nargs="*", help="subset (default: all)")
+    parser.add_argument("--full", action="store_true", help="full-size sweeps")
+
+
+def _args_serve(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7468, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument("--uri", default="ledger://served", help="ledger URI")
+    parser.add_argument(
+        "--fractal-height", type=int, default=8, help="FAM epoch height (default: 8)"
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=64, help="journals per block (default: 64)"
+    )
+    parser.add_argument(
+        "--seed-demo", action="store_true",
+        help='register the deterministic "demo-user" principal',
+    )
+    parser.add_argument(
+        "--allow-register", action="store_true",
+        help="let remote peers self-register as role 'user' (off by default; "
+        "privileged roles can never be registered over the wire)",
+    )
+
+
+def _args_export(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--out", required=True, metavar="PATH", help="bundle file to write"
+    )
+    parser.add_argument(
+        "--demo", action="store_true",
+        help="seed the deterministic export-demo workload (into --data-dir "
+        "when given, else in memory) instead of opening an existing ledger",
+    )
+    parser.add_argument(
+        "--clue", action="append", metavar="CLUE", default=None,
+        help="include this clue lineage with its CM-Tree proof (repeatable)",
+    )
+
+
+def _args_rebuild(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--bundle", metavar="PATH", default=None,
+        help="rebuild from this export bundle file",
+    )
+
+
+@dataclass(frozen=True)
+class Subcommand:
+    """One ``python -m repro`` command, declared instead of hand-wired."""
+
+    name: str
+    help: str
+    fn: Callable[[argparse.Namespace], int]
+    options: tuple[_Installer, ...] = ()
+
+
+_SUBCOMMANDS: tuple[Subcommand, ...] = (
+    Subcommand("demo", "guided end-to-end scenario", _cmd_demo),
+    Subcommand(
+        "audit", "run the §V Dasein-complete audit on a seeded workload",
+        _cmd_audit,
+        (
+            _opt_json("print the report as JSON"),
+            _opt_journals(96),
+            _opt_shards(
+                "hash-partition the workload over N shards and audit each "
+                "in parallel (default: 1)"
+            ),
+            _args_audit,
+        ),
+    ),
+    Subcommand("bench", "reproduce the paper's tables/figures", _cmd_bench, (_args_bench,)),
+    Subcommand("attack", "timestamp-attack scenarios (Figure 5)", _cmd_attack),
+    Subcommand("table1", "print the Table-I matrix", _cmd_table1),
+    Subcommand(
+        "witness",
+        "run the §16 non-equivocation scenarios (fork, censorship, honest)",
+        _cmd_witness,
+        (_opt_json("print results as JSON"),),
+    ),
+    Subcommand(
+        "stats", "instrumented workload + observability snapshot",
+        _cmd_stats,
+        (_opt_json("print raw snapshot JSON"), _opt_journals(24)),
+    ),
+    Subcommand(
+        "serve", "expose a ledger over TCP for remote verifying clients",
+        _cmd_serve,
+        (
+            _opt_data_dir(
+                "persist to this directory (paged node store); default in-memory"
+            ),
+            _opt_shards(
+                "run N hash-partitioned shards under one composite root; "
+                "shard k listens on port+k (default: 1)"
+            ),
+            _args_serve,
+        ),
+    ),
+    Subcommand(
+        "compact", "compact a persistent ledger's paged node store",
+        _cmd_compact,
+        (
+            _opt_data_dir("ledger data directory (holds nodes/)", positional=True),
+            _opt_json("print stats as JSON"),
+        ),
+    ),
+    Subcommand(
+        "export", "write an offline export bundle (DESIGN.md §17)",
+        _cmd_export,
+        (
+            _opt_data_dir(
+                "persistent ledger to export — or, with --demo, where to "
+                "seed the demo deployment"
+            ),
+            _opt_json(),
+            _opt_journals(24),
+            _opt_shards("seed the --demo workload over N shards (default: 1)"),
+            _args_export,
+        ),
+    ),
+    Subcommand(
+        "verify-bundle",
+        "standalone what/when/who verification of a bundle file",
+        _cmd_verify_bundle,
+        (
+            _opt_json(),
+            lambda parser: parser.add_argument("bundle", help="bundle file to verify"),
+        ),
+    ),
+    Subcommand(
+        "rebuild",
+        "rebuild a deployment from a bundle or raw stream and cross-check it",
+        _cmd_rebuild,
+        (
+            _opt_data_dir("rebuild from this directory's raw journal stream(s)"),
+            _opt_json(),
+            _args_rebuild,
+        ),
+    ),
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="LedgerDB ubiquitous-verification reproduction (ICDE 2022)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    for command in _SUBCOMMANDS:
+        command_parser = sub.add_parser(command.name, help=command.help)
+        for install in command.options:
+            install(command_parser)
+        command_parser.set_defaults(fn=command.fn)
+    return parser
 
-    sub.add_parser("demo", help="guided end-to-end scenario").set_defaults(fn=_cmd_demo)
 
-    audit = sub.add_parser(
-        "audit", help="run the §V Dasein-complete audit on a seeded workload"
-    )
-    audit.add_argument(
-        "--workers", type=int, default=0,
-        help="parallel signature workers (0 = sequential engine)",
-    )
-    audit.add_argument("--json", action="store_true", help="print the report as JSON")
-    audit.add_argument(
-        "--journals", type=int, default=96, help="workload size (default: 96)"
-    )
-    audit.add_argument(
-        "--checkpoint", metavar="PATH", default=None,
-        help="write resumable checkpoints to PATH while auditing",
-    )
-    audit.add_argument(
-        "--resume", metavar="CHECKPOINT", default=None,
-        help="resume from (and keep checkpointing to) CHECKPOINT",
-    )
-    audit.add_argument(
-        "--shards", type=int, default=1,
-        help="hash-partition the workload over N shards and audit each in "
-        "parallel (default: 1)",
-    )
-    audit.set_defaults(fn=_cmd_audit)
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except Exception as exc:
+        # Uniform error surface for every subcommand: repro's typed errors
+        # print as "<command>: <Type>: <message>" and exit 2 instead of a
+        # traceback; genuine bugs (non-LedgerError) still traceback.
+        from repro.core.errors import LedgerError
 
-    bench = sub.add_parser("bench", help="reproduce the paper's tables/figures")
-    bench.add_argument("experiments", nargs="*", help="subset (default: all)")
-    bench.add_argument("--full", action="store_true", help="full-size sweeps")
-    bench.set_defaults(fn=_cmd_bench)
-
-    sub.add_parser("attack", help="timestamp-attack scenarios (Figure 5)").set_defaults(
-        fn=_cmd_attack
-    )
-    sub.add_parser("table1", help="print the Table-I matrix").set_defaults(fn=_cmd_table1)
-
-    witness = sub.add_parser(
-        "witness",
-        help="run the §16 non-equivocation scenarios (fork, censorship, honest)",
-    )
-    witness.add_argument("--json", action="store_true", help="print results as JSON")
-    witness.set_defaults(fn=_cmd_witness)
-
-    stats = sub.add_parser(
-        "stats", help="instrumented workload + observability snapshot"
-    )
-    stats.add_argument("--json", action="store_true", help="print raw snapshot JSON")
-    stats.add_argument(
-        "--journals", type=int, default=24, help="workload size (default: 24)"
-    )
-    stats.set_defaults(fn=_cmd_stats)
-
-    serve = sub.add_parser(
-        "serve", help="expose a ledger over TCP for remote verifying clients"
-    )
-    serve.add_argument("--host", default="127.0.0.1", help="bind address")
-    serve.add_argument("--port", type=int, default=7468, help="bind port (0 = ephemeral)")
-    serve.add_argument("--uri", default="ledger://served", help="ledger URI")
-    serve.add_argument(
-        "--data-dir", default=None,
-        help="persist to this directory (paged node store); default in-memory",
-    )
-    serve.add_argument(
-        "--fractal-height", type=int, default=8, help="FAM epoch height (default: 8)"
-    )
-    serve.add_argument(
-        "--block-size", type=int, default=64, help="journals per block (default: 64)"
-    )
-    serve.add_argument(
-        "--seed-demo", action="store_true",
-        help='register the deterministic "demo-user" principal',
-    )
-    serve.add_argument(
-        "--allow-register", action="store_true",
-        help="let remote peers self-register as role 'user' (off by default; "
-        "privileged roles can never be registered over the wire)",
-    )
-    serve.add_argument(
-        "--shards", type=int, default=1,
-        help="run N hash-partitioned shards under one composite root; shard "
-        "k listens on port+k (default: 1)",
-    )
-    serve.set_defaults(fn=_cmd_serve)
-
-    compact = sub.add_parser(
-        "compact", help="compact a persistent ledger's paged node store"
-    )
-    compact.add_argument("data_dir", help="ledger data directory (holds nodes/)")
-    compact.add_argument("--json", action="store_true", help="print stats as JSON")
-    compact.set_defaults(fn=_cmd_compact)
-
-    args = parser.parse_args(argv)
-    return args.fn(args)
+        if not isinstance(exc, LedgerError):
+            raise
+        print(
+            f"python -m repro {args.command}: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
 
 
 if __name__ == "__main__":

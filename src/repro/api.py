@@ -31,6 +31,7 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from .artifacts import Artifact
 from .audit import AuditReport, CheckpointStore
 from .core.errors import UsageError
 from .core.journal import ClientRequest, Journal
@@ -43,9 +44,16 @@ from .core.verification import (
     VerifyTarget,
 )
 from .crypto.keys import KeyPair, PublicKey
+from .export.bundle import ExportBundle, export_bundle
+from .export.rebuild import RebuildReport
 from .merkle.fam import FamAccumulator, FamProof
 from .service import LedgerService
-from .session import SessionHelpers, VerifyingSession
+from .session import (
+    CAPABILITIES,
+    SessionHelpers,
+    VerifyingSession,
+    check_transport_kwargs,
+)
 from .transparency.censorship import SubmissionAck
 from .transparency.sth import (
     ConsistencyAssertion,
@@ -54,7 +62,10 @@ from .transparency.sth import (
 )
 
 __all__ = [
+    "Artifact",
     "AuditReport",
+    "ExportBundle",
+    "RebuildReport",
     "VerifyLevel",
     "VerifyTarget",
     "VerifyResult",
@@ -162,8 +173,10 @@ def scoped_ledger(
     client_id: str | None = None,
     keypair: KeyPair | None = None,
     service: LedgerService | ServiceConfigLike = None,
+    expected_lsp_key: Any = None,
+    timeout: float | None = None,
     **kwargs: Any,
-) -> Iterator["LedgerSession"]:
+) -> Iterator["VerifyingSession"]:
     """Create a ledger for the block's duration and drop it on exit.
 
     Yields a :class:`LedgerSession` (its ``.ledger`` attribute is the raw
@@ -171,7 +184,43 @@ def scoped_ledger(
     session arguments mirror :func:`connect`.  Exists for test hygiene: the
     registry is process-wide, and a test that leaks ledgers poisons its
     neighbours' ``create`` calls.
+
+    ``lgid`` accepts the same URI forms as :func:`connect`: a
+    ``ledger://host:port`` address scopes a *remote* session instead — the
+    connection lasts for the block, nothing is created or dropped (the
+    server owns its ledger's lifecycle), and construction ``kwargs`` are
+    refused because they cannot reach the remote deployment.
+
+    Raises:
+        UsageError: remote address with :func:`create` kwargs, or a kwarg
+            the resolved transport does not support (per the
+            :data:`~repro.session.CAPABILITIES` table).
     """
+    with _REGISTRY_LOCK:
+        registered = lgid in _REGISTRY
+    if not registered and _parse_remote_uri(lgid) is not None:
+        if kwargs:
+            raise UsageError(
+                f"scoped_ledger({lgid!r}) is a remote scope: constructor "
+                f"arguments {sorted(kwargs)} cannot apply — the server owns "
+                f"its ledger's lifecycle"
+            )
+        session = connect(
+            lgid,
+            client_id=client_id,
+            keypair=keypair,
+            service=service,
+            expected_lsp_key=expected_lsp_key,
+            timeout=timeout,
+        )
+        try:
+            yield session
+        finally:
+            session.close()
+        return
+    check_transport_kwargs(
+        "local", lgid, expected_lsp_key=expected_lsp_key, timeout=timeout
+    )
     create(lgid, **kwargs)
     session = connect(lgid, client_id=client_id, keypair=keypair, service=service)
     try:
@@ -238,10 +287,10 @@ def connect(
 
     Kwarg symmetry: both transports accept the same parameter list, and
     each rejects what it cannot honour with a typed :class:`UsageError`
-    naming the transport — ``service=`` is local-only (the remote server
-    runs its own group-commit service), ``expected_lsp_key=`` and
-    ``timeout=`` are remote-only (local calls traverse no socket and the
-    LSP key is the in-process ledger's own).
+    naming the transport.  Which kwarg belongs to which transport is the
+    declarative :data:`~repro.session.CAPABILITIES` table — ``service=`` is
+    local-only, ``expected_lsp_key=`` and ``timeout=`` are remote-only —
+    and the error carries the table's rationale.
 
     Raises:
         UsageError: unknown ``lgid``, a malformed ``scheme://`` address,
@@ -256,12 +305,7 @@ def connect(
     if ledger is None:
         address = _parse_remote_uri(lgid)
         if address is not None:
-            if service is not None:
-                raise UsageError(
-                    f"service= is not supported by the remote transport "
-                    f"({lgid!r}): the remote server runs its own "
-                    f"group-commit service"
-                )
+            check_transport_kwargs("remote", lgid, service=service)
             from .net.client import RemoteLedgerSession
 
             host, port = address
@@ -284,18 +328,9 @@ def connect(
                 f"ledger://host:port with an explicit port)"
             )
         raise UsageError(f"unknown ledger: {lgid!r}")
-    if expected_lsp_key is not None:
-        raise UsageError(
-            f"expected_lsp_key= is not supported by the local transport "
-            f"({lgid!r}): an in-process ledger's LSP key needs no "
-            f"out-of-band pinning"
-        )
-    if timeout is not None:
-        raise UsageError(
-            f"timeout= is not supported by the local transport ({lgid!r}): "
-            f"local calls traverse no socket (per-call timeout= on "
-            f"service-backed appends still applies)"
-        )
+    check_transport_kwargs(
+        "local", lgid, expected_lsp_key=expected_lsp_key, timeout=timeout
+    )
     return LedgerSession(
         ledger,
         lgid=lgid,
@@ -543,6 +578,29 @@ class LedgerSession(SessionHelpers):
         substantially cheaper than looping over :meth:`get_proof`.
         """
         return self.ledger.get_proofs(jsns, anchored=anchored)
+
+    # ------------------------------------------------------------- exporting
+
+    def export(
+        self,
+        path: Any = None,
+        *,
+        clues: tuple[str, ...] = (),
+    ) -> ExportBundle:
+        """Export this ledger as a self-contained offline bundle (§17).
+
+        The :class:`~repro.export.ExportBundle` carries the journal slice,
+        existence/clue proofs, epoch anchors, the STH chain with consistency
+        assertions, and the trusted LSP/CA material — everything
+        :func:`repro.export.verify_bundle` needs to re-run what/when/who on
+        a machine that has never seen this deployment.  Sharded ledgers
+        export all shards under their composite head through the same call.
+
+        ``path`` additionally writes the bundle's canonical bytes to disk
+        (durably, via the same commit discipline as snapshots); ``clues``
+        selects clue lineages to include with their CM-Tree proofs.
+        """
+        return export_bundle(self.ledger, clues=tuple(clues), path=path)
 
     # --------------------------------------------------------- transparency
 

@@ -1,0 +1,253 @@
+"""The artifact layer: self-describing, carry-away verification objects.
+
+Every serializable piece of evidence the system hands a client — receipts,
+fam proofs, signed tree heads, submission acks, equivocation/censorship
+evidence, export bundles, rebuild reports, verify results — follows one
+convention, captured by the :class:`Artifact` protocol:
+
+* ``to_bytes()`` — canonical encoding over :mod:`repro.encoding`;
+* ``from_bytes(data)`` — the symmetric constructor (a classmethod);
+* ``verify(...)`` — a check that **never raises**, taking only out-of-band
+  trust anchors (a public key, a trusted root), never the — possibly
+  hostile — service that produced the artifact.
+
+``verify`` signatures necessarily differ per artifact (a receipt checks one
+signature, a proof folds to a root), so the protocol pins the byte-symmetry
+pair and documents the verify convention; :func:`is_artifact` is the runtime
+structural check.
+
+This module is deliberately **kernel-free**: it imports only
+:mod:`repro.crypto`, :mod:`repro.merkle`, :mod:`repro.encoding` and leaf
+:mod:`repro.timeauth` modules, so a standalone offline verifier can load it
+without pulling in the ledger kernel, the service layer, or the network
+stack (see ``repro/export/verifier.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Protocol, runtime_checkable
+
+from .crypto.hashing import Digest
+from .encoding import EncodingError, decode, encode
+from .merkle.fam import FamProof
+from .timeauth.pegging import TimeBound
+
+__all__ = [
+    "Artifact",
+    "DaseinReport",
+    "OpaqueProof",
+    "VerifyLevel",
+    "VerifyResult",
+    "VerifyTarget",
+    "is_artifact",
+]
+
+
+@runtime_checkable
+class Artifact(Protocol):
+    """Structural contract for carry-away evidence objects.
+
+    ``isinstance(obj, Artifact)`` checks that both byte-symmetry methods
+    exist.  Implementors additionally expose some ``verify(...)`` surface
+    whose arguments are trust anchors only; that part is a documented
+    convention rather than a protocol member because the anchor types
+    legitimately differ per artifact.
+    """
+
+    def to_bytes(self) -> bytes: ...
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Artifact": ...
+
+
+def is_artifact(obj: Any) -> bool:
+    """True when ``obj`` satisfies the :class:`Artifact` byte-symmetry pair."""
+    return isinstance(obj, Artifact)
+
+
+class VerifyTarget(Enum):
+    """What a Verify call checks: one journal, or a clue lineage."""
+
+    TX = "tx"
+    CLUE = "clue"
+
+
+class VerifyLevel(Enum):
+    """Where verification runs (§IV-B): inside the LSP, or client-side."""
+
+    SERVER = "server"
+    CLIENT = "client"
+
+
+@dataclass(frozen=True)
+class DaseinReport:
+    """Outcome of a full 3w verification for one journal."""
+
+    jsn: int
+    what: bool
+    when_valid: bool
+    when_bound: TimeBound | None
+    who: bool
+
+    @property
+    def dasein_complete(self) -> bool:
+        """All three factors rigorously verified."""
+        return self.what and self.when_valid and self.who
+
+
+@dataclass(frozen=True)
+class OpaqueProof:
+    """A proof round-tripped through :class:`VerifyResult` byte form.
+
+    Proof objects from layers this module cannot import (shard links,
+    clue proofs) survive serialization as ``(kind, data)`` so nothing is
+    silently dropped; callers that know the kind can decode ``data`` with
+    the matching ``from_bytes``.
+    """
+
+    kind: str
+    data: bytes
+
+    def to_bytes(self) -> bytes:
+        return self.data
+
+
+def _encode_proof(proof: Any) -> tuple[str, bytes]:
+    if proof is None:
+        return "", b""
+    if isinstance(proof, FamProof):
+        return "fam", proof.to_bytes()
+    if isinstance(proof, OpaqueProof):
+        return proof.kind, proof.data
+    to_bytes = getattr(proof, "to_bytes", None)
+    if callable(to_bytes):
+        return type(proof).__name__, to_bytes()
+    return "", b""
+
+
+def _decode_proof(kind: str, data: bytes) -> Any:
+    if not kind:
+        return None
+    if kind == "fam":
+        return FamProof.from_bytes(data)
+    return OpaqueProof(kind=kind, data=data)
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """Structured outcome of a Verify call — evidence, not a trust-me bool.
+
+    Every field beyond ``ok`` is machine-checkable context: which ``target``
+    was verified at which ``level``, the per-factor Dasein verdicts where the
+    flow produced them (``None`` = that factor was not part of this check),
+    the ``proof`` object actually folded, and the ``trusted_root`` it was
+    folded against — enough for a distrusting caller to re-run the check or
+    archive the evidence.
+
+    Truthy-compatible with the old ``bool`` return: ``bool(result)`` is
+    ``result.ok``, so ``assert verify(...)`` keeps working unchanged.
+
+    As an :class:`Artifact`, results round-trip through ``to_bytes`` /
+    ``from_bytes`` (a ``fam`` proof comes back as a real :class:`FamProof`;
+    other proof kinds as :class:`OpaqueProof`), and ``verify()`` checks the
+    result's *internal consistency*: ``ok`` must equal the conjunction of
+    whichever Dasein factors are present.
+    """
+
+    ok: bool
+    target: str  # "tx" | "clue" | "dasein" | "bundle" | "rebuild"
+    level: str  # "server" | "client" | "standalone"
+    what: bool | None = None
+    when: bool | None = None
+    who: bool | None = None
+    when_bound: TimeBound | None = None
+    proof: Any = None
+    trusted_root: Digest | None = None
+    jsn: int | None = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @classmethod
+    def from_dasein(
+        cls,
+        report: DaseinReport,
+        *,
+        proof: FamProof | None = None,
+        trusted_root: Digest | None = None,
+        level: str = "client",
+    ) -> "VerifyResult":
+        """Lift a :class:`DaseinReport` into the structured verify surface."""
+        return cls(
+            ok=report.dasein_complete,
+            target="dasein",
+            level=level,
+            what=report.what,
+            when=report.when_valid,
+            who=report.who,
+            when_bound=report.when_bound,
+            proof=proof,
+            trusted_root=trusted_root,
+            jsn=report.jsn,
+        )
+
+    def verify(self) -> bool:
+        """Internal consistency: ``ok`` agrees with the recorded factors.
+
+        Never raises.  When no per-factor verdicts are present there is
+        nothing to cross-check and the result is vacuously consistent.
+        """
+        factors = [f for f in (self.what, self.when, self.who) if f is not None]
+        if not factors:
+            return True
+        return self.ok == all(factors)
+
+    def to_bytes(self) -> bytes:
+        proof_kind, proof_bytes = _encode_proof(self.proof)
+        return encode(
+            {
+                "scheme": "repro.verify_result.v1",
+                "ok": self.ok,
+                "target": self.target,
+                "level": self.level,
+                "what": self.what,
+                "when": self.when,
+                "who": self.who,
+                "when_bound": (
+                    None
+                    if self.when_bound is None
+                    else [self.when_bound.lower, self.when_bound.upper]
+                ),
+                "proof_kind": proof_kind,
+                "proof": proof_bytes,
+                "trusted_root": self.trusted_root,
+                "jsn": self.jsn,
+                "detail": self.detail,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "VerifyResult":
+        obj = decode(data)
+        if not isinstance(obj, dict) or obj.get("scheme") != "repro.verify_result.v1":
+            raise EncodingError("not a repro.verify_result.v1 payload")
+        bound = obj["when_bound"]
+        trusted_root = obj["trusted_root"]
+        return cls(
+            ok=bool(obj["ok"]),
+            target=obj["target"],
+            level=obj["level"],
+            what=obj["what"],
+            when=obj["when"],
+            who=obj["who"],
+            when_bound=(
+                None if bound is None else TimeBound(lower=bound[0], upper=bound[1])
+            ),
+            proof=_decode_proof(obj["proof_kind"], bytes(obj["proof"])),
+            trusted_root=None if trusted_root is None else bytes(trusted_root),
+            jsn=obj["jsn"],
+            detail=obj["detail"],
+        )

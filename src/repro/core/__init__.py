@@ -1,66 +1,95 @@
-"""LedgerDB core: the ledger kernel, Dasein verification, and the audit."""
+"""LedgerDB core: the ledger kernel, Dasein verification, and the audit.
 
-from . import api
-from .audit import AuditReport, AuditStep, dasein_audit
-from .blocks import Block
-from .client import ClientState, LedgerClient
-from .cluesl import ClueSkipList
-from .errors import (
-    AuthenticationError,
-    AuthorizationError,
-    JournalNotFoundError,
-    JournalOccultedError,
-    JournalPurgedError,
-    LedgerError,
-    MutationError,
-    RecoveryError,
-    UsageError,
-    VerificationFailure,
+Exports resolve lazily (PEP 562) so that kernel-free leaf modules —
+``core.journal``, ``core.receipt``, ``core.errors``, ``core.snapshot`` —
+can be imported by the standalone offline verifier without dragging in
+``core.ledger`` (and through it the node store, service wiring, and the
+rest of the kernel).  Keep new exports in the lazy table; an eager import
+here would silently break the ``repro/export/verifier.py`` import-isolation
+guarantee.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+_EXPORTS = {
+    "ClientState": ".client",
+    "LedgerClient": ".client",
+    "AuditReport": ".audit",
+    "AuditStep": ".audit",
+    "dasein_audit": ".audit",
+    "Block": ".blocks",
+    "ClueSkipList": ".cluesl",
+    "AuthenticationError": ".errors",
+    "AuthorizationError": ".errors",
+    "JournalNotFoundError": ".errors",
+    "JournalOccultedError": ".errors",
+    "JournalPurgedError": ".errors",
+    "LedgerError": ".errors",
+    "UsageError": ".errors",
+    "MutationError": ".errors",
+    "RecoveryError": ".errors",
+    "VerificationFailure": ".errors",
+    "ClientRequest": ".journal",
+    "Journal": ".journal",
+    "JournalType": ".journal",
+    "LSP_MEMBER_ID": ".ledger",
+    "JournalEntryView": ".ledger",
+    "Ledger": ".ledger",
+    "LedgerConfig": ".ledger",
+    "LedgerView": ".ledger",
+    "MemberRegistry": ".members",
+    "OccultBitmap": ".occult",
+    "OccultMode": ".occult",
+    "OccultRecord": ".occult",
+    "PseudoGenesis": ".purge",
+    "PurgeRecord": ".purge",
+    "Receipt": ".receipt",
+    "DaseinReport": ".verification",
+    "DaseinVerifier": ".verification",
+    "VerifyResult": ".verification",
+    "parse_time_journal": ".verification",
+}
+
+_SUBMODULES = frozenset(
+    {
+        "api",
+        "audit",
+        "blocks",
+        "client",
+        "cluesl",
+        "errors",
+        "journal",
+        "ledger",
+        "members",
+        "occult",
+        "purge",
+        "receipt",
+        "snapshot",
+        "verification",
+    }
 )
-from .journal import ClientRequest, Journal, JournalType
-from .ledger import LSP_MEMBER_ID, JournalEntryView, Ledger, LedgerConfig, LedgerView
-from .members import MemberRegistry
-from .occult import OccultBitmap, OccultMode, OccultRecord
-from .purge import PseudoGenesis, PurgeRecord
-from .receipt import Receipt
-from .verification import DaseinReport, DaseinVerifier, VerifyResult, parse_time_journal
 
-__all__ = [
+__all__ = [  # noqa: F822  (names resolve lazily via __getattr__)
     "api",
-    "ClientState",
-    "LedgerClient",
-    "AuditReport",
-    "AuditStep",
-    "dasein_audit",
-    "Block",
-    "ClueSkipList",
-    "AuthenticationError",
-    "AuthorizationError",
-    "JournalNotFoundError",
-    "JournalOccultedError",
-    "JournalPurgedError",
-    "LedgerError",
-    "UsageError",
-    "MutationError",
-    "RecoveryError",
-    "VerificationFailure",
-    "ClientRequest",
-    "Journal",
-    "JournalType",
-    "LSP_MEMBER_ID",
-    "JournalEntryView",
-    "Ledger",
-    "LedgerConfig",
-    "LedgerView",
-    "MemberRegistry",
-    "OccultBitmap",
-    "OccultMode",
-    "OccultRecord",
-    "PseudoGenesis",
-    "PurgeRecord",
-    "Receipt",
-    "DaseinReport",
-    "DaseinVerifier",
-    "VerifyResult",
-    "parse_time_journal",
+    *sorted(_EXPORTS),
 ]
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is not None:
+        value = getattr(importlib.import_module(module_name, __name__), name)
+        globals()[name] = value
+        return value
+    if name in _SUBMODULES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS) | set(_SUBMODULES))

@@ -66,6 +66,28 @@ class MemberRegistry:
     def all_members(self) -> list[str]:
         return sorted(self._members)
 
+    def adopt(self, certificate: Certificate) -> Certificate:
+        """Install an existing CA-issued certificate without re-issuing.
+
+        The rebuild path (``repro/export/rebuild.py``) reconstructs a
+        registry from an export bundle's certificates; re-issuing would
+        mint *new* signatures and break byte-equivalence with the source
+        deployment.  The certificate must verify against this registry's
+        CA; adopting the same certificate twice is a no-op, a conflicting
+        one is refused.
+        """
+        existing = self._members.get(certificate.member_id)
+        if existing is not None:
+            if existing == certificate:
+                return existing
+            raise AuthenticationError(
+                f"member already registered with a different certificate: "
+                f"{certificate.member_id!r}"
+            )
+        self.validate_certificate(certificate)
+        self._members[certificate.member_id] = certificate
+        return certificate
+
     def validate_certificate(self, certificate: Certificate) -> None:
         """Re-validate a presented certificate against the CA."""
         try:

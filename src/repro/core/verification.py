@@ -20,11 +20,8 @@ no calls back into the — potentially malicious — LSP.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from enum import Enum
-from typing import Any
-
 from .. import obs
+from ..artifacts import DaseinReport, VerifyLevel, VerifyResult, VerifyTarget
 from ..crypto.hashing import Digest
 from ..crypto.keys import PublicKey
 from ..encoding import decode
@@ -45,20 +42,6 @@ __all__ = [
     "check_time_evidence",
     "parse_time_journal",
 ]
-
-
-class VerifyTarget(Enum):
-    """What a Verify call checks: one journal, or a clue lineage."""
-
-    TX = "tx"
-    CLUE = "clue"
-
-
-class VerifyLevel(Enum):
-    """Where verification runs (§IV-B): inside the LSP, or client-side."""
-
-    SERVER = "server"
-    CLIENT = "client"
 
 
 def parse_time_journal(journal: Journal) -> dict:
@@ -103,76 +86,6 @@ def check_time_evidence(
             return 0.0, False
         return evidence.finalization.token.timestamp, True
     return 0.0, False
-
-
-@dataclass(frozen=True)
-class DaseinReport:
-    """Outcome of a full 3w verification for one journal."""
-
-    jsn: int
-    what: bool
-    when_valid: bool
-    when_bound: TimeBound | None
-    who: bool
-
-    @property
-    def dasein_complete(self) -> bool:
-        """All three factors rigorously verified."""
-        return self.what and self.when_valid and self.who
-
-
-@dataclass(frozen=True)
-class VerifyResult:
-    """Structured outcome of a Verify call — evidence, not a trust-me bool.
-
-    Every field beyond ``ok`` is machine-checkable context: which ``target``
-    was verified at which ``level``, the per-factor Dasein verdicts where the
-    flow produced them (``None`` = that factor was not part of this check),
-    the ``proof`` object actually folded, and the ``trusted_root`` it was
-    folded against — enough for a distrusting caller to re-run the check or
-    archive the evidence.
-
-    Truthy-compatible with the old ``bool`` return: ``bool(result)`` is
-    ``result.ok``, so ``assert verify(...)`` keeps working unchanged.
-    """
-
-    ok: bool
-    target: str  # "tx" | "clue" | "dasein"
-    level: str  # "server" | "client"
-    what: bool | None = None
-    when: bool | None = None
-    who: bool | None = None
-    when_bound: TimeBound | None = None
-    proof: Any = None
-    trusted_root: Digest | None = None
-    jsn: int | None = None
-    detail: str = ""
-
-    def __bool__(self) -> bool:
-        return self.ok
-
-    @classmethod
-    def from_dasein(
-        cls,
-        report: DaseinReport,
-        *,
-        proof: FamProof | None = None,
-        trusted_root: Digest | None = None,
-        level: str = "client",
-    ) -> "VerifyResult":
-        """Lift a :class:`DaseinReport` into the structured verify surface."""
-        return cls(
-            ok=report.dasein_complete,
-            target="dasein",
-            level=level,
-            what=report.what,
-            when=report.when_valid,
-            who=report.who,
-            when_bound=report.when_bound,
-            proof=proof,
-            trusted_root=trusted_root,
-            jsn=report.jsn,
-        )
 
 
 class DaseinVerifier:

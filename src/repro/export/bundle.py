@@ -1,0 +1,451 @@
+"""Offline export bundles: carry a verifiable ledger away in one file.
+
+An :class:`ExportBundle` is a self-contained, checksummed snapshot of
+everything a distrusting auditor needs to re-run what/when/who and STH
+consistency with **no ledger, no service, no network**:
+
+* the journal stream slice (verbatim journal bytes, or retained digests for
+  mutated slots) per shard;
+* full-chain fam existence proofs, epoch anchors, and the block chain;
+* the signed tree head chain with consistency bundles + assertions;
+* requested clue-lineage proofs bound to the block-attested state root;
+* the trusted LSP/CA roots and the member certificates.
+
+Container format (DESIGN.md §17): ``LDBBNDL1`` magic, a big-endian u32
+crc32c of the payload, then one canonically-encoded TLV payload over
+:mod:`repro.encoding` — the same torn-tail conventions as §9: the file is
+written via tmp → flush → fsync → rename, and *any* flipped bit fails the
+checksum as a typed :class:`BundleCorruptionError`, never a false PASS.
+
+This module is **kernel-free**: it imports no ``repro.core.ledger``, no
+service, no network.  The writer (:func:`export_bundle`) takes a live
+ledger *object* duck-typed over the solo/sharded export surface, so only
+the process that already holds a ledger pays those imports — a standalone
+verifier process loads this module without them.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.errors import LedgerError, UsageError
+from ..core.snapshot import _commit_file
+from ..storage.checksum import crc32c
+
+__all__ = [
+    "BUNDLE_MAGIC",
+    "BundleCertificate",
+    "BundleCorruptionError",
+    "BundleEntry",
+    "BundleError",
+    "ClueSection",
+    "ExportBundle",
+    "ShardSection",
+    "export_bundle",
+]
+
+BUNDLE_MAGIC = b"LDBBNDL1"
+BUNDLE_SCHEME = "repro.bundle.v1"
+_CRC = struct.Struct(">I")
+
+
+class BundleError(LedgerError):
+    """A bundle could not be built or interpreted."""
+
+
+class BundleCorruptionError(BundleError):
+    """The bundle's bytes fail integrity checks (checksum, framing, TLV)."""
+
+
+@dataclass(frozen=True)
+class BundleEntry:
+    """One journal slot: verbatim bytes, or the retained digest if mutated."""
+
+    jsn: int
+    data: bytes | None  # None when the payload was purged/occulted away
+    retained_hash: bytes
+    occulted: bool = False
+    purged: bool = False
+
+
+@dataclass(frozen=True)
+class ClueSection:
+    """A clue lineage proof bound to the state root it folds against."""
+
+    clue: str
+    proof: bytes  # ClueProof bytes
+    state_root: bytes  # CM-Tree1 root the proof folds to
+    jsns: tuple[int, ...]  # shard-local jsns, in version order
+
+
+@dataclass(frozen=True)
+class ShardSection:
+    """Everything exported from one shard (the whole ledger when solo)."""
+
+    shard_index: int  # 0-based position; the STH stamp is SOLO_SHARD when solo
+    genesis_start: int
+    entries: tuple[BundleEntry, ...]
+    latest_receipt: bytes  # Receipt bytes (b"" when the ledger has none)
+    proofs: tuple[tuple[int, bytes], ...]  # (jsn, full-chain FamProof bytes)
+    anchors: tuple[tuple[int, bytes], ...]  # (epoch, completed-epoch root)
+    blocks: tuple[bytes, ...]  # Block header bytes, chain order
+    sths: tuple[bytes, ...]  # SignedTreeHead bytes, oldest..freshest
+    consistency: tuple[tuple[int, int, bytes, bytes], ...]
+    # (old sth idx, new sth idx, ConsistencyBundle bytes, assertion bytes)
+    clue_proofs: tuple[ClueSection, ...] = ()
+
+
+@dataclass(frozen=True)
+class BundleCertificate:
+    """A member certificate, flattened to primitives for the container."""
+
+    member_id: str
+    role: str
+    public_key: bytes
+    issuer: str
+    signature: bytes
+
+
+@dataclass(frozen=True)
+class ExportBundle:
+    """The offline artifact: one deployment, one file, zero dependencies.
+
+    An :class:`~repro.artifacts.Artifact`: ``to_bytes``/``from_bytes`` are
+    the checksummed container round-trip, and ``verify()`` runs the
+    standalone verifier (``repro.export.verifier``) over the bundle.
+    """
+
+    ledger_uri: str
+    fractal_height: int
+    block_size: int
+    num_shards: int
+    created_at: float
+    ca_public_key: bytes
+    lsp_public_key: bytes
+    certificates: tuple[BundleCertificate, ...]
+    shards: tuple[ShardSection, ...]
+    composite_sth: bytes = b""  # composite SignedTreeHead bytes (sharded only)
+    source_path: Path | None = field(default=None, compare=False)
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def journal_count(self) -> int:
+        return sum(len(section.entries) for section in self.shards)
+
+    # ---------------------------------------------------------- byte forms
+
+    def _payload(self) -> dict[str, Any]:
+        return {
+            "scheme": BUNDLE_SCHEME,
+            "ledger_uri": self.ledger_uri,
+            "fractal_height": self.fractal_height,
+            "block_size": self.block_size,
+            "num_shards": self.num_shards,
+            "created_at": self.created_at,
+            "ca_public_key": self.ca_public_key,
+            "lsp_public_key": self.lsp_public_key,
+            "certificates": [
+                {
+                    "member_id": c.member_id,
+                    "role": c.role,
+                    "public_key": c.public_key,
+                    "issuer": c.issuer,
+                    "signature": c.signature,
+                }
+                for c in self.certificates
+            ],
+            "shards": [
+                {
+                    "shard_index": s.shard_index,
+                    "genesis_start": s.genesis_start,
+                    "entries": [
+                        [e.jsn, e.data, e.retained_hash, e.occulted, e.purged]
+                        for e in s.entries
+                    ],
+                    "latest_receipt": s.latest_receipt,
+                    "proofs": [[jsn, blob] for jsn, blob in s.proofs],
+                    "anchors": [[epoch, root] for epoch, root in s.anchors],
+                    "blocks": list(s.blocks),
+                    "sths": list(s.sths),
+                    "consistency": [
+                        [old, new, cb, assertion]
+                        for old, new, cb, assertion in s.consistency
+                    ],
+                    "clue_proofs": [
+                        {
+                            "clue": cp.clue,
+                            "proof": cp.proof,
+                            "state_root": cp.state_root,
+                            "jsns": list(cp.jsns),
+                        }
+                        for cp in s.clue_proofs
+                    ],
+                }
+                for s in self.shards
+            ],
+            "composite_sth": self.composite_sth,
+        }
+
+    def to_bytes(self) -> bytes:
+        from ..encoding import encode
+
+        payload = encode(self._payload())
+        return BUNDLE_MAGIC + _CRC.pack(crc32c(payload)) + payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ExportBundle":
+        from ..encoding import EncodingError, decode
+
+        header = len(BUNDLE_MAGIC) + _CRC.size
+        if len(data) < header or data[: len(BUNDLE_MAGIC)] != BUNDLE_MAGIC:
+            raise BundleCorruptionError("not an LDBBNDL1 bundle")
+        (expected,) = _CRC.unpack_from(data, len(BUNDLE_MAGIC))
+        payload = data[header:]
+        if crc32c(payload) != expected:
+            raise BundleCorruptionError("bundle payload fails its checksum")
+        try:
+            obj = decode(payload)
+        except EncodingError as exc:  # checksum collision territory, still typed
+            raise BundleCorruptionError(f"bundle payload undecodable: {exc}") from exc
+        try:
+            return cls._from_payload(obj)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise BundleCorruptionError(f"bundle payload malformed: {exc}") from exc
+
+    @classmethod
+    def _from_payload(cls, obj: dict[str, Any]) -> "ExportBundle":
+        if obj.get("scheme") != BUNDLE_SCHEME:
+            raise ValueError(f"unsupported bundle scheme: {obj.get('scheme')!r}")
+        return cls(
+            ledger_uri=obj["ledger_uri"],
+            fractal_height=obj["fractal_height"],
+            block_size=obj["block_size"],
+            num_shards=obj["num_shards"],
+            created_at=obj["created_at"],
+            ca_public_key=bytes(obj["ca_public_key"]),
+            lsp_public_key=bytes(obj["lsp_public_key"]),
+            certificates=tuple(
+                BundleCertificate(
+                    member_id=c["member_id"],
+                    role=c["role"],
+                    public_key=bytes(c["public_key"]),
+                    issuer=c["issuer"],
+                    signature=bytes(c["signature"]),
+                )
+                for c in obj["certificates"]
+            ),
+            shards=tuple(
+                ShardSection(
+                    shard_index=s["shard_index"],
+                    genesis_start=s["genesis_start"],
+                    entries=tuple(
+                        BundleEntry(
+                            jsn=e[0],
+                            data=None if e[1] is None else bytes(e[1]),
+                            retained_hash=bytes(e[2]),
+                            occulted=bool(e[3]),
+                            purged=bool(e[4]),
+                        )
+                        for e in s["entries"]
+                    ),
+                    latest_receipt=bytes(s["latest_receipt"]),
+                    proofs=tuple((p[0], bytes(p[1])) for p in s["proofs"]),
+                    anchors=tuple((a[0], bytes(a[1])) for a in s["anchors"]),
+                    blocks=tuple(bytes(b) for b in s["blocks"]),
+                    sths=tuple(bytes(h) for h in s["sths"]),
+                    consistency=tuple(
+                        (c[0], c[1], bytes(c[2]), bytes(c[3]))
+                        for c in s["consistency"]
+                    ),
+                    clue_proofs=tuple(
+                        ClueSection(
+                            clue=cp["clue"],
+                            proof=bytes(cp["proof"]),
+                            state_root=bytes(cp["state_root"]),
+                            jsns=tuple(cp["jsns"]),
+                        )
+                        for cp in s["clue_proofs"]
+                    ),
+                )
+                for s in obj["shards"]
+            ),
+            composite_sth=bytes(obj["composite_sth"]),
+        )
+
+    # ----------------------------------------------------------------- I/O
+
+    def write(self, path: str | os.PathLike[str]) -> Path:
+        """Durably write the bundle (tmp → fsync → rename, §9 conventions)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        _commit_file(target, self.to_bytes())
+        return target
+
+    @classmethod
+    def read(cls, path: str | os.PathLike[str]) -> "ExportBundle":
+        """Load and integrity-check a bundle file.
+
+        Raises :class:`BundleCorruptionError` on any framing or checksum
+        failure — a truncated tail, a flipped bit, an alien file.
+        """
+        source = Path(path)
+        try:
+            data = source.read_bytes()
+        except OSError as exc:
+            raise BundleError(f"cannot read bundle {source}: {exc}") from exc
+        bundle = cls.from_bytes(data)
+        object.__setattr__(bundle, "source_path", source)
+        return bundle
+
+    # -------------------------------------------------------------- verify
+
+    def verify(self, **anchors: Any):
+        """Standalone offline verification; see :func:`repro.export.verifier.verify_bundle`.
+
+        Returns the structured :class:`~repro.artifacts.VerifyResult`; never
+        raises on bad evidence (corrupt *container* bytes already raised in
+        :meth:`from_bytes`).
+        """
+        from .verifier import verify_bundle
+
+        return verify_bundle(self, **anchors)
+
+
+# --------------------------------------------------------------------- writer
+
+
+def export_bundle(
+    ledger: Any,
+    *,
+    clues: tuple[str, ...] = (),
+    path: str | os.PathLike[str] | None = None,
+) -> ExportBundle:
+    """Export a live ledger (solo or sharded) into an :class:`ExportBundle`.
+
+    ``ledger`` is duck-typed over the shared export surface —
+    ``export_view``/``export_views``, ``get_proofs``, ``epoch_anchors``,
+    ``get_sth``/``get_sth_range``/``get_consistency`` — so a
+    :class:`repro.core.ledger.Ledger` and a
+    :class:`repro.shard.ShardedLedger` export identically; a sharded
+    deployment additionally pins its composite signed tree head.  ``clues``
+    selects clue lineages to prove into the bundle.  When ``path`` is given
+    the bundle is also durably written there.
+    """
+    if hasattr(ledger, "export_views"):
+        views = ledger.export_views()
+        shard_ledgers = list(ledger.shards)
+    else:
+        views = [ledger.export_view()]
+        shard_ledgers = [ledger]
+    num_shards = len(shard_ledgers)
+    if not views:
+        raise BundleError("nothing to export: deployment has no shards")
+
+    base_view = views[0]
+    certificates = tuple(
+        BundleCertificate(
+            member_id=cert.member_id,
+            role=cert.role.value,
+            public_key=cert.public_key.to_bytes(),
+            issuer=cert.issuer,
+            signature=cert.signature.to_bytes() if cert.signature else b"",
+        )
+        for _member, cert in sorted(base_view.certificates.items())
+    )
+    lsp_cert = base_view.certificates.get(base_view.lsp_member_id)
+    if lsp_cert is None:
+        raise BundleError("ledger view carries no LSP certificate")
+
+    sections = []
+    created_at = 0.0
+    for index, (view, shard) in enumerate(zip(views, shard_ledgers)):
+        jsns = [entry.jsn for entry in view.entries]
+        proofs = shard.get_proofs(jsns, anchored=False)
+        sths = [head.to_bytes() for head in shard.get_sth_range(0, 1 << 31)]
+        fresh = shard.get_sth().to_bytes()
+        if not sths or sths[-1] != fresh:
+            sths.append(fresh)
+        consistency = []
+        decoded_heads = _decode_heads(sths)
+        for old_idx in range(len(decoded_heads) - 1):
+            old, new = decoded_heads[old_idx], decoded_heads[old_idx + 1]
+            try:
+                cbundle, assertion = shard.get_consistency(old, new)
+            except (UsageError, ValueError):
+                continue
+            consistency.append(
+                (old_idx, old_idx + 1, cbundle.to_bytes(), assertion.to_bytes())
+            )
+        clue_sections = []
+        for clue in clues:
+            if num_shards > 1 and ledger.shard_of_key(clue) != index:
+                continue
+            clue_jsns = shard.list_tx(clue)
+            if not clue_jsns:
+                continue
+            clue_sections.append(
+                ClueSection(
+                    clue=clue,
+                    proof=shard.prove_clue(clue).to_bytes(),
+                    state_root=shard.state_root(),
+                    jsns=tuple(clue_jsns),
+                )
+            )
+        receipt = view.latest_receipt
+        if receipt is not None:
+            created_at = max(created_at, receipt.timestamp)
+        sections.append(
+            ShardSection(
+                shard_index=index,
+                genesis_start=view.genesis_start,
+                entries=tuple(
+                    BundleEntry(
+                        jsn=entry.jsn,
+                        data=entry.data,
+                        retained_hash=entry.retained_hash,
+                        occulted=entry.occulted,
+                        purged=entry.purged,
+                    )
+                    for entry in view.entries
+                ),
+                latest_receipt=receipt.to_bytes() if receipt is not None else b"",
+                proofs=tuple((jsn, proof.to_bytes()) for jsn, proof in zip(jsns, proofs)),
+                anchors=tuple(shard.epoch_anchors().items()),
+                blocks=tuple(block.header_bytes() for block in view.blocks),
+                sths=tuple(sths),
+                consistency=tuple(consistency),
+                clue_proofs=tuple(clue_sections),
+            )
+        )
+
+    composite_sth = b""
+    if num_shards > 1:
+        composite_sth = ledger.get_sth().to_bytes()
+
+    bundle = ExportBundle(
+        ledger_uri=base_view.uri,
+        fractal_height=base_view.fractal_height,
+        block_size=base_view.block_size,
+        num_shards=num_shards,
+        created_at=created_at,
+        ca_public_key=base_view.ca_public_key.to_bytes(),
+        lsp_public_key=lsp_cert.public_key.to_bytes(),
+        certificates=certificates,
+        shards=tuple(sections),
+        composite_sth=composite_sth,
+    )
+    if path is not None:
+        written = bundle.write(path)
+        object.__setattr__(bundle, "source_path", written)
+    return bundle
+
+
+def _decode_heads(blobs: list[bytes]):
+    from ..transparency.sth import SignedTreeHead
+
+    return [SignedTreeHead.from_bytes(blob) for blob in blobs]

@@ -1,0 +1,540 @@
+"""Rebuild-from-truth: reconstruct a ledger from a bundle or raw stream.
+
+The operator's strongest accountability claim is GlassDB-style: *the
+journal stream alone determines every commitment*.  This module makes the
+claim testable — it rebuilds a complete deployment (any backend, any shard
+count) from an :class:`~repro.export.bundle.ExportBundle` or from a raw
+on-disk stream, then cross-checks every root, epoch anchor, and signed
+tree head against the bundle, a live instance, or caller-pinned heads.
+Agreement proves the operator added nothing and lost nothing; every
+disagreement is reported as a typed :class:`Divergence` inside a
+:class:`RebuildReport` (an :class:`~repro.artifacts.Artifact`).
+
+Unlike the standalone verifier, rebuilding *is* allowed to import the
+ledger kernel — it exists to resurrect one.  A tampered stream refuses to
+rebuild: interior corruption surfaces from the stream layer as
+``StreamCorruptionError`` and is re-raised as :class:`RebuildError`, never
+papered over into a half-trusted ledger.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..core.errors import LedgerError, RecoveryError
+from ..core.ledger import CONFIG_FILE, Ledger, LedgerConfig
+from ..core.members import MemberRegistry
+from ..core.snapshot import load_config_file
+from ..crypto.ca import Certificate, Role
+from ..crypto.ecdsa import Signature
+from ..crypto.keys import KeyPair, PublicKey
+from ..core.errors import AuthenticationError
+from ..encoding import decode, encode
+from ..storage.stream import MemoryStream, StreamCorruptionError
+from ..timeauth.clock import Clock
+from ..transparency.sth import SignedTreeHead
+from .bundle import BundleError, ExportBundle
+
+__all__ = ["Divergence", "RebuildError", "RebuildReport", "rebuild_from_bundle", "rebuild_from_stream"]
+
+REBUILD_SCHEME = "repro.rebuild_report.v1"
+
+
+class RebuildError(LedgerError):
+    """The source of truth refuses to rebuild (corrupt, purged, unusable)."""
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One typed disagreement between the rebuilt ledger and a reference."""
+
+    kind: str  # "root" | "anchor" | "sth" | "composite" | "live" | ...
+    shard_index: int
+    coordinate: str
+    expected: bytes
+    actual: bytes
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RebuildReport:
+    """Outcome of a rebuild cross-check — divergence as evidence, not logs.
+
+    ``ok`` iff no check diverged; ``checks`` names every comparison that
+    ran, so "nothing diverged" is distinguishable from "nothing was
+    checked".  As an :class:`~repro.artifacts.Artifact` the report
+    round-trips through bytes, and ``verify()`` asserts its own internal
+    consistency (``ok`` ⇔ no divergences recorded).
+    """
+
+    ok: bool
+    source: str  # "bundle" | "stream"
+    ledger_uri: str
+    num_shards: int
+    journals: int
+    checks: tuple[str, ...]
+    divergences: tuple[Divergence, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def verify(self) -> bool:
+        """Internal consistency; never raises."""
+        return self.ok == (not self.divergences)
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            {
+                "scheme": REBUILD_SCHEME,
+                "ok": self.ok,
+                "source": self.source,
+                "ledger_uri": self.ledger_uri,
+                "num_shards": self.num_shards,
+                "journals": self.journals,
+                "checks": list(self.checks),
+                "divergences": [
+                    {
+                        "kind": d.kind,
+                        "shard_index": d.shard_index,
+                        "coordinate": d.coordinate,
+                        "expected": d.expected,
+                        "actual": d.actual,
+                        "detail": d.detail,
+                    }
+                    for d in self.divergences
+                ],
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RebuildReport":
+        obj = decode(data)
+        if not isinstance(obj, dict) or obj.get("scheme") != REBUILD_SCHEME:
+            raise BundleError("not a repro.rebuild_report.v1 payload")
+        return cls(
+            ok=bool(obj["ok"]),
+            source=obj["source"],
+            ledger_uri=obj["ledger_uri"],
+            num_shards=obj["num_shards"],
+            journals=obj["journals"],
+            checks=tuple(obj["checks"]),
+            divergences=tuple(
+                Divergence(
+                    kind=d["kind"],
+                    shard_index=d["shard_index"],
+                    coordinate=d["coordinate"],
+                    expected=bytes(d["expected"]),
+                    actual=bytes(d["actual"]),
+                    detail=d["detail"],
+                )
+                for d in obj["divergences"]
+            ),
+        )
+
+
+# ----------------------------------------------------------------- from bundle
+
+
+def rebuild_from_bundle(
+    bundle: ExportBundle,
+    *,
+    lsp_keypair: KeyPair | None = None,
+    registry: MemberRegistry | None = None,
+    clock: Clock | None = None,
+    live: Any = None,
+    pinned_heads: Sequence[SignedTreeHead] | None = None,
+) -> tuple[Any, RebuildReport]:
+    """Reconstruct a deployment from ``bundle`` and cross-check it.
+
+    Returns ``(ledger, report)`` — a :class:`Ledger` for a solo bundle, a
+    :class:`repro.shard.ShardedLedger` for a sharded one.  ``lsp_keypair``
+    defaults to the deployment-deterministic seed and must match the
+    bundle-pinned LSP key; ``live``/``pinned_heads`` add external
+    cross-checks on top of the bundle's own roots, anchors, and heads.
+
+    Raises :class:`RebuildError` when the bundle cannot produce a complete
+    ledger (purged prefix, truncated slice, corrupt journal bytes).
+    """
+    lsp_keypair = lsp_keypair or KeyPair.generate(seed=f"lsp:{bundle.ledger_uri}")
+    registry = registry or MemberRegistry()
+    divergences: list[Divergence] = []
+    checks: list[str] = ["recover"]
+
+    if lsp_keypair.public.to_bytes() != bundle.lsp_public_key:
+        divergences.append(
+            Divergence(
+                kind="lsp-key",
+                shard_index=-1,
+                coordinate="lsp_public_key",
+                expected=bundle.lsp_public_key,
+                actual=lsp_keypair.public.to_bytes(),
+                detail="supplied LSP keypair is not the bundle's LSP",
+            )
+        )
+    _adopt_certificates(bundle, registry, divergences)
+    checks.append("certificates")
+
+    shards: list[Ledger] = []
+    base_config = LedgerConfig(
+        uri=bundle.ledger_uri,
+        fractal_height=bundle.fractal_height,
+        block_size=bundle.block_size,
+        shards=1,
+    )
+    for section in sorted(bundle.shards, key=lambda s: s.shard_index):
+        stream = MemoryStream()
+        if section.genesis_start != 0:
+            raise RebuildError(
+                f"shard {section.shard_index} slice starts at jsn "
+                f"{section.genesis_start}; rebuilding needs the stream from "
+                f"genesis (purged prefixes are irrecoverable from a bundle)"
+            )
+        for position, entry in enumerate(section.entries):
+            if entry.jsn != position:
+                raise RebuildError(
+                    f"shard {section.shard_index} slice is not contiguous at "
+                    f"jsn {entry.jsn}"
+                )
+            if entry.data is not None:
+                stream.append(entry.data)
+            elif entry.occulted:
+                stream.erase(stream.append(b""))
+            else:
+                raise RebuildError(
+                    f"shard {section.shard_index} jsn {entry.jsn} was purged; "
+                    f"its bytes are gone from the bundle"
+                )
+        if len(stream) == 0:
+            raise RebuildError(f"shard {section.shard_index} slice is empty")
+        try:
+            shard = Ledger.recover(base_config, stream, registry, lsp_keypair, clock=clock)
+        except (RecoveryError, StreamCorruptionError) as exc:
+            raise RebuildError(
+                f"shard {section.shard_index} refuses to rebuild: {exc}"
+            ) from exc
+        shards.append(shard)
+
+    lsp_key = PublicKey.from_bytes(bundle.lsp_public_key)
+    for index, (section, shard) in enumerate(
+        zip(sorted(bundle.shards, key=lambda s: s.shard_index), shards)
+    ):
+        if bundle.num_shards > 1:
+            shard.sth_shard_index = index
+        _cross_check_shard(bundle, section, shard, lsp_key, divergences, checks)
+
+    ledger: Any
+    if bundle.num_shards > 1:
+        ledger = _assemble_sharded(bundle, shards, registry, lsp_keypair, clock)
+        checks.append("composite")
+        _check_composite(bundle, ledger, divergences)
+    else:
+        ledger = shards[0]
+
+    _external_cross_check(ledger, live, pinned_heads, divergences, checks)
+
+    report = RebuildReport(
+        ok=not divergences,
+        source="bundle",
+        ledger_uri=bundle.ledger_uri,
+        num_shards=bundle.num_shards,
+        journals=bundle.journal_count,
+        checks=tuple(checks),
+        divergences=tuple(divergences),
+    )
+    return ledger, report
+
+
+# ----------------------------------------------------------------- from stream
+
+
+def rebuild_from_stream(
+    data_dir: str | os.PathLike[str],
+    *,
+    lsp_keypair: KeyPair | None = None,
+    registry: MemberRegistry | None = None,
+    clock: Clock | None = None,
+    live: Any = None,
+    pinned_heads: Sequence[SignedTreeHead] | None = None,
+) -> tuple[Any, RebuildReport]:
+    """Rebuild a deployment by full replay of its on-disk journal stream(s).
+
+    Snapshots and node pages are deliberately ignored (``force_rebuild``):
+    the raw stream is the source of truth being tested.  Interior stream
+    corruption refuses the rebuild with :class:`RebuildError`.
+    """
+    base = Path(data_dir)
+    try:
+        config = load_config_file(base / CONFIG_FILE, data_dir=str(base))
+    except LedgerError as exc:
+        raise RebuildError(f"{base} holds no readable ledger config: {exc}") from exc
+    lsp_keypair = lsp_keypair or KeyPair.generate(seed=f"lsp:{config.uri}")
+    registry = registry or MemberRegistry()
+    try:
+        if config.shards > 1:
+            from ..shard import ShardedLedger
+
+            ledger: Any = ShardedLedger.open(
+                str(base), registry, lsp_keypair, clock=clock, force_rebuild=True
+            )
+        else:
+            ledger = Ledger.open(
+                str(base), registry, lsp_keypair, clock=clock, force_rebuild=True
+            )
+    except (StreamCorruptionError, RecoveryError) as exc:
+        raise RebuildError(f"stream under {base} refuses to rebuild: {exc}") from exc
+
+    divergences: list[Divergence] = []
+    checks = ["recover"]
+    _external_cross_check(ledger, live, pinned_heads, divergences, checks)
+    report = RebuildReport(
+        ok=not divergences,
+        source="stream",
+        ledger_uri=config.uri,
+        num_shards=config.shards,
+        journals=ledger.size,
+        checks=tuple(checks),
+        divergences=tuple(divergences),
+    )
+    return ledger, report
+
+
+# ------------------------------------------------------------------- internals
+
+
+def _adopt_certificates(
+    bundle: ExportBundle, registry: MemberRegistry, divergences: list[Divergence]
+) -> None:
+    if registry.ca_public_key.to_bytes() != bundle.ca_public_key:
+        divergences.append(
+            Divergence(
+                kind="ca-key",
+                shard_index=-1,
+                coordinate="ca_public_key",
+                expected=bundle.ca_public_key,
+                actual=registry.ca_public_key.to_bytes(),
+                detail="registry CA differs from the bundle's; certificates not adopted",
+            )
+        )
+        return
+    for bc in bundle.certificates:
+        certificate = Certificate(
+            member_id=bc.member_id,
+            role=Role(bc.role),
+            public_key=PublicKey.from_bytes(bc.public_key),
+            issuer=bc.issuer,
+            signature=Signature.from_bytes(bc.signature) if bc.signature else None,
+        )
+        try:
+            registry.adopt(certificate)
+        except AuthenticationError as exc:
+            divergences.append(
+                Divergence(
+                    kind="certificate",
+                    shard_index=-1,
+                    coordinate=bc.member_id,
+                    expected=bc.public_key,
+                    actual=b"",
+                    detail=str(exc),
+                )
+            )
+
+
+def _cross_check_shard(
+    bundle: ExportBundle,
+    section: Any,
+    shard: Ledger,
+    lsp_key: PublicKey,
+    divergences: list[Divergence],
+    checks: list[str],
+) -> None:
+    tag = section.shard_index
+
+    checks.append(f"root[{tag}]")
+    trusted_root = _bundle_trusted_root(section, lsp_key)
+    rebuilt_root = shard.current_root()
+    if trusted_root is not None and rebuilt_root != trusted_root:
+        divergences.append(
+            Divergence(
+                kind="root",
+                shard_index=tag,
+                coordinate="current_root",
+                expected=trusted_root,
+                actual=rebuilt_root,
+                detail="rebuilt fam root diverges from the bundle's trusted root",
+            )
+        )
+
+    checks.append(f"anchors[{tag}]")
+    rebuilt_anchors = dict(shard.epoch_anchors().items())
+    for epoch, root in section.anchors:
+        actual = rebuilt_anchors.get(epoch)
+        if actual != root:
+            divergences.append(
+                Divergence(
+                    kind="anchor",
+                    shard_index=tag,
+                    coordinate=f"epoch {epoch}",
+                    expected=root,
+                    actual=actual or b"",
+                    detail="rebuilt epoch anchor diverges",
+                )
+            )
+
+    checks.append(f"sths[{tag}]")
+    rebuilt_head = shard.get_sth()
+    for position, blob in enumerate(section.sths):
+        head = SignedTreeHead.from_bytes(blob)
+        if not _head_matches_rebuilt(shard, head, rebuilt_head):
+            divergences.append(
+                Divergence(
+                    kind="sth",
+                    shard_index=tag,
+                    coordinate=f"head #{position} (epoch {head.epoch}, live {head.live_size})",
+                    expected=head.root,
+                    actual=rebuilt_head.root,
+                    detail="bundle head is not on the rebuilt append-only history",
+                )
+            )
+
+
+def _bundle_trusted_root(section: Any, lsp_key: PublicKey) -> bytes | None:
+    if not section.latest_receipt:
+        return None
+    from ..core.receipt import Receipt
+
+    receipt = Receipt.from_bytes(section.latest_receipt)
+    if not receipt.verify(lsp_key):
+        return None
+    return receipt.ledger_root
+
+
+def _head_matches_rebuilt(
+    shard: Ledger, head: SignedTreeHead, rebuilt_head: SignedTreeHead
+) -> bool:
+    """Does ``head`` sit on the rebuilt accumulator's append-only history?"""
+    if head.coords == rebuilt_head.coords:
+        return head.root == rebuilt_head.root
+    try:
+        cbundle, _assertion = shard.get_consistency(head, rebuilt_head)
+    except (LedgerError, ValueError, KeyError, IndexError):
+        return False
+    return cbundle.verify(head, rebuilt_head)
+
+
+def _assemble_sharded(
+    bundle: ExportBundle,
+    shards: list[Ledger],
+    registry: MemberRegistry,
+    lsp_keypair: KeyPair,
+    clock: Clock | None,
+) -> Any:
+    from ..shard import ShardedLedger
+    from ..timeauth import SimClock
+
+    sharded = ShardedLedger.__new__(ShardedLedger)
+    sharded.config = LedgerConfig(
+        uri=bundle.ledger_uri,
+        fractal_height=bundle.fractal_height,
+        block_size=bundle.block_size,
+        shards=bundle.num_shards,
+    )
+    sharded.num_shards = bundle.num_shards
+    sharded.clock = clock or SimClock()
+    sharded.registry = registry
+    sharded._lsp_keypair = lsp_keypair
+    sharded._shards = shards
+    return sharded
+
+
+def _check_composite(
+    bundle: ExportBundle, sharded: Any, divergences: list[Divergence]
+) -> None:
+    if not bundle.composite_sth:
+        divergences.append(
+            Divergence(
+                kind="composite",
+                shard_index=-1,
+                coordinate="composite_sth",
+                expected=b"",
+                actual=b"",
+                detail="sharded bundle carries no composite head to check",
+            )
+        )
+        return
+    head = SignedTreeHead.from_bytes(bundle.composite_sth)
+    actual = sharded.composite_root()
+    if head.root != actual:
+        divergences.append(
+            Divergence(
+                kind="composite",
+                shard_index=-1,
+                coordinate="composite_root",
+                expected=head.root,
+                actual=actual,
+                detail="rebuilt composite root diverges from the bundle head",
+            )
+        )
+
+
+def _external_cross_check(
+    ledger: Any,
+    live: Any,
+    pinned_heads: Sequence[SignedTreeHead] | None,
+    divergences: list[Divergence],
+    checks: list[str],
+) -> None:
+    if pinned_heads:
+        checks.append("pinned-heads")
+        for head in pinned_heads:
+            target = _shard_for_head(ledger, head)
+            if target is None:
+                divergences.append(
+                    Divergence(
+                        kind="sth",
+                        shard_index=head.shard_index,
+                        coordinate=f"pinned epoch {head.epoch}",
+                        expected=head.root,
+                        actual=b"",
+                        detail="pinned head names a shard the rebuild does not have",
+                    )
+                )
+                continue
+            if not _head_matches_rebuilt(target, head, target.get_sth()):
+                divergences.append(
+                    Divergence(
+                        kind="sth",
+                        shard_index=head.shard_index,
+                        coordinate=f"pinned epoch {head.epoch}, live {head.live_size}",
+                        expected=head.root,
+                        actual=target.current_root(),
+                        detail="pinned head is not on the rebuilt history",
+                    )
+                )
+    if live is not None:
+        checks.append("live")
+        live_head = live.get_sth()
+        rebuilt_root = ledger.current_root()
+        if live_head.root != rebuilt_root:
+            divergences.append(
+                Divergence(
+                    kind="live",
+                    shard_index=live_head.shard_index,
+                    coordinate=f"live head epoch {live_head.epoch}",
+                    expected=live_head.root,
+                    actual=rebuilt_root,
+                    detail="live instance's current head diverges from the rebuild",
+                )
+            )
+
+
+def _shard_for_head(ledger: Any, head: SignedTreeHead) -> Ledger | None:
+    shards = getattr(ledger, "shards", None)
+    if shards is None:
+        return ledger
+    index = head.shard_index
+    if 0 <= index < len(shards):
+        return shards[index]
+    return None

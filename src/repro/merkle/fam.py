@@ -103,6 +103,10 @@ class AnchorStore:
     def get(self, epoch_index: int) -> Digest | None:
         return self._roots.get(epoch_index)
 
+    def items(self) -> list[tuple[int, Digest]]:
+        """Sorted ``(epoch_index, root)`` pairs — the exportable anchor set."""
+        return sorted(self._roots.items())
+
     def advance(
         self,
         epoch_index: int,

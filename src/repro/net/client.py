@@ -33,7 +33,10 @@ import contextlib
 import itertools
 import socket
 import threading
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from ..export.bundle import ExportBundle
 
 from ..core.client import ClientState
 from ..core.errors import (
@@ -608,6 +611,19 @@ class AsyncRemoteLedger:
             )
         return bundle, assertion
 
+    async def export(self, clues: tuple[str, ...] = ()) -> bytes:
+        """Fetch a full offline export bundle (canonical container bytes).
+
+        The bundle is built server-side and travels as one frame, so it is
+        subject to the protocol's frame cap — a deployment too large for
+        :data:`~repro.net.protocol.MAX_FRAME_BYTES` must be exported at the
+        operator's console instead.  The bytes come back *unparsed*; callers
+        decode (and thereby CRC-check) with
+        :meth:`repro.export.ExportBundle.from_bytes`.
+        """
+        result = await self._call("export", clues=list(clues))
+        return bytes(result["bundle"])
+
     async def stats(self) -> dict:
         return await self._call("stats")
 
@@ -835,6 +851,10 @@ class RemoteLedgerClient:
 
     def register(self, member_id: str, role: str, public_key: PublicKey) -> None:
         self._wait(self._remote.register(member_id, role, public_key))
+
+    def export(self, clues: tuple[str, ...] = ()) -> bytes:
+        """Raw offline export bundle bytes from the server (one frame)."""
+        return self._wait(self._remote.export(tuple(clues)))
 
     def stats(self) -> dict:
         return self._wait(self._remote.stats())
@@ -1114,12 +1134,7 @@ class RemoteLedgerSession(SessionHelpers):
         max_workers: int | None = None,
         timeout: float | None = None,
     ) -> list[Receipt]:
-        if max_workers is not None:
-            self._reject_kwarg(
-                "max_workers",
-                "the server's group-commit service owns batching; "
-                "max_workers only tunes the local direct-append path",
-            )
+        self._check_capabilities(max_workers=max_workers)
         pairs = None
         if items is not None:
             pairs = [
@@ -1165,6 +1180,30 @@ class RemoteLedgerSession(SessionHelpers):
 
     def get_proofs(self, jsns: list[int], anchored: bool = True) -> list[FamProof]:
         return self.client.get_proofs(jsns, anchored)
+
+    # ------------------------------------------------------------- exporting
+
+    def export(
+        self,
+        path: Any = None,
+        *,
+        clues: tuple[str, ...] = (),
+    ) -> "ExportBundle":
+        """Export the server's ledger as an offline bundle (DESIGN.md §17).
+
+        Same surface as :meth:`LedgerSession.export`: the server builds the
+        bundle, the bytes are decoded here — which checks the container's
+        magic and CRC, so a corrupted or truncated transfer fails typed —
+        and ``path`` writes the canonical bytes to local disk.  Everything
+        *inside* the container is still the server's claim until
+        :func:`repro.export.verify_bundle` is run against pinned anchors.
+        """
+        from ..export.bundle import ExportBundle
+
+        bundle = ExportBundle.from_bytes(self.client.export(tuple(clues)))
+        if path is not None:
+            bundle.write(path)
+        return bundle
 
     # --------------------------------------------------------- transparency
 

@@ -179,6 +179,7 @@ class LedgerServer:
             "get_sth": self._op_get_sth,
             "get_sth_range": self._op_get_sth_range,
             "get_consistency": self._op_get_consistency,
+            "export": self._op_export,
             "stats": self._op_stats,
         }
 
@@ -651,6 +652,27 @@ class LedgerServer:
             "bundle": bundle.to_bytes() if bundle is not None else b"",
             "assertion": assertion.to_bytes(),
         }
+
+    async def _op_export(self, message: dict) -> dict:
+        """Build an offline export bundle and ship its canonical bytes.
+
+        A server fronting one shard of a sharded deployment exports the
+        *whole* deployment (all shards under the composite head) — a bundle
+        restricted to one shard could never verify the composite root.  The
+        response is one frame, so deployments whose bundle exceeds the frame
+        cap fail typed here (ProtocolError on send) rather than truncating.
+        """
+        clues = message.get("clues") or []
+        if not isinstance(clues, list):
+            raise ProtocolError("'clues' must be a list of strings")
+        clues = tuple(_require_str(clue, "clue") for clue in clues)
+        from ..export.bundle import export_bundle
+
+        target: Any = self.ledger
+        if self.shard_context is not None:
+            target = self.shard_context[0]
+        bundle = await self._run(lambda: export_bundle(target, clues=clues))
+        return {"bundle": bundle.to_bytes()}
 
     async def _op_stats(self, message: dict) -> dict:
         stats = self.service.stats()

@@ -20,7 +20,9 @@ The contract the protocol pins down (DESIGN.md §11/§16):
 * identical method *signatures* on every transport — kwargs a transport
   cannot honour are rejected with a typed
   :class:`~repro.core.errors.UsageError` naming the transport, never
-  silently swallowed;
+  silently swallowed.  Which kwarg belongs to which transport — and *why*
+  the others refuse it — lives in one declarative table,
+  :data:`CAPABILITIES`, instead of being re-stated at every call site;
 * every ``verify``-family method returns a structured
   :class:`~repro.core.verification.VerifyResult` (truthy-compatible with
   the old bools);
@@ -34,6 +36,7 @@ and argument normalisation live here once instead of per transport.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 from .core.errors import UsageError
@@ -43,6 +46,7 @@ if TYPE_CHECKING:
     from .core.receipt import Receipt
     from .core.verification import VerifyResult
     from .crypto.keys import KeyPair
+    from .export.bundle import ExportBundle
     from .transparency.censorship import SubmissionAck
     from .transparency.sth import (
         ConsistencyAssertion,
@@ -50,7 +54,86 @@ if TYPE_CHECKING:
         SignedTreeHead,
     )
 
-__all__ = ["VerifyingSession", "SessionHelpers"]
+__all__ = [
+    "CAPABILITIES",
+    "SessionHelpers",
+    "TransportCapability",
+    "VerifyingSession",
+    "check_transport_kwargs",
+]
+
+
+# ------------------------------------------------------------- capabilities
+
+
+@dataclass(frozen=True)
+class TransportCapability:
+    """One session/connect kwarg and which transports honour it.
+
+    ``reason`` explains — to the caller of the transport that *rejects* the
+    kwarg — why passing it there cannot mean anything; it lands verbatim in
+    the :class:`UsageError` and in generated documentation, so it should
+    read as a sentence fragment after "``:``".
+    """
+
+    kwarg: str
+    transports: frozenset[str]
+    reason: str
+
+    def supports(self, transport: str) -> bool:
+        return transport in self.transports
+
+
+#: The declarative capability table: every kwarg on the session surface
+#: that only some transports honour, with the rejection rationale.  Both
+#: ``connect()`` and the session classes consult this instead of hand-rolling
+#: per-call-site rejections — add a row here, never another inline ``raise``.
+CAPABILITIES: dict[str, TransportCapability] = {
+    "service": TransportCapability(
+        kwarg="service",
+        transports=frozenset({"local"}),
+        reason="the remote server runs its own group-commit service",
+    ),
+    "expected_lsp_key": TransportCapability(
+        kwarg="expected_lsp_key",
+        transports=frozenset({"remote"}),
+        reason="an in-process ledger's LSP key needs no out-of-band pinning",
+    ),
+    "timeout": TransportCapability(
+        kwarg="timeout",
+        transports=frozenset({"remote"}),
+        reason=(
+            "local calls traverse no socket (per-call timeout= on "
+            "service-backed appends still applies)"
+        ),
+    ),
+    "max_workers": TransportCapability(
+        kwarg="max_workers",
+        transports=frozenset({"local"}),
+        reason=(
+            "the server's group-commit service owns batching; max_workers "
+            "only tunes the local direct-append path"
+        ),
+    ),
+}
+
+
+def check_transport_kwargs(transport: str, lgid: Any = "?", **kwargs: Any) -> None:
+    """Reject any non-``None`` kwarg the table says ``transport`` cannot honour.
+
+    Raises:
+        UsageError: naming the kwarg, the transport, and the table's reason.
+    """
+    for name, value in kwargs.items():
+        if value is None:
+            continue
+        capability = CAPABILITIES.get(name)
+        if capability is None or capability.supports(transport):
+            continue
+        raise UsageError(
+            f"{name}= is not supported by the {transport} transport "
+            f"({lgid!r}): {capability.reason}"
+        )
 
 
 @runtime_checkable
@@ -124,6 +207,13 @@ class VerifyingSession(Protocol):
         level: Any = "server",
     ) -> "VerifyResult": ...
 
+    def export(
+        self,
+        path: Any = None,
+        *,
+        clues: tuple[str, ...] = (),
+    ) -> "ExportBundle": ...
+
     def close(self) -> None: ...
 
 
@@ -156,9 +246,13 @@ class SessionHelpers:
             raise UsageError("pass clue= or clues=, not both")
         return tuple(clues) if clues is not None else ((clue,) if clue else ())
 
-    def _reject_kwarg(self, name: str, why: str) -> None:
-        """Typed rejection of a kwarg this transport cannot honour."""
-        raise UsageError(
-            f"{name}= is not supported by the {self.transport} transport "
-            f"({getattr(self, 'lgid', '?')!r}): {why}"
+    def _check_capabilities(self, **kwargs: Any) -> None:
+        """Typed rejection of kwargs this transport cannot honour.
+
+        Table-driven (:data:`CAPABILITIES`): pass the candidate kwargs and
+        every non-``None`` one the table denies this transport raises a
+        :class:`UsageError` carrying the table's rationale.
+        """
+        check_transport_kwargs(
+            self.transport, getattr(self, "lgid", "?"), **kwargs
         )

@@ -196,3 +196,76 @@ def test_compact_sharded_data_dir(tmp_path, capsys):
     for name, report in result.items():
         assert "shard-" in name
         assert report["pages_after"] <= report["pages_before"]
+
+
+# --------------------------------------------- export / verify-bundle / rebuild
+
+
+def test_export_verify_rebuild_chain(tmp_path, capsys):
+    """The carry-it-away flow: export → standalone verify → rebuild."""
+    import json
+
+    bundle = tmp_path / "demo.bundle"
+    data = tmp_path / "demo-ledger"
+    assert main([
+        "export", "--demo", "--journals", "20", "--data-dir", str(data),
+        "--out", str(bundle), "--clue", "EXPORT", "--json",
+    ]) == 0
+    exported = json.loads(capsys.readouterr().out)
+    assert exported["ledger_uri"] == "ledger://export-demo"
+    assert exported["journals"] >= 20
+    assert bundle.exists()
+
+    assert main(["verify-bundle", str(bundle), "--json"]) == 0
+    verdict = json.loads(capsys.readouterr().out)
+    assert verdict["ok"] is True
+    assert verdict["what"] is True
+    assert verdict["when"] is None  # no out-of-band TSA keys on the CLI
+
+    assert main(["rebuild", "--bundle", str(bundle), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True
+    assert report["divergences"] == []
+
+    assert main(["rebuild", "--data-dir", str(data), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True
+    assert report["source"] == "stream"
+
+
+def test_export_sharded_demo(tmp_path, capsys):
+    import json
+
+    bundle = tmp_path / "sharded.bundle"
+    assert main([
+        "export", "--demo", "--journals", "24", "--shards", "2",
+        "--out", str(bundle), "--json",
+    ]) == 0
+    exported = json.loads(capsys.readouterr().out)
+    assert exported["shards"] == 2
+    assert main(["verify-bundle", str(bundle)]) == 0
+    assert main(["rebuild", "--bundle", str(bundle)]) == 0
+
+
+def test_verify_bundle_rejects_corruption(tmp_path, capsys):
+    bundle = tmp_path / "rot.bundle"
+    assert main(["export", "--demo", "--out", str(bundle)]) == 0
+    capsys.readouterr()
+    blob = bytearray(bundle.read_bytes())
+    blob[len(blob) // 2] ^= 0x10
+    bundle.write_bytes(bytes(blob))
+    assert main(["verify-bundle", str(bundle)]) == 2
+    err = capsys.readouterr().err
+    assert "BundleCorruptionError" in err
+
+
+def test_rebuild_requires_exactly_one_source(tmp_path, capsys):
+    assert main(["rebuild"]) == 2
+    assert main([
+        "rebuild", "--bundle", str(tmp_path / "b"), "--data-dir", str(tmp_path),
+    ]) == 2
+
+
+def test_rebuild_missing_data_dir_is_typed(tmp_path, capsys):
+    assert main(["rebuild", "--data-dir", str(tmp_path / "nowhere")]) == 2
+    assert "RebuildError" in capsys.readouterr().err

@@ -481,6 +481,7 @@ PROTOCOL_METHODS = [
     "get_sth_range",
     "get_consistency",
     "verify",
+    "export",
     "close",
 ]
 
@@ -627,3 +628,74 @@ class TestVerifyingSessionProtocol:
             with api.connect(f"ledger://{host}:{port}") as session:
                 with pytest.raises(UsageError):
                     session.client.get_sth(composite=True)
+
+
+# ------------------------------------------- capability table & remote export
+
+
+class TestTransportCapabilities:
+    """The declarative capability table behind every kwarg rejection."""
+
+    def test_every_capability_names_a_known_transport(self):
+        from repro.session import CAPABILITIES
+
+        for name, capability in CAPABILITIES.items():
+            assert capability.kwarg == name
+            assert capability.transports <= {"local", "remote"}
+            assert capability.reason
+
+    def test_check_skips_none_values(self):
+        from repro.session import check_transport_kwargs
+
+        check_transport_kwargs("local", "ledger://x", timeout=None)
+        check_transport_kwargs("remote", "ledger://x", service=None)
+
+    def test_check_raises_on_unsupported_transport(self):
+        from repro.session import check_transport_kwargs
+
+        with pytest.raises(UsageError, match="local transport"):
+            check_transport_kwargs("local", "ledger://x", timeout=5.0)
+        with pytest.raises(UsageError, match="remote transport"):
+            check_transport_kwargs("remote", "ledger://x", service=True)
+
+    def test_unknown_kwargs_pass_through(self):
+        from repro.session import check_transport_kwargs
+
+        check_transport_kwargs("local", "ledger://x", not_a_capability=1)
+
+
+class TestRemoteExport:
+    def test_export_over_the_wire_verifies_standalone(self, tmp_path):
+        from repro.export.verifier import verify_bundle
+
+        ledger, keypair = make_ledger()
+        with ServerThread(ledger) as served:
+            host, port = served.address
+            with api.connect(
+                f"ledger://{host}:{port}", client_id="alice", keypair=keypair
+            ) as session:
+                for i in range(10):
+                    session.append(b"wire-%02d" % i, clue="WIRE")
+                path = tmp_path / "wire.bundle"
+                bundle = session.export(path, clues=("WIRE",))
+        assert path.exists()
+        assert bundle.ledger_uri == ledger.config.uri
+        assert bundle.journal_count == ledger.size
+        result = verify_bundle(bundle)
+        assert result, result.detail
+        local = api.LedgerSession(ledger).export(clues=("WIRE",))
+        assert bundle.to_bytes() == local.to_bytes()
+
+    def test_scoped_ledger_scopes_a_remote_uri(self):
+        ledger, keypair = make_ledger()
+        with ServerThread(ledger) as served:
+            host, port = served.address
+            address = f"ledger://{host}:{port}"
+            with api.scoped_ledger(
+                address, client_id="alice", keypair=keypair
+            ) as session:
+                assert session.transport == "remote"
+                session.append(b"scoped-remote", clue="SC")
+            with pytest.raises(UsageError, match="remote scope"):
+                with api.scoped_ledger(address, config=LedgerConfig(uri="x")):
+                    pass
